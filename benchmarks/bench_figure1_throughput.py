@@ -1,0 +1,30 @@
+"""Figure 1 — expected camera-perception throughput demand vs SoCs."""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.analysis.throughput import SOC_CATALOG, ThroughputModel
+
+
+def _report() -> str:
+    model = ThroughputModel()
+    rows = [
+        (label, f"{tops:.1f}")
+        for label, tops in model.figure1_rows()
+    ]
+    table = format_table(["Bar", "TOPS"], rows)
+    notes = [
+        "",
+        f"demand / Xavier = {model.utilization(SOC_CATALOG['xavier']):.1f}x "
+        "(paper: demand far exceeds Xavier)",
+        f"demand / Orin   = {model.utilization(SOC_CATALOG['orin']):.2f}x "
+        "(paper: perception alone consumes most of Orin)",
+    ]
+    return table + "\n".join(notes)
+
+
+def test_figure1_throughput(benchmark, artifact_dir):
+    report = benchmark.pedantic(_report, rounds=3, iterations=1)
+    emit(artifact_dir, "figure1_throughput", report)
+    model = ThroughputModel()
+    assert model.demand_tops() > SOC_CATALOG["xavier"].tops
+    assert model.demand_tops() < SOC_CATALOG["orin"].tops

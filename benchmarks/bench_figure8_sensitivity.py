@@ -1,0 +1,47 @@
+"""Figure 8 — estimated minimum FPR over (v_e0, v_an) at fixed s_n.
+
+Two panels (30 m and 100 m), rendered as character heatmaps: '@' is the
+paper's gray 30+ FPR region, blank the white unavoidable region.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_heatmap
+from repro.analysis.sensitivity import sweep_min_fpr
+
+
+def _panel(gap: float):
+    grid = sweep_min_fpr(
+        gap=gap,
+        ego_speeds_mph=np.linspace(0.0, 70.0, 24),
+        actor_speeds_mph=np.linspace(0.0, 70.0, 24),
+    )
+    text = (
+        f"s_n = {gap:g} m  (x: v_e0 0->70 mph, y: v_an 0->70 mph)\n"
+        f"glyphs: .<=2  :<=5  +<=10  *<=15  #<=30  @>30  blank=unavoidable\n"
+        + render_heatmap(grid.min_fpr)
+        + f"\nunavoidable fraction: {grid.region_fraction(grid.white_mask()):.2f}"
+        + f"  max finite FPR: {grid.max_finite_fpr():.1f}"
+        + f"  max FPR below 25 mph: {grid.band_max(0.0, 25.0):.1f}"
+    )
+    return grid, text
+
+
+def _report():
+    grid30, text30 = _panel(30.0)
+    grid100, text100 = _panel(100.0)
+    return grid30, grid100, text30 + "\n\n" + text100
+
+
+def test_figure8_sensitivity(benchmark, artifact_dir):
+    grid30, grid100, report = benchmark.pedantic(_report, rounds=1, iterations=1)
+    emit(artifact_dir, "figure8_sensitivity", report)
+
+    # The paper's bands: streets (0-25 mph) need <= 2 FPR in both panels;
+    # the short gap has a substantial unavoidable wedge, the long gap
+    # almost none.
+    assert grid30.band_max(0.0, 25.0) <= 2.0
+    assert grid100.band_max(0.0, 25.0) <= 2.0
+    assert grid30.region_fraction(grid30.white_mask()) > 0.15
+    assert grid100.region_fraction(grid100.white_mask()) < 0.08

@@ -1,0 +1,53 @@
+"""Figures 4-6 — per-camera latency estimates over three scenarios.
+
+Each figure: the left/front/right camera tolerable-latency series plus
+the ego's acceleration for one 30-FPR run, and the paper's observation
+that the front camera's requirement tracks ego deceleration.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import decel_correlation, offline_figure_series
+from repro.analysis.report import render_series
+
+FIGURES = {
+    "figure4_cut_out_fast": "cut_out_fast",
+    "figure5_curved_cut_in": "challenging_cut_in_curved",
+    "figure6_cut_in": "cut_in",
+}
+
+
+def _report(scenario: str):
+    series = offline_figure_series(scenario, seed=0)
+    blocks = [f"scenario: {scenario} (30 FPR, seed 0)"]
+    for camera in ("left", "front_120", "right"):
+        blocks.append(
+            render_series(
+                series.latency(camera),
+                label=f"{camera} tolerable latency [s]",
+            )
+        )
+    blocks.append(
+        render_series(series.ego_accel, label="ego acceleration [m/s^2]")
+    )
+    correlation = decel_correlation(series)
+    blocks.append(
+        f"front-camera demand vs ego braking correlation: {correlation:.2f}"
+    )
+    return series, correlation, "\n\n".join(blocks)
+
+
+@pytest.mark.parametrize("name,scenario", sorted(FIGURES.items()))
+def test_figure_series(benchmark, artifact_dir, name, scenario):
+    series, correlation, report = benchmark.pedantic(
+        _report, args=(scenario,), rounds=1, iterations=1
+    )
+    emit(artifact_dir, name, report)
+    assert not series.collided
+    # Shape: the front camera binds hardest and the sides stay permissive.
+    assert series.min_latency("front_120") <= series.min_latency("left")
+    assert series.min_latency("front_120") <= series.min_latency("right")
+    # "A strong correlation between the front camera FPR requirements
+    # and ego deceleration" (Zhuyi leads the braking).
+    assert correlation > 0.4

@@ -1,0 +1,55 @@
+"""Table 1 — scenario validation: MRF, Zhuyi estimates, peak fraction.
+
+The quick default runs two seeds over a reduced FPR grid (about two
+minutes); set ``REPRO_TABLE1_FULL=1`` for the paper's ten-seed, full-grid
+protocol.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.table1 import Table1Config, generate_table1, render_table1
+
+
+def _config(full: bool) -> Table1Config:
+    if full:
+        return Table1Config(
+            seeds=tuple(range(10)),
+        )
+    return Table1Config(
+        fpr_grid=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 30.0),
+        seeds=(0, 1),
+    )
+
+
+def test_table1_validation(benchmark, artifact_dir, full_table1):
+    config = _config(full_table1)
+    rows = benchmark.pedantic(
+        generate_table1, args=(config,), rounds=1, iterations=1
+    )
+    report = render_table1(rows, config)
+
+    summary = ["", "Validation checks:"]
+    worst_fraction = max(row.fraction for row in rows)
+    summary.append(
+        f"  peak fraction of a 3x30-FPR provision: {worst_fraction:.2f} "
+        "(paper headline: 0.36)"
+    )
+    for row in rows:
+        if row.mrf.mrf is None or not row.mrf.collision_fprs:
+            continue
+        estimates = [v for v in row.mean_estimates.values() if v is not None]
+        floor = min(estimates) if estimates else float("nan")
+        summary.append(
+            f"  {row.scenario}: MRF {row.mrf.label} (paper {row.paper_mrf}), "
+            f"lowest estimate {floor:.1f} -> conservative: "
+            f"{floor >= row.mrf.mrf}"
+        )
+    emit(artifact_dir, "table1_validation", report + "\n".join(summary))
+
+    # Safety: wherever a real MRF exists, every estimate stays above it.
+    for row in rows:
+        if row.mrf.mrf is None or not row.mrf.collision_fprs:
+            continue
+        for estimate in row.mean_estimates.values():
+            if estimate is not None:
+                assert estimate >= row.mrf.mrf - 1e-6, row.scenario
+    assert worst_fraction <= 0.37

@@ -1,0 +1,35 @@
+"""Benchmark support: artifact directory and shared knobs.
+
+Every benchmark regenerates one of the paper's tables or figures,
+printing the rows/series and writing a copy under ``benchmarks/out/``.
+``REPRO_TABLE1_FULL=1`` switches the Table 1 harness to the paper's full
+protocol (ten seeds, full FPR grid) instead of the quick default.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def full_table1() -> bool:
+    return os.environ.get("REPRO_TABLE1_FULL", "0") == "1"
+
+
+def emit(artifact_dir: Path, name: str, text: str) -> None:
+    """Print a report and archive it under benchmarks/out/."""
+    print()
+    print(f"===== {name} =====")
+    print(text)
+    (artifact_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,56 @@
+"""Pre-deployment safety audit (Section 3.1 use case).
+
+For one scenario: sweep the fixed camera rate across the validation
+grid, find the minimum required FPR (the lowest collision-free rate),
+evaluate the Zhuyi model on every safe trace, and verify the paper's
+validation property — the estimated FPR stays above the MRF.
+
+Run:  python examples/pre_deployment_audit.py [scenario] [seed]
+"""
+
+import sys
+
+from repro import OfflineEvaluator, build_scenario
+from repro.analysis.report import format_table
+from repro.system.mrf import find_minimum_required_fpr
+
+
+def main(scenario_name: str = "cut_out", seed: int = 0) -> None:
+    grid = (1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 30.0)
+    scenario = build_scenario(scenario_name, seed=seed)
+    evaluator = OfflineEvaluator(road=scenario.road)
+
+    print(f"Auditing {scenario_name!r} (seed {seed}) across {grid} FPR ...")
+    rows = []
+    outcomes = {}
+    for rate in grid:
+        trace = build_scenario(scenario_name, seed=seed).run(fpr=rate)
+        outcomes[(rate, seed)] = trace.has_collision
+        if trace.has_collision:
+            rows.append((f"{rate:g}", "COLLISION", "N/A"))
+            continue
+        series = evaluator.evaluate(trace)
+        rows.append(
+            (f"{rate:g}", "safe", f"{series.max_fpr():.1f}")
+        )
+
+    mrf = find_minimum_required_fpr(
+        scenario_name, fpr_grid=grid, seeds=(seed,), collision_cache=outcomes
+    )
+    print()
+    print(format_table(["run FPR", "outcome", "max Zhuyi estimate"], rows))
+    print()
+    print(f"Minimum required FPR: {mrf.label}")
+    print(f"Paper's MRF for this scenario: {scenario.spec.paper_mrf}")
+    safe_estimates = [
+        float(row[2]) for row in rows if row[2] != "N/A"
+    ]
+    if mrf.mrf is not None and mrf.collision_fprs and safe_estimates:
+        conservative = min(safe_estimates) >= mrf.mrf
+        print(f"Estimates conservative (>= MRF): {conservative}")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "cut_out"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(name, seed)

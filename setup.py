@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` — and plain
+``pip install -e .`` on machines with wheel — work from the settings in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""The manoeuvre library: the behaviours the nine scenarios are built of.
+
+Each behaviour is a small dataclass; composition happens through the
+``then`` hand-off (a behaviour that finishes delegates to its successor)
+and through triggers that decide when a manoeuvre starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.actors.behavior import (
+    ActorCommand,
+    Behavior,
+    ScenarioContext,
+    Trigger,
+)
+from repro.actors.vehicle import Actor
+from repro.errors import ConfigurationError
+from repro.planning.idm import IDMParams, idm_acceleration
+
+#: Proportional gain of the speed-hold loop (1/s).
+_SPEED_GAIN = 1.5
+
+
+@dataclass
+class Cruise:
+    """Hold a target speed (proportional control on speed error)."""
+
+    target_speed: float
+    accel_limit: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.target_speed < 0.0:
+            raise ConfigurationError("cruise speed must be non-negative")
+        if self.accel_limit <= 0.0:
+            raise ConfigurationError("accel limit must be positive")
+
+    def update(
+        self, now: float, actor: Actor, context: ScenarioContext
+    ) -> ActorCommand:
+        error = self.target_speed - actor.speed
+        accel = min(max(error * _SPEED_GAIN, -self.accel_limit), self.accel_limit)
+        return ActorCommand(accel=accel)
+
+
+@dataclass
+class SuddenBrake:
+    """Cruise until the trigger fires, then brake hard to a stop.
+
+    The Vehicle-following scenario's lead "applies sudden braking,
+    reducing its speed to zero".
+    """
+
+    trigger: Trigger
+    decel: float = 6.0
+    cruise_speed: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.decel <= 0.0:
+            raise ConfigurationError("braking deceleration must be positive")
+
+    def update(
+        self, now: float, actor: Actor, context: ScenarioContext
+    ) -> ActorCommand:
+        if self.trigger.fired(now, actor, context):
+            return ActorCommand(accel=-self.decel if actor.speed > 0.0 else 0.0)
+        target = (
+            self.cruise_speed if self.cruise_speed is not None else actor.speed
+        )
+        return ActorCommand(accel=(target - actor.speed) * _SPEED_GAIN)
+
+
+@dataclass
+class TriggeredLaneChange:
+    """Cruise until the trigger fires, change lanes, then hand off.
+
+    Covers both cut-ins (into the ego's lane) and cut-outs (away from
+    it); ``then`` runs after the change completes (default: keep
+    cruising at the current speed).
+    """
+
+    trigger: Trigger
+    target_lane: int
+    duration: float = 3.0
+    cruise_speed: float | None = None
+    then: Behavior | None = None
+    _started: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError("lane-change duration must be positive")
+
+    def update(
+        self, now: float, actor: Actor, context: ScenarioContext
+    ) -> ActorCommand:
+        if self._started and not actor.changing_lanes and self.then is not None:
+            return self.then.update(now, actor, context)
+
+        target = (
+            self.cruise_speed if self.cruise_speed is not None else actor.speed
+        )
+        accel = (target - actor.speed) * _SPEED_GAIN
+        if not self._started and self.trigger.fired(now, actor, context):
+            self._started = True
+            return ActorCommand(
+                accel=accel,
+                change_to_lane=self.target_lane,
+                lane_change_duration=self.duration,
+            )
+        return ActorCommand(accel=accel)
+
+
+@dataclass
+class Follow:
+    """IDM car-following behind another actor (or the ego).
+
+    ``lead_id`` of ``None`` follows the ego. Uses ground truth — scripted
+    actors are choreography, not perception consumers.
+    """
+
+    lead_id: Hashable | None = None
+    idm: IDMParams = field(default_factory=IDMParams)
+
+    def update(
+        self, now: float, actor: Actor, context: ScenarioContext
+    ) -> ActorCommand:
+        if self.lead_id is None:
+            lead_state = context.ego_state
+        else:
+            lead_state = context.actor_states.get(self.lead_id)
+        if lead_state is None:
+            return ActorCommand(
+                accel=(self.idm.desired_speed - actor.speed) * _SPEED_GAIN
+            )
+        lead_frenet = context.road.to_frenet(lead_state.position)
+        gap = (lead_frenet.s - actor.station) - actor.spec.length
+        if gap <= 0.0:
+            # The lead is beside or behind us (e.g. after it changed
+            # lanes); drive free-road.
+            return ActorCommand(
+                accel=idm_acceleration(actor.speed, self.idm)
+            )
+        return ActorCommand(
+            accel=idm_acceleration(
+                actor.speed, self.idm, gap=gap, lead_speed=lead_state.speed
+            )
+        )
+
+
+@dataclass
+class PaceBeside:
+    """Hold a station offset relative to the ego at matched speed.
+
+    The Front-&-right-activity-2 scenario's actor "matches its position
+    side to side to the ego with similar speed". PD control on the
+    station error keeps the actor locked alongside.
+    """
+
+    station_offset: float = 0.0
+    position_gain: float = 0.3
+    speed_gain: float = 1.0
+    accel_limit: float = 2.5
+
+    def update(
+        self, now: float, actor: Actor, context: ScenarioContext
+    ) -> ActorCommand:
+        ego_s = context.ego_station()
+        ego_speed = context.ego_state.speed
+        error = (ego_s + self.station_offset) - actor.station
+        accel = error * self.position_gain + (ego_speed - actor.speed) * (
+            self.speed_gain
+        )
+        accel = min(max(accel, -self.accel_limit), self.accel_limit)
+        return ActorCommand(accel=accel)

@@ -1,0 +1,57 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* :mod:`repro.analysis.throughput` — Figure 1 (TOPS demand vs SoCs).
+* :mod:`repro.analysis.table1` — Table 1 (validation across scenarios).
+* :mod:`repro.analysis.figures` — Figures 4-7 (latency series over time).
+* :mod:`repro.analysis.sensitivity` — Figure 8 (velocity sweeps).
+* :mod:`repro.analysis.report` — ASCII tables, heatmaps and series.
+"""
+
+from repro.analysis.throughput import (
+    PERCEPTION_MODELS,
+    SOC_CATALOG,
+    PerceptionModel,
+    SoC,
+    ThroughputModel,
+)
+from repro.analysis.table1 import (
+    Table1Config,
+    Table1Row,
+    generate_table1,
+    render_table1,
+)
+from repro.analysis.figures import (
+    FigureSeries,
+    decel_correlation,
+    offline_figure_series,
+    online_figure_series,
+)
+from repro.analysis.sensitivity import SensitivityGrid, sweep_min_fpr
+from repro.analysis.report import (
+    format_table,
+    pearson_correlation,
+    render_heatmap,
+    render_series,
+)
+
+__all__ = [
+    "PerceptionModel",
+    "SoC",
+    "ThroughputModel",
+    "PERCEPTION_MODELS",
+    "SOC_CATALOG",
+    "Table1Config",
+    "Table1Row",
+    "generate_table1",
+    "render_table1",
+    "FigureSeries",
+    "offline_figure_series",
+    "online_figure_series",
+    "decel_correlation",
+    "SensitivityGrid",
+    "sweep_min_fpr",
+    "format_table",
+    "render_heatmap",
+    "render_series",
+    "pearson_correlation",
+]

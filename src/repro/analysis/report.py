@@ -1,0 +1,121 @@
+"""Plain-text rendering: tables, heatmaps and time series.
+
+The benchmark harnesses print the same rows/series the paper reports;
+with no plotting stack available offline, everything renders as ASCII.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table with one separator line under the headers."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(row, widths))
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    levels: Sequence[tuple[float, str]] = (
+        (2.0, "."),
+        (5.0, ":"),
+        (10.0, "+"),
+        (15.0, "*"),
+        (30.0, "#"),
+    ),
+    overflow: str = "@",
+    nan_char: str = " ",
+) -> str:
+    """Character heatmap of a 2-D array (row 0 printed last — y grows up).
+
+    ``levels`` maps upper bounds to glyphs; values above every bound get
+    ``overflow`` (the paper's gray "30+ FPR" region) and NaNs (the white
+    "unavoidable collision" region) get ``nan_char``.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ConfigurationError(f"heatmap needs a 2-D grid, got {grid.ndim}-D")
+    lines = []
+    for row in grid[::-1]:
+        chars = []
+        for value in row:
+            if math.isnan(value):
+                chars.append(nan_char)
+                continue
+            for bound, glyph in levels:
+                if value <= bound:
+                    chars.append(glyph)
+                    break
+            else:
+                chars.append(overflow)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """ASCII line plot of one series (column-downsampled to ``width``)."""
+    if width < 2 or height < 2:
+        raise ConfigurationError("plot must be at least 2x2")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot plot an empty series")
+    columns = np.array_split(data, min(width, data.size))
+    col_values = np.array([column.mean() for column in columns])
+    lo, hi = float(np.min(col_values)), float(np.max(col_values))
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    rows = np.clip(
+        ((col_values - lo) / (hi - lo) * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+    canvas = [[" "] * len(col_values) for _ in range(height)]
+    for x, y in enumerate(rows):
+        canvas[height - 1 - y][x] = "*"
+    lines = ["".join(row) for row in canvas]
+    header = f"{label}  [min={lo:.3g}, max={hi:.3g}]" if label else (
+        f"[min={lo:.3g}, max={hi:.3g}]"
+    )
+    return "\n".join([header] + lines)
+
+
+def pearson_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series."""
+    x = np.asarray(list(a), dtype=float)
+    y = np.asarray(list(b), dtype=float)
+    if x.size != y.size:
+        raise ConfigurationError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ConfigurationError("need at least two samples")
+    if np.std(x) < 1e-12 or np.std(y) < 1e-12:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

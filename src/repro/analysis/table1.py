@@ -1,0 +1,156 @@
+"""Table 1 — the paper's validation table.
+
+For every catalog scenario: run the closed loop at each fixed FPR of the
+validation grid (several seeds, as "simulations can be non-deterministic
+... we run a scenario with a fixed FPR ten times and show an average"),
+determine the minimum required FPR, evaluate the Zhuyi model offline on
+every collision-free trace, and aggregate:
+
+* mean of the max estimated FPR per run at each fixed setting
+  ("N/A" where any seed collided — the paper's convention for runs at
+  or below the MRF);
+* ``max(F_c1 + F_c2 + F_c3)`` across all runs;
+* the fraction of a 30-FPR 3-camera provision that peak demand needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.evaluator import OfflineEvaluator
+from repro.core.parameters import ZhuyiParams
+from repro.errors import ConfigurationError
+from repro.perception.sensor import ANALYZED_CAMERAS
+from repro.scenarios.catalog import SCENARIO_NAMES, build_scenario
+from repro.system.mrf import DEFAULT_FPR_GRID, MRFResult, find_minimum_required_fpr
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Knobs for the Table 1 harness.
+
+    The paper uses ten seeds and the full grid; the defaults here keep a
+    laptop run in minutes. Both are overridable.
+    """
+
+    scenarios: Sequence[str] = SCENARIO_NAMES
+    fpr_grid: Sequence[float] = DEFAULT_FPR_GRID
+    seeds: Sequence[int] = (0, 1, 2)
+    provisioned_fpr: float = 30.0
+    cameras: Sequence[str] = ANALYZED_CAMERAS
+    stride: float = 0.05
+    params: ZhuyiParams = field(default_factory=ZhuyiParams)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("no scenarios selected")
+        if not self.fpr_grid or not self.seeds:
+            raise ConfigurationError("grid and seeds must be non-empty")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One scenario's row."""
+
+    scenario: str
+    ego_speed_mph: float
+    activity: Mapping[str, bool]
+    paper_mrf: str
+    mrf: MRFResult
+    mean_estimates: Mapping[float, float | None]
+    max_total_fpr: float
+    fraction: float
+
+    def cells(self, fpr_grid: Sequence[float]) -> list[object]:
+        """Row cells in the paper's column order."""
+        def flag(key: str) -> str:
+            return "Yes" if self.activity.get(key, False) else "No"
+
+        cells: list[object] = [
+            self.scenario,
+            f"{self.ego_speed_mph:g}",
+            flag("front"),
+            flag("right"),
+            flag("left"),
+            self.mrf.label,
+        ]
+        for fpr in fpr_grid:
+            estimate = self.mean_estimates.get(fpr)
+            cells.append("N/A" if estimate is None else f"{estimate:.1f}")
+        cells.append(f"{self.max_total_fpr:.1f}")
+        cells.append(f"{self.fraction:.2f}")
+        return cells
+
+
+def generate_table1(config: Table1Config | None = None) -> list[Table1Row]:
+    """Run the full validation and return one row per scenario."""
+    config = config if config is not None else Table1Config()
+    rows = []
+    for name in config.scenarios:
+        rows.append(_scenario_row(name, config))
+    return rows
+
+
+def render_table1(
+    rows: Sequence[Table1Row], config: Table1Config | None = None
+) -> str:
+    """The table as printable text (paper column layout)."""
+    config = config if config is not None else Table1Config()
+    headers = ["Scenario", "mph", "Front", "Right", "Left", "MRF"]
+    headers += [f"@{fpr:g}" for fpr in config.fpr_grid]
+    headers += ["max(Fc1+Fc2+Fc3)", "Fraction"]
+    return format_table(headers, [row.cells(config.fpr_grid) for row in rows])
+
+
+def _scenario_row(name: str, config: Table1Config) -> Table1Row:
+    collision_cache: dict[tuple[float, int], bool] = {}
+    per_fpr_estimates: dict[float, list[float]] = {
+        fpr: [] for fpr in config.fpr_grid
+    }
+    per_fpr_collided: dict[float, bool] = {fpr: False for fpr in config.fpr_grid}
+    max_total = 0.0
+    spec_meta: Mapping[str, object] = {}
+
+    for seed in config.seeds:
+        built = build_scenario(name, seed=seed)
+        evaluator = OfflineEvaluator(
+            params=config.params, road=built.road, stride=config.stride
+        )
+        for fpr in config.fpr_grid:
+            trace = built.run(fpr=float(fpr))
+            spec_meta = trace.metadata
+            collision_cache[(float(fpr), seed)] = trace.has_collision
+            if trace.has_collision:
+                per_fpr_collided[fpr] = True
+                continue
+            series = evaluator.evaluate(trace)
+            per_fpr_estimates[fpr].append(series.max_fpr())
+            max_total = max(max_total, series.max_total_fpr(config.cameras))
+
+    mrf = find_minimum_required_fpr(
+        name,
+        fpr_grid=config.fpr_grid,
+        seeds=config.seeds,
+        collision_cache=collision_cache,
+    )
+    mean_estimates: dict[float, float | None] = {}
+    for fpr in config.fpr_grid:
+        values = per_fpr_estimates[fpr]
+        if per_fpr_collided[fpr] or not values:
+            mean_estimates[fpr] = None
+        else:
+            mean_estimates[fpr] = sum(values) / len(values)
+
+    provision = config.provisioned_fpr * len(config.cameras)
+    return Table1Row(
+        scenario=name,
+        ego_speed_mph=float(spec_meta.get("ego_speed_mph", 0.0)),
+        activity=dict(spec_meta.get("activity", {})),
+        paper_mrf=str(spec_meta.get("paper_mrf", "?")),
+        mrf=mrf,
+        mean_estimates=mean_estimates,
+        max_total_fpr=max_total,
+        fraction=max_total / provision if provision else 0.0,
+    )

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <scenario>`` — one closed-loop run + offline Zhuyi evaluation.
+* ``mrf <scenario>`` — minimum-required-FPR search.
+* ``sweep [gap]`` — Figure 8 style sensitivity heatmap.
+* ``scenarios`` — list the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import OfflineEvaluator, SCENARIO_NAMES, build_scenario
+from repro.analysis.report import format_table, render_heatmap
+from repro.analysis.sensitivity import sweep_min_fpr
+from repro.perception.sensor import ANALYZED_CAMERAS
+from repro.system.mrf import find_minimum_required_fpr
+
+
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    from repro.scenarios.catalog import SCENARIOS
+
+    rows = [
+        (spec.name, f"{spec.ego_speed_mph:g}", spec.paper_mrf, spec.description)
+        for spec in SCENARIOS.values()
+    ]
+    print(format_table(["Scenario", "mph", "paper MRF", "Description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.scenario, seed=args.seed)
+    print(f"Running {args.scenario!r} seed={args.seed} fpr={args.fpr} ...")
+    trace = scenario.run(fpr=args.fpr)
+    print(f"  duration {trace.duration:.1f} s, collision: {trace.has_collision}")
+    if trace.has_collision:
+        print("  (collision: Zhuyi evaluation skipped, as in the paper)")
+        return 1
+    series = OfflineEvaluator(road=scenario.road).evaluate(trace)
+    rows = [
+        (camera, f"{series.max_fpr(camera):.1f}")
+        for camera in ANALYZED_CAMERAS
+    ]
+    print(format_table(["Camera", "max estimated FPR"], rows))
+    print(
+        f"peak total demand {series.max_total_fpr():.1f} frames/s "
+        f"({series.fraction_of_provision():.0%} of 3x30 FPR)"
+    )
+    if args.save_trace:
+        trace.save_json(args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    return 0
+
+
+def _cmd_mrf(args: argparse.Namespace) -> int:
+    grid = tuple(float(x) for x in args.grid.split(","))
+    seeds = tuple(range(args.seeds))
+    print(
+        f"Searching MRF for {args.scenario!r} over FPR {grid} "
+        f"with {len(seeds)} seed(s) ..."
+    )
+    result = find_minimum_required_fpr(args.scenario, fpr_grid=grid, seeds=seeds)
+    print(f"minimum required FPR: {result.label}")
+    print(f"collision rates: {list(result.collision_fprs) or 'none'}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = sweep_min_fpr(
+        gap=args.gap,
+        ego_speeds_mph=np.linspace(0.0, 70.0, args.resolution),
+        actor_speeds_mph=np.linspace(0.0, 70.0, args.resolution),
+    )
+    print(f"s_n = {args.gap:g} m (x: v_e0, y: v_an, 0->70 mph)")
+    print(render_heatmap(grid.min_fpr))
+    print(f"max finite FPR: {grid.max_finite_fpr():.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zhuyi (DAC 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list the scenario catalog")
+
+    run = sub.add_parser("run", help="closed-loop run + Zhuyi evaluation")
+    run.add_argument("scenario", choices=SCENARIO_NAMES)
+    run.add_argument("--fpr", type=float, default=30.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--save-trace", default=None, metavar="PATH")
+
+    mrf = sub.add_parser("mrf", help="minimum-required-FPR search")
+    mrf.add_argument("scenario", choices=SCENARIO_NAMES)
+    mrf.add_argument("--grid", default="1,2,3,4,5,6,8,10,15,30")
+    mrf.add_argument("--seeds", type=int, default=1)
+
+    sweep = sub.add_parser("sweep", help="Figure 8 sensitivity heatmap")
+    sweep.add_argument("gap", type=float, nargs="?", default=30.0)
+    sweep.add_argument("--resolution", type=int, default=24)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "scenarios": _cmd_scenarios,
+        "run": _cmd_run,
+        "mrf": _cmd_mrf,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

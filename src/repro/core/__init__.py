@@ -1,0 +1,71 @@
+"""The Zhuyi model — the paper's primary contribution.
+
+This package implements Section 2 of the paper:
+
+* :mod:`repro.core.parameters` — the model constants (C1-C4, K, M, L, ...).
+* :mod:`repro.core.ego_profile` — closed forms for the ego's reaction and
+  braking travel (``d_e1``, ``d_e2``, ``v_en``).
+* :mod:`repro.core.threat` — turning an actor's predicted motion into the
+  longitudinal quantities ``s_n(t)`` and ``v_an(t)`` of Equations 1-2.
+* :mod:`repro.core.latency` — the tolerable-latency search (Equations 1-3).
+* :mod:`repro.core.aggregation` — Equation 4 (multi-trajectory aggregation).
+* :mod:`repro.core.fpr` — Equation 5 (per-camera processing rate).
+* :mod:`repro.core.evaluator` — the pre-deployment offline evaluator.
+* :mod:`repro.core.online` — the post-deployment online estimator.
+* :mod:`repro.core.compute` — the Section 4.2 compute-demand model.
+"""
+
+from repro.core.parameters import ZhuyiParams
+from repro.core.ego_profile import EgoMotion, braking_deceleration
+from repro.core.threat import (
+    CorridorSpec,
+    FixedGapThreat,
+    LongitudinalThreat,
+    ThreatAssessor,
+    TrajectoryThreat,
+)
+from repro.core.latency import (
+    LatencyResult,
+    LatencySearch,
+    SearchStrategy,
+    UNAVOIDABLE_LATENCY,
+)
+from repro.core.aggregation import (
+    aggregate_latencies,
+    Aggregator,
+    MaxAggregator,
+    MeanAggregator,
+    PercentileAggregator,
+)
+from repro.core.fpr import CameraEstimate, fpr_from_latency, estimate_camera_fprs
+from repro.core.evaluator import OfflineEvaluator, EvaluationSeries, EvaluationTick
+from repro.core.online import OnlineEstimator
+from repro.core.compute import ComputeDemandModel
+
+__all__ = [
+    "ZhuyiParams",
+    "EgoMotion",
+    "braking_deceleration",
+    "LongitudinalThreat",
+    "FixedGapThreat",
+    "TrajectoryThreat",
+    "ThreatAssessor",
+    "CorridorSpec",
+    "LatencyResult",
+    "LatencySearch",
+    "SearchStrategy",
+    "UNAVOIDABLE_LATENCY",
+    "Aggregator",
+    "MaxAggregator",
+    "MeanAggregator",
+    "PercentileAggregator",
+    "aggregate_latencies",
+    "CameraEstimate",
+    "fpr_from_latency",
+    "estimate_camera_fprs",
+    "OfflineEvaluator",
+    "EvaluationSeries",
+    "EvaluationTick",
+    "OnlineEstimator",
+    "ComputeDemandModel",
+]

@@ -1,0 +1,69 @@
+"""The Section 4.2 compute-demand model.
+
+"The work done by the Zhuyi model is equal to |A| x |T| x M x L x C,
+where |A| and |T| are the number of actors and predicted trajectories
+per actor, and C is the number of ops per iteration, which is about 100.
+For a scenario with 2 actors and a single future prediction, the compute
+demand is capped at 60 kilo-ops. For processors offering 10+ GOPS, the
+Zhuyi model should execute within 2 ms."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import ZhuyiParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComputeDemandModel:
+    """Analytic op-count model of one Zhuyi invocation.
+
+    Attributes:
+        ops_per_iteration: the paper's ``C`` — arithmetic operations per
+            constraint-check iteration (about 100).
+    """
+
+    ops_per_iteration: int = 100
+
+    def __post_init__(self) -> None:
+        if self.ops_per_iteration <= 0:
+            raise ConfigurationError("ops per iteration must be positive")
+
+    def max_iterations(self, params: ZhuyiParams) -> int:
+        """``M x L``: iteration cap for one actor-trajectory pair."""
+        return params.m * params.num_latency_steps
+
+    def ops(
+        self,
+        num_actors: int,
+        num_trajectories: int,
+        params: ZhuyiParams,
+    ) -> int:
+        """``|A| x |T| x M x L x C``: the worst-case op count."""
+        if num_actors < 0 or num_trajectories < 0:
+            raise ConfigurationError("counts must be non-negative")
+        return (
+            num_actors
+            * num_trajectories
+            * self.max_iterations(params)
+            * self.ops_per_iteration
+        )
+
+    def ops_from_iterations(self, iterations: int) -> int:
+        """Op count for a *measured* number of iterations.
+
+        The latency search reports how many constraint evaluations it
+        actually performed (usually far below the ``M x L`` cap because
+        the outer loop terminates at the first feasible latency).
+        """
+        if iterations < 0:
+            raise ConfigurationError("iterations must be non-negative")
+        return iterations * self.ops_per_iteration
+
+    def execution_time(self, ops: int, throughput_gops: float) -> float:
+        """Seconds to execute ``ops`` at a given throughput (GOPS)."""
+        if throughput_gops <= 0.0:
+            raise ConfigurationError("throughput must be positive")
+        return ops / (throughput_gops * 1e9)

@@ -1,0 +1,112 @@
+"""Closed-form ego motion during the reaction and braking windows.
+
+The paper splits the ego's travel into ``d_e1`` (distance covered during
+the reaction time ``t_r`` with acceleration unchanged) and ``d_e2``
+(distance covered while hard-braking at ``a_b`` until the check time
+``t_n``). Both are clamped constant-acceleration segments, built from
+:func:`repro.dynamics.longitudinal.travel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import ZhuyiParams
+from repro.dynamics.longitudinal import time_to_stop, travel
+from repro.errors import EstimationError
+
+
+def braking_deceleration(current_accel: float, params: ZhuyiParams) -> float:
+    """The paper's ``a_b = max(C3, C4 * a0)``.
+
+    ``a0`` in the paper is the ego's current *deceleration*; a currently
+    accelerating ego does not weaken its braking authority, so only the
+    decelerating component scales.
+    """
+    current_decel = max(0.0, -current_accel)
+    return max(params.c3, params.c4 * current_decel)
+
+
+@dataclass(frozen=True)
+class EgoMotion:
+    """Ego longitudinal state at ``t0`` plus the derived braking authority.
+
+    Attributes:
+        speed: ego speed at ``t0`` (m/s).
+        accel: signed ego acceleration at ``t0`` (m/s^2); held constant
+            through the reaction window per the paper.
+        braking_decel: hard-braking deceleration ``a_b`` (m/s^2).
+    """
+
+    speed: float
+    accel: float
+    braking_decel: float
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise EstimationError(f"ego speed must be non-negative: {self.speed}")
+        if self.braking_decel <= 0.0:
+            raise EstimationError(
+                f"braking deceleration must be positive: {self.braking_decel}"
+            )
+
+    @staticmethod
+    def from_state(
+        speed: float, accel: float, params: ZhuyiParams
+    ) -> "EgoMotion":
+        """Build from the ego's current speed/accel using the paper's a_b."""
+        return EgoMotion(
+            speed=speed,
+            accel=accel,
+            braking_decel=braking_deceleration(accel, params),
+        )
+
+    def reaction_travel(
+        self, reaction_time: float, speed_cap: float | None = None
+    ) -> tuple[float, float]:
+        """``(d_e1, v_e(t_r))``: travel during the reaction window.
+
+        The ego holds its current acceleration for ``reaction_time``
+        seconds (speed clamped at zero and optionally at ``speed_cap``).
+        """
+        if reaction_time < 0.0:
+            raise EstimationError(
+                f"reaction time must be non-negative: {reaction_time}"
+            )
+        return travel(self.speed, self.accel, reaction_time, speed_cap)
+
+    def braking_travel(
+        self, speed_at_reaction: float, braking_time: float
+    ) -> tuple[float, float]:
+        """``(d_e2, v_en)``: travel while hard-braking for ``braking_time``."""
+        if braking_time < 0.0:
+            raise EstimationError(
+                f"braking time must be non-negative: {braking_time}"
+            )
+        return travel(speed_at_reaction, -self.braking_decel, braking_time)
+
+    def total_travel(
+        self,
+        reaction_time: float,
+        check_time: float,
+        speed_cap: float | None = None,
+    ) -> tuple[float, float]:
+        """``(d_e1 + d_e2, v_en)`` for a check at ``check_time >= t_r``."""
+        if check_time < reaction_time:
+            raise EstimationError(
+                f"check time {check_time} precedes reaction time {reaction_time}"
+            )
+        d_e1, v_tr = self.reaction_travel(reaction_time, speed_cap)
+        d_e2, v_en = self.braking_travel(v_tr, check_time - reaction_time)
+        return d_e1 + d_e2, v_en
+
+    def stop_time_after(
+        self, reaction_time: float, speed_cap: float | None = None
+    ) -> float:
+        """Absolute time at which the ego reaches zero speed.
+
+        The ego coasts (current acceleration) until ``reaction_time`` and
+        hard-brakes afterwards. Used to bound the ``t_n`` search.
+        """
+        _, v_tr = self.reaction_travel(reaction_time, speed_cap)
+        return reaction_time + time_to_stop(v_tr, self.braking_decel)

@@ -1,0 +1,226 @@
+"""Pre-deployment offline evaluation of a scenario trace (Section 3.1).
+
+"The Zhuyi model is executed at each time-step in the scenario trace
+starting from the beginning until the end of the scenario. As we compute
+the tolerable latency for each actor at a time, the actor's location at
+future time-steps is known, i.e., the size of the set T is one."
+
+The evaluator walks the trace at a fixed stride, runs the per-actor
+latency search against each actor's *actual* future (read off the same
+trace), groups actors by camera FOV at each instant and produces the
+Equation 5 per-camera FPR series — the data behind Table 1's estimate
+columns and Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.ego_profile import EgoMotion
+from repro.core.fpr import CameraEstimate, estimate_camera_fprs
+from repro.core.latency import LatencyResult, LatencySearch
+from repro.core.parameters import ZhuyiParams
+from repro.core.threat import ThreatAssessor
+from repro.errors import EstimationError
+from repro.perception.sensor import ANALYZED_CAMERAS, CameraRig, default_rig
+from repro.road.track import Road
+from repro.sim.trace import ScenarioTrace
+
+
+@dataclass(frozen=True)
+class EvaluationTick:
+    """Zhuyi's output at one evaluation instant."""
+
+    time: float
+    camera_estimates: Mapping[str, CameraEstimate]
+    actor_latencies: Mapping[str, float | None]
+    ego_speed: float
+    ego_accel: float
+
+    def fpr(self, camera: str) -> float:
+        """The FPR estimate for one camera at this tick."""
+        if camera not in self.camera_estimates:
+            raise EstimationError(f"no estimate for camera {camera!r}")
+        return self.camera_estimates[camera].fpr
+
+    def latency(self, camera: str) -> float:
+        """The binding latency for one camera at this tick (seconds)."""
+        if camera not in self.camera_estimates:
+            raise EstimationError(f"no estimate for camera {camera!r}")
+        return self.camera_estimates[camera].latency
+
+    def total_fpr(self, cameras: Sequence[str] = ANALYZED_CAMERAS) -> float:
+        """Summed FPR demand over a camera subset at this tick."""
+        return sum(self.fpr(camera) for camera in cameras)
+
+
+class EvaluationSeries:
+    """A time series of evaluation ticks with the paper's summaries."""
+
+    def __init__(
+        self,
+        scenario: str,
+        ticks: Sequence[EvaluationTick],
+        params: ZhuyiParams,
+        l0: float,
+    ):
+        if not ticks:
+            raise EstimationError("an evaluation series needs at least one tick")
+        self.scenario = scenario
+        self.ticks = list(ticks)
+        self.params = params
+        self.l0 = l0
+
+    def times(self) -> list[float]:
+        """Evaluation timestamps (seconds)."""
+        return [tick.time for tick in self.ticks]
+
+    def camera_latency_series(self, camera: str) -> list[float]:
+        """Binding latency of one camera over time (seconds)."""
+        return [tick.latency(camera) for tick in self.ticks]
+
+    def camera_fpr_series(self, camera: str) -> list[float]:
+        """FPR estimate of one camera over time."""
+        return [tick.fpr(camera) for tick in self.ticks]
+
+    def ego_accel_series(self) -> list[float]:
+        """Ego longitudinal acceleration over time (m/s^2)."""
+        return [tick.ego_accel for tick in self.ticks]
+
+    def max_fpr(self, camera: str | None = None) -> float:
+        """Highest FPR estimate — one camera, or across all cameras.
+
+        Table 1's "maximum estimated FPR" is this value across all
+        cameras at all times for one run.
+        """
+        if camera is not None:
+            return max(self.camera_fpr_series(camera))
+        return max(
+            estimate.fpr
+            for tick in self.ticks
+            for estimate in tick.camera_estimates.values()
+        )
+
+    def max_total_fpr(
+        self, cameras: Sequence[str] = ANALYZED_CAMERAS
+    ) -> float:
+        """Table 1's ``max(F_c1 + F_c2 + F_c3)``."""
+        return max(tick.total_fpr(cameras) for tick in self.ticks)
+
+    def fraction_of_provision(
+        self,
+        provisioned_fpr: float = 30.0,
+        cameras: Sequence[str] = ANALYZED_CAMERAS,
+    ) -> float:
+        """Table 1's last column: peak demand over the 30-FPR provision."""
+        return self.max_total_fpr(cameras) / (provisioned_fpr * len(cameras))
+
+
+@dataclass
+class OfflineEvaluator:
+    """Runs the Zhuyi model over a recorded scenario trace.
+
+    Attributes:
+        params: the Zhuyi constants.
+        rig: camera rig used for FOV grouping (the paper's five cameras).
+        search: the per-actor latency solver.
+        road: road geometry for lateral threat gating (falls back to the
+            ego heading frame when omitted).
+        stride: evaluation period along the trace (seconds). The paper
+            evaluates at every simulation step; 50 ms is the coarsest
+            stride that still catches the shortest binding windows in
+            the catalog scenarios.
+    """
+
+    params: ZhuyiParams = field(default_factory=ZhuyiParams)
+    rig: CameraRig = field(default_factory=default_rig)
+    search: LatencySearch | None = None
+    road: Road | None = None
+    stride: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0.0:
+            raise EstimationError(f"stride must be positive, got {self.stride}")
+        if self.search is None:
+            self.search = LatencySearch(params=self.params)
+
+    def evaluate(
+        self, trace: ScenarioTrace, l0: float | None = None
+    ) -> EvaluationSeries:
+        """Evaluate a full trace.
+
+        ``l0`` (the run's processing latency, entering ``alpha``) defaults
+        to one frame period of the trace's recorded FPR setting.
+        """
+        if l0 is None:
+            if trace.nominal_fpr is None:
+                raise EstimationError(
+                    "trace has no nominal FPR; pass l0 explicitly"
+                )
+            l0 = 1.0 / trace.nominal_fpr
+
+        assessor = ThreatAssessor(params=self.params, road=self.road)
+        ego_trajectory = trace.ego_trajectory()
+        actor_trajectories = {
+            actor_id: trace.actor_trajectory(actor_id)
+            for actor_id in trace.actor_ids()
+        }
+
+        ticks: list[EvaluationTick] = []
+        start = trace.steps[0].time
+        end = trace.steps[-1].time
+        t0 = start
+        while t0 <= end + 1e-9:
+            ticks.append(
+                self._evaluate_tick(
+                    t0, trace, ego_trajectory, actor_trajectories, assessor, l0
+                )
+            )
+            t0 += self.stride
+        return EvaluationSeries(
+            scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
+        )
+
+    def _evaluate_tick(
+        self,
+        t0: float,
+        trace: ScenarioTrace,
+        ego_trajectory,
+        actor_trajectories,
+        assessor: ThreatAssessor,
+        l0: float,
+    ) -> EvaluationTick:
+        ego_state = ego_trajectory.state_at(t0)
+        ego_motion = EgoMotion.from_state(
+            ego_state.speed, ego_state.accel, self.params
+        )
+
+        actor_latencies: dict[str, float | None] = {}
+        actor_positions = {}
+        for actor_id, trajectory in actor_trajectories.items():
+            actor_positions[actor_id] = trajectory.state_at(t0).position
+            threat = assessor.assess(
+                ego_state,
+                trace.ego_spec,
+                trajectory,
+                trace.actor_spec(actor_id),
+                t0=t0,
+            )
+            if threat is None:
+                continue
+            result: LatencyResult = self.search.tolerable_latency(
+                ego_motion, threat, l0
+            )
+            # Offline: |T| = 1, so Equation 4 reduces to the single value.
+            actor_latencies[actor_id] = result.latency
+
+        visibility = self.rig.visible_actors(ego_state, actor_positions)
+        estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)
+        return EvaluationTick(
+            time=t0,
+            camera_estimates=estimates,
+            actor_latencies=actor_latencies,
+            ego_speed=ego_state.speed,
+            ego_accel=ego_state.accel,
+        )

@@ -1,0 +1,99 @@
+"""Equation 5 — per-camera frame processing rate from per-actor latencies.
+
+``FPR_sensor = 1 / min over actors in the camera's FOV of l_actor``.
+
+A camera seeing no threatening actor needs only the floor rate
+(``1 / l_max``); a camera whose most binding actor admits no safe latency
+at all is pinned at the cap (``1 / l_min``) and flagged unavoidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.latency import UNAVOIDABLE_LATENCY
+from repro.core.parameters import ZhuyiParams
+
+
+@dataclass(frozen=True)
+class CameraEstimate:
+    """Zhuyi's output for one camera at one instant.
+
+    Attributes:
+        camera: camera name.
+        latency: the binding (minimum) tolerable latency among actors in
+            this camera's FOV, seconds; ``l_max`` when the FOV is clear.
+        fpr: the Equation 5 processing-rate requirement (frames/second).
+        binding_actor: id of the actor that set the minimum, or ``None``.
+        unavoidable: True when the binding actor admits no safe latency.
+        actor_count: number of (threatening) actors in the FOV.
+    """
+
+    camera: str
+    latency: float
+    fpr: float
+    binding_actor: Hashable | None
+    unavoidable: bool
+    actor_count: int
+
+
+def fpr_from_latency(latency: float | None, params: ZhuyiParams) -> float:
+    """Equation 5 for one latency value, clamped to the model's grid.
+
+    ``None`` (or zero) latency — an unavoidable collision verdict — maps
+    to the cap ``1 / l_min``: the model cannot ask for more than the
+    fastest rate it reasons about.
+    """
+    if latency is None or latency <= UNAVOIDABLE_LATENCY:
+        return params.fpr_cap()
+    clamped = min(max(latency, params.l_min), params.l_max)
+    return 1.0 / clamped
+
+
+def estimate_camera_fprs(
+    actor_latencies: Mapping[Hashable, float | None],
+    camera_actors: Mapping[str, Sequence[Hashable]],
+    params: ZhuyiParams,
+) -> dict[str, CameraEstimate]:
+    """Equation 5 across a camera rig.
+
+    Args:
+        actor_latencies: per-actor aggregated tolerable latency; ``None``
+            marks an unavoidable collision verdict. Actors absent from
+            the mapping were gated out as non-threats (latency ``l_max``).
+        camera_actors: actor ids inside each camera's FOV at ``t0``.
+        params: the Zhuyi constants.
+
+    Returns:
+        One :class:`CameraEstimate` per camera in ``camera_actors``.
+    """
+    estimates: dict[str, CameraEstimate] = {}
+    for camera, members in camera_actors.items():
+        binding_actor: Hashable | None = None
+        binding_latency = params.l_max
+        unavoidable = False
+        threat_count = 0
+        for actor in members:
+            if actor not in actor_latencies:
+                continue  # gated out: no collision possible
+            threat_count += 1
+            latency = actor_latencies[actor]
+            effective = (
+                UNAVOIDABLE_LATENCY if latency is None else latency
+            )
+            if effective < binding_latency:
+                binding_latency = effective
+                binding_actor = actor
+                unavoidable = latency is None
+        estimates[camera] = CameraEstimate(
+            camera=camera,
+            latency=binding_latency,
+            fpr=fpr_from_latency(
+                None if unavoidable else binding_latency, params
+            ),
+            binding_actor=binding_actor,
+            unavoidable=unavoidable,
+            actor_count=threat_count,
+        )
+    return estimates

@@ -1,0 +1,183 @@
+"""Post-deployment online estimation (Section 3.2).
+
+"The ego and actors current states are obtained from the perceived world
+model, and future states are obtained from predicted trajectories."
+
+Per call the estimator asks the predictor for a probabilistic set of
+futures per confirmed actor, solves the tolerable latency against each
+future, aggregates with Equation 4 (percentile by default) and produces
+Equation 5 per-camera estimates grouped by FOV at the perceived actor
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.aggregation import Aggregator, PercentileAggregator
+from repro.core.ego_profile import EgoMotion
+from repro.core.evaluator import EvaluationTick
+from repro.core.fpr import estimate_camera_fprs
+from repro.core.latency import LatencySearch, UNAVOIDABLE_LATENCY
+from repro.core.parameters import ZhuyiParams
+from repro.core.threat import LongitudinalThreat, ThreatAssessor
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import EstimationError
+from repro.perception.sensor import CameraRig, default_rig
+from repro.perception.world_model import WorldModel
+from repro.prediction.base import Predictor
+from repro.road.track import Road
+
+
+@dataclass(frozen=True)
+class _MarginThreat:
+    """Decorator shrinking the gap — the perception-uncertainty extension.
+
+    Wraps any threat and subtracts a safety margin from ``s_n``,
+    modelling position uncertainty in the perceived world model. This is
+    the hook the paper's future-work section sketches ("extended to
+    account for perception uncertainty").
+    """
+
+    inner: LongitudinalThreat
+    margin: float
+
+    def gap_at(self, t: float) -> float:
+        return max(0.0, self.inner.gap_at(t) - self.margin)
+
+    def actor_speed_at(self, t: float) -> float:
+        return self.inner.actor_speed_at(t)
+
+    def sample(self, times):
+        gaps, speeds = self.inner.sample(times)
+        return np.maximum(0.0, gaps - self.margin), speeds
+
+
+@dataclass
+class OnlineEstimator:
+    """The Zhuyi block of Figure 3: world model + predictions in, FPRs out.
+
+    Attributes:
+        params: the Zhuyi constants.
+        predictor: trajectory predictor supplying the set ``T`` of Eq 4.
+        rig: camera rig for FOV grouping.
+        aggregator: Equation 4 reduction (paper default: 99th percentile).
+        road: road geometry for threat gating.
+        search: per-actor latency solver.
+        gap_margin: optional perception-uncertainty margin subtracted
+            from every gap (metres); 0 disables the extension.
+        assumed_actor_spec: physical spec attributed to perceived actors
+            (the world model carries no extent information).
+    """
+
+    params: ZhuyiParams
+    predictor: Predictor
+    rig: CameraRig = field(default_factory=default_rig)
+    aggregator: Aggregator = field(default_factory=PercentileAggregator)
+    road: Road | None = None
+    search: LatencySearch | None = None
+    gap_margin: float = 0.0
+    assumed_actor_spec: VehicleSpec = field(default_factory=VehicleSpec)
+
+    def __post_init__(self) -> None:
+        if self.gap_margin < 0.0:
+            raise EstimationError("gap margin must be non-negative")
+        if self.search is None:
+            self.search = LatencySearch(params=self.params)
+
+    def estimate(
+        self,
+        now: float,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        world_model: WorldModel,
+        l0: float,
+    ) -> EvaluationTick:
+        """One online estimation tick.
+
+        Args:
+            now: current time (seconds).
+            ego_state: the ego's (localized) state.
+            ego_spec: the ego's physical spec.
+            world_model: confirmed perceived actors.
+            l0: the perception stack's current processing latency (s).
+
+        Returns:
+            The same tick structure the offline evaluator produces, so
+            downstream consumers (safety check, prioritization, figures)
+            are agnostic to where estimates came from.
+        """
+        assessor = ThreatAssessor(params=self.params, road=self.road)
+        ego_motion = EgoMotion.from_state(
+            ego_state.speed, ego_state.accel, self.params
+        )
+
+        actor_latencies: dict[str, float | None] = {}
+        actor_positions = {}
+        for perceived in world_model:
+            actor_positions[perceived.actor_id] = perceived.position
+            is_threat, latency = self._actor_latency(
+                now, ego_state, ego_spec, ego_motion, perceived, assessor, l0
+            )
+            if is_threat:
+                actor_latencies[perceived.actor_id] = latency
+
+        visibility = self.rig.visible_actors(ego_state, actor_positions)
+        estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)
+        return EvaluationTick(
+            time=now,
+            camera_estimates=estimates,
+            actor_latencies=actor_latencies,
+            ego_speed=ego_state.speed,
+            ego_accel=ego_state.accel,
+        )
+
+    def _actor_latency(
+        self,
+        now: float,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        ego_motion: EgoMotion,
+        perceived,
+        assessor: ThreatAssessor,
+        l0: float,
+    ) -> tuple[bool, float | None]:
+        """``(is_threat, latency)`` — Eq 4 aggregate for one actor.
+
+        ``is_threat`` is False when every predicted future was gated out
+        (the actor cannot collide under any hypothesis).
+        """
+        predictions = self.predictor.predict(perceived, now, self.params.horizon)
+        latencies: list[float] = []
+        probabilities: list[float] = []
+        any_threat = False
+        for prediction in predictions:
+            threat = assessor.assess(
+                ego_state,
+                ego_spec,
+                prediction.trajectory,
+                self.assumed_actor_spec,
+                t0=now,
+            )
+            if threat is None:
+                # This future never collides: it contributes the most
+                # permissive latency rather than disappearing.
+                latencies.append(self.params.l_max)
+                probabilities.append(prediction.probability)
+                continue
+            any_threat = True
+            if self.gap_margin > 0.0:
+                threat = _MarginThreat(inner=threat, margin=self.gap_margin)
+            result = self.search.tolerable_latency(ego_motion, threat, l0)
+            latencies.append(result.latency_or_zero())
+            probabilities.append(prediction.probability)
+
+        if not any_threat:
+            return False, None
+        aggregated = self.aggregator.aggregate(latencies, probabilities)
+        if aggregated <= UNAVOIDABLE_LATENCY:
+            return True, None
+        return True, aggregated

@@ -1,0 +1,326 @@
+"""Turning actor motion into the longitudinal quantities of Equations 1-2.
+
+For a candidate check time ``t_n`` the Zhuyi constraints need two numbers:
+``s_n`` — the distance between the ego at ``t0`` and the actor at ``t_n``
+— and ``v_an`` — the actor's speed at ``t_n``. A *threat* is anything that
+can answer those two queries over time.
+
+Two implementations are provided: :class:`FixedGapThreat` (constant gap
+and actor speed — the Figure 8 sensitivity sweep fixes ``s_n`` exactly
+this way) and :class:`TrajectoryThreat` (gap and speed read off a
+predicted or recorded actor trajectory).
+
+:class:`ThreatAssessor` adds the paper's "considers the possibility of a
+collision": actors whose predicted motion never enters the ego's lane
+corridor within the horizon — or that stay behind the ego — cannot be hit
+by a forward-driving ego and are not threats at all (their tolerable
+latency is ``l_max``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.parameters import ZhuyiParams
+from repro.dynamics.state import StateTrajectory, VehicleSpec, VehicleState
+from repro.errors import EstimationError
+from repro.geometry.vec import Vec2
+from repro.road.track import Road
+
+
+@runtime_checkable
+class LongitudinalThreat(Protocol):
+    """The per-actor inputs of Equations 1-2 as functions of time.
+
+    Time is relative: ``t = 0`` is the estimation instant ``t0``.
+    """
+
+    def gap_at(self, t: float) -> float:
+        """``s_n`` at ``t``: allowed ego travel before reaching the actor.
+
+        Bumper-to-bumper (vehicle half-lengths already subtracted),
+        clamped at zero.
+        """
+        ...
+
+    def actor_speed_at(self, t: float) -> float:
+        """``v_an`` at ``t``: the actor's speed (m/s)."""
+        ...
+
+    def sample(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(s_n, v_an)`` over an array of relative times."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedGapThreat:
+    """A threat with constant gap and constant actor speed.
+
+    This is the configuration of the paper's sensitivity study (Section
+    4.3): "We sweep v_e0 and v_an by fixing s_n".
+    """
+
+    gap: float
+    actor_speed: float
+
+    def __post_init__(self) -> None:
+        if self.gap < 0.0:
+            raise EstimationError(f"gap must be non-negative, got {self.gap}")
+        if self.actor_speed < 0.0:
+            raise EstimationError(
+                f"actor speed must be non-negative, got {self.actor_speed}"
+            )
+
+    def gap_at(self, t: float) -> float:
+        return self.gap
+
+    def actor_speed_at(self, t: float) -> float:
+        return self.actor_speed
+
+    def sample(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(times, dtype=float)
+        return (
+            np.full_like(times, self.gap),
+            np.full_like(times, self.actor_speed),
+        )
+
+
+@dataclass(frozen=True)
+class CorridorSpec:
+    """The ego's lane corridor, for masking out-of-corridor instants.
+
+    A collision with a braking, lane-keeping ego is only possible while
+    the actor laterally overlaps the ego's corridor; at other instants
+    the distance constraint is vacuous (``s_n = inf``).
+    """
+
+    road: Road | None
+    ego_frame_origin: "VehicleState"
+    ego_lateral: float
+    overlap_width: float
+
+    def lateral_offsets(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Lateral path offset of many world points (vectorized).
+
+        Straight centerlines (and the no-road ego-heading fallback) use
+        pure array arithmetic; other centerline shapes fall back to
+        per-point projection.
+        """
+        import math
+
+        from repro.road.lane import StraightCenterline
+
+        if self.road is None:
+            frame = self.ego_frame_origin.frame()
+            dx = xs - frame.origin.x
+            dy = ys - frame.origin.y
+            sin_h, cos_h = math.sin(frame.heading), math.cos(frame.heading)
+            return -sin_h * dx + cos_h * dy
+        centerline = self.road.centerline
+        if isinstance(centerline, StraightCenterline):
+            dx = xs - centerline.start.x
+            dy = ys - centerline.start.y
+            sin_h = math.sin(centerline.heading)
+            cos_h = math.cos(centerline.heading)
+            return -sin_h * dx + cos_h * dy
+        return np.array(
+            [
+                self.road.to_frenet(Vec2(float(x), float(y))).d
+                for x, y in zip(xs, ys)
+            ]
+        )
+
+    def in_corridor(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the ego's corridor."""
+        offsets = self.lateral_offsets(xs, ys)
+        return np.abs(offsets - self.ego_lateral) <= self.overlap_width
+
+
+class TrajectoryThreat:
+    """Threat quantities read off an actor trajectory.
+
+    ``s_n(t)`` is the Euclidean distance from the *ego position at t0* to
+    the *actor position at t0 + t*, minus both vehicles' half-lengths
+    (bumper-to-bumper), clamped at zero — exactly the paper's "distance
+    between the ego at time t0 and actor at t_n". Queries beyond the
+    trajectory's last sample coast the actor at its final velocity (a
+    frozen position with a non-zero speed would be a physically
+    impossible ghost that spuriously caps the distance budget).
+
+    With a :class:`CorridorSpec`, instants where the actor is laterally
+    clear of the ego's corridor report an infinite gap — the ego cannot
+    collide with an actor that is not in its path at that moment, so
+    the distance constraint must not bind there (this matters for the
+    strict prefix check against cut-in/cut-out trajectories).
+    """
+
+    def __init__(
+        self,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0: float = 0.0,
+        corridor: CorridorSpec | None = None,
+    ):
+        self._ego_position = ego_state.position
+        self._trajectory = actor_trajectory
+        self._t0 = t0
+        self._half_lengths = (ego_spec.length + actor_spec.length) / 2.0
+        self._corridor = corridor
+        self._mask_step = 0.01
+        self._mask: np.ndarray | None = None
+
+    @property
+    def prediction_end(self) -> float:
+        """Relative time at which real prediction data runs out."""
+        return max(0.0, self._trajectory.end_time - self._t0)
+
+    def gap_at(self, t: float) -> float:
+        gaps, _ = self.sample(np.array([t]))
+        return float(gaps[0])
+
+    def actor_speed_at(self, t: float) -> float:
+        return self._trajectory.extrapolated_state_at(self._t0 + t).speed
+
+    def sample(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(times, dtype=float)
+        xs, ys, speeds = self._trajectory.sample_extrapolated(self._t0 + times)
+        distances = np.hypot(
+            xs - self._ego_position.x, ys - self._ego_position.y
+        )
+        gaps = np.maximum(0.0, distances - self._half_lengths)
+        if self._corridor is not None:
+            gaps = np.where(self._corridor_mask(times), gaps, np.inf)
+        return gaps, speeds
+
+    #: Span of the precomputed corridor mask (relative seconds). Queries
+    #: beyond it clamp to the final mask value.
+    _MASK_SPAN = 25.0
+
+    def _corridor_mask(self, times: np.ndarray) -> np.ndarray:
+        """In-corridor mask at the queried times (cached master grid).
+
+        The mask is evaluated once on a dense grid and then looked up by
+        nearest sample — the lateral geometry is smooth at the 10 ms
+        scale, and this keeps repeated per-latency scans cheap even on
+        curved roads where projection is per-point.
+        """
+        if self._mask is None:
+            grid = np.arange(0.0, self._MASK_SPAN, self._mask_step)
+            xs, ys, _ = self._trajectory.sample_extrapolated(self._t0 + grid)
+            self._mask = self._corridor.in_corridor(xs, ys)
+        indices = np.clip(
+            np.rint(times / self._mask_step).astype(int),
+            0,
+            len(self._mask) - 1,
+        )
+        return self._mask[indices]
+
+
+@dataclass(frozen=True)
+class ThreatAssessor:
+    """Decides whether an actor is a collision threat to the ego.
+
+    The decision samples the actor's predicted motion over the horizon in
+    road Frenet coordinates (falling back to the ego's heading frame when
+    no road is given) and requires that
+
+    * the actor is not behind the ego's rear bumper at ``t0`` (a braking
+      ego cannot collide with traffic approaching from behind — that
+      actor's own safety envelope is responsible, as in RSS), and
+    * at some sampled time the actor laterally overlaps the ego's
+      corridor (half-widths + margin) while *fully ahead* of the ego —
+      an abeam actor drifting sideways into the ego is a side-swipe no
+      processing rate can brake away from, and again the merger's
+      responsibility under RSS.
+
+    Actors failing these can only be struck if the ego leaves its lane,
+    which the paper's hard-braking safety procedure never does.
+    """
+
+    params: ZhuyiParams
+    road: Road | None = None
+    gate_step: float = 0.1
+
+    def assess(
+        self,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0: float = 0.0,
+    ) -> TrajectoryThreat | None:
+        """The actor's threat view, or ``None`` if it cannot collide."""
+        if self.params.gate_lateral and not self._could_collide(
+            ego_state, ego_spec, actor_trajectory, actor_spec, t0
+        ):
+            return None
+        corridor = None
+        if self.params.gate_lateral:
+            _, ego_d = self._path_coordinates(ego_state, ego_state)
+            corridor = CorridorSpec(
+                road=self.road,
+                ego_frame_origin=ego_state,
+                ego_lateral=ego_d,
+                overlap_width=(
+                    (ego_spec.width + actor_spec.width) / 2.0
+                    + self.params.lateral_margin
+                ),
+            )
+        return TrajectoryThreat(
+            ego_state=ego_state,
+            ego_spec=ego_spec,
+            actor_trajectory=actor_trajectory,
+            actor_spec=actor_spec,
+            t0=t0,
+            corridor=corridor,
+        )
+
+    def _path_coordinates(self, state: VehicleState, ego_state: VehicleState):
+        """(station, lateral offset) of ``state`` along the ego's path."""
+        if self.road is not None:
+            frenet = self.road.to_frenet(state.position)
+            return frenet.s, frenet.d
+        # No road: treat the ego's current heading as a straight path.
+        frame = ego_state.frame()
+        local = frame.to_local(state.position)
+        return local.x, local.y
+
+    def _could_collide(
+        self,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0: float,
+    ) -> bool:
+        ego_s, ego_d = self._path_coordinates(ego_state, ego_state)
+        overlap_width = (
+            (ego_spec.width + actor_spec.width) / 2.0 + self.params.lateral_margin
+        )
+        half_lengths = (ego_spec.length + actor_spec.length) / 2.0
+        rear_bumper = ego_s - half_lengths
+
+        actor_now = actor_trajectory.extrapolated_state_at(t0)
+        actor_s_now, _ = self._path_coordinates(actor_now, ego_state)
+        if actor_s_now < rear_bumper:
+            return False
+
+        horizon = min(
+            self.params.horizon,
+            max(actor_trajectory.end_time - t0, 0.0) + self.gate_step,
+        )
+        t = 0.0
+        while t <= horizon + 1e-9:
+            actor = actor_trajectory.extrapolated_state_at(t0 + t)
+            actor_s, actor_d = self._path_coordinates(actor, ego_state)
+            laterally_overlapping = abs(actor_d - ego_d) <= overlap_width
+            fully_ahead = actor_s >= ego_s + half_lengths
+            if laterally_overlapping and fully_ahead:
+                return True
+            t += self.gate_step
+        return False

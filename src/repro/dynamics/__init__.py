@@ -1,0 +1,25 @@
+"""Vehicle-dynamics substrate: states, longitudinal closed forms, bicycle.
+
+The Zhuyi model is purely kinematic (Section 2 of the paper), so the
+simulator uses matching kinematics: clamped constant-acceleration
+longitudinal motion and a kinematic bicycle for the ego's steering.
+"""
+
+from repro.dynamics.state import StateTrajectory, TimedState, VehicleSpec, VehicleState
+from repro.dynamics.longitudinal import (
+    braking_distance,
+    time_to_stop,
+    travel,
+)
+from repro.dynamics.bicycle import KinematicBicycle
+
+__all__ = [
+    "VehicleSpec",
+    "VehicleState",
+    "TimedState",
+    "StateTrajectory",
+    "travel",
+    "braking_distance",
+    "time_to_stop",
+    "KinematicBicycle",
+]

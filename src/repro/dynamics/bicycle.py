@@ -1,0 +1,62 @@
+"""Kinematic bicycle model used to integrate the ego vehicle.
+
+Scripted actors move along Frenet profiles (see :mod:`repro.actors`); the
+ego, whose behaviour emerges from its planner, is integrated with the
+standard kinematic bicycle: yaw rate = speed / wheelbase * tan(steer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dynamics.longitudinal import clamp
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.geometry.vec import Vec2
+from repro.units import wrap_angle
+
+#: Physical steering limit (radians) — about 31 degrees at the road wheels.
+MAX_STEER_ANGLE = 0.55
+
+
+@dataclass(frozen=True)
+class KinematicBicycle:
+    """Integrator for one vehicle following the kinematic bicycle model."""
+
+    spec: VehicleSpec
+
+    def step(
+        self,
+        state: VehicleState,
+        accel_command: float,
+        steer_angle: float,
+        dt: float,
+    ) -> VehicleState:
+        """Advance the state by ``dt`` seconds.
+
+        The acceleration command is clamped to the vehicle's limits and
+        speed is clamped to ``[0, max_speed]``. Heading integrates the
+        bicycle yaw rate at the *average* speed over the step, which keeps
+        the integration second-order accurate in speed transients.
+        """
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        accel = clamp(accel_command, -self.spec.max_decel, self.spec.max_accel)
+        steer = clamp(steer_angle, -MAX_STEER_ANGLE, MAX_STEER_ANGLE)
+
+        new_speed = clamp(state.speed + accel * dt, 0.0, self.spec.max_speed)
+        # Effective acceleration after clamping (hits 0 exactly at a stop).
+        effective_accel = (new_speed - state.speed) / dt
+        mean_speed = 0.5 * (state.speed + new_speed)
+
+        yaw_rate = mean_speed / self.spec.wheelbase * math.tan(steer)
+        new_heading = wrap_angle(state.heading + yaw_rate * dt)
+        mean_heading = wrap_angle(state.heading + 0.5 * yaw_rate * dt)
+
+        displacement = Vec2.unit(mean_heading) * (mean_speed * dt)
+        return VehicleState(
+            position=state.position + displacement,
+            heading=new_heading,
+            speed=new_speed,
+            accel=effective_accel,
+        )

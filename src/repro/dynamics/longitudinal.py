@@ -1,0 +1,94 @@
+"""Closed-form longitudinal kinematics with a stop at zero speed.
+
+These are the building blocks of the paper's Equations 1-3: distance
+covered during the reaction window (``d_e1``), braking distance
+(``d_e2``) and end speed (``v_en``). Vehicles never reverse, so constant
+acceleration integration is clamped at zero speed.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def travel(
+    speed: float, accel: float, duration: float, max_speed: float | None = None
+) -> tuple[float, float]:
+    """Distance travelled and end speed under constant acceleration.
+
+    Speed is clamped at zero (the vehicle stops, it does not reverse) and
+    optionally at ``max_speed`` (the vehicle stops accelerating at its
+    top speed). Returns ``(distance, end_speed)``.
+
+    Raises:
+        ValueError: on negative inputs that have no physical meaning.
+    """
+    if speed < 0.0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    if duration < 0.0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    if duration == 0.0:
+        return 0.0, speed
+
+    distance = 0.0
+    remaining = duration
+    current = speed
+
+    if accel < 0.0:
+        time_to_zero = current / -accel
+        if time_to_zero <= remaining:
+            distance += current * time_to_zero + 0.5 * accel * time_to_zero**2
+            return distance, 0.0
+        distance += current * remaining + 0.5 * accel * remaining**2
+        return distance, current + accel * remaining
+
+    if accel > 0.0 and max_speed is not None and current < max_speed:
+        time_to_cap = (max_speed - current) / accel
+        if time_to_cap < remaining:
+            distance += current * time_to_cap + 0.5 * accel * time_to_cap**2
+            remaining -= time_to_cap
+            current = max_speed
+            return distance + current * remaining, current
+    elif accel > 0.0 and max_speed is not None and current >= max_speed:
+        return current * remaining, current
+
+    distance += current * remaining + 0.5 * accel * remaining**2
+    return distance, current + accel * remaining
+
+
+def braking_distance(speed: float, decel: float) -> float:
+    """Distance to a full stop from ``speed`` at constant ``decel`` > 0."""
+    if decel <= 0.0:
+        raise ValueError(f"deceleration must be positive, got {decel}")
+    if speed < 0.0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    return speed * speed / (2.0 * decel)
+
+
+def time_to_stop(speed: float, decel: float) -> float:
+    """Time to a full stop from ``speed`` at constant ``decel`` > 0."""
+    if decel <= 0.0:
+        raise ValueError(f"deceleration must be positive, got {decel}")
+    if speed < 0.0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    return speed / decel
+
+
+def speed_after_distance(speed: float, accel: float, distance: float) -> float:
+    """Speed after covering ``distance`` under constant acceleration.
+
+    Returns 0 if the vehicle stops before covering the distance.
+    """
+    if distance < 0.0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    radicand = speed * speed + 2.0 * accel * distance
+    if radicand <= 0.0:
+        return 0.0
+    return math.sqrt(radicand)
+
+
+def clamp(value: float, lower: float, upper: float) -> float:
+    """Clamp ``value`` into ``[lower, upper]``."""
+    if lower > upper:
+        raise ValueError(f"empty clamp interval [{lower}, {upper}]")
+    return min(max(value, lower), upper)

@@ -1,0 +1,19 @@
+"""Smooth motion profiles shared by actor scripts and prediction.
+
+Lane changes use the classic smoothstep: zero lateral velocity at both
+ends, peak lateral velocity at mid-manoeuvre.
+"""
+
+from __future__ import annotations
+
+
+def smoothstep(progress: float) -> float:
+    """Smoothstep easing, clamped to [0, 1]."""
+    clamped = min(max(progress, 0.0), 1.0)
+    return clamped * clamped * (3.0 - 2.0 * clamped)
+
+
+def smoothstep_slope(progress: float) -> float:
+    """Derivative of :func:`smoothstep` with respect to progress."""
+    clamped = min(max(progress, 0.0), 1.0)
+    return 6.0 * clamped * (1.0 - clamped)

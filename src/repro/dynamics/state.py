@@ -1,0 +1,219 @@
+"""Vehicle state containers shared by the simulator, perception and Zhuyi.
+
+The world reference frame follows the paper (Figure 2): a 2-D top view.
+``speed`` is the scalar speed along the vehicle heading (never negative —
+the scenarios contain no reversing) and ``accel`` is the signed
+longitudinal acceleration (negative = braking).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.geometry.boxes import OrientedBox
+from repro.geometry.transforms import Frame2
+from repro.geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """Physical description of a vehicle.
+
+    Defaults model a mid-size passenger car; the limits bound what the
+    integrators will accept, not what controllers request.
+    """
+
+    length: float = 4.8
+    width: float = 1.9
+    wheelbase: float = 2.9
+    max_accel: float = 4.0
+    max_decel: float = 9.0
+    max_speed: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0 or self.width <= 0.0:
+            raise ConfigurationError("vehicle dimensions must be positive")
+        if self.wheelbase <= 0.0 or self.wheelbase > self.length:
+            raise ConfigurationError(
+                f"wheelbase {self.wheelbase} inconsistent with length {self.length}"
+            )
+        if self.max_accel <= 0.0 or self.max_decel <= 0.0:
+            raise ConfigurationError("acceleration limits must be positive")
+        if self.max_speed <= 0.0:
+            raise ConfigurationError("max speed must be positive")
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Kinematic state of one vehicle at an instant."""
+
+    position: Vec2
+    heading: float
+    speed: float
+    accel: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise SimulationError(f"speed must be non-negative, got {self.speed}")
+
+    def velocity(self) -> Vec2:
+        """Velocity vector in the world frame."""
+        return Vec2.unit(self.heading) * self.speed
+
+    def frame(self) -> Frame2:
+        """Body frame anchored at the vehicle centre."""
+        return Frame2(self.position, self.heading)
+
+    def footprint(self, spec: VehicleSpec) -> OrientedBox:
+        """Top-view rectangle occupied by the vehicle."""
+        return OrientedBox(
+            center=self.position,
+            heading=self.heading,
+            length=spec.length,
+            width=spec.width,
+        )
+
+    def with_accel(self, accel: float) -> "VehicleState":
+        """Copy of this state with a different longitudinal acceleration."""
+        return replace(self, accel=accel)
+
+
+@dataclass(frozen=True)
+class TimedState:
+    """A vehicle state stamped with simulation time (seconds)."""
+
+    time: float
+    state: VehicleState
+
+
+class StateTrajectory:
+    """A time-ordered sequence of vehicle states with interpolation.
+
+    Used both for recorded ground-truth motion (pre-deployment traces)
+    and for predicted futures (post-deployment). Queries outside the
+    recorded span clamp to the endpoints, which models "the actor keeps
+    its last state" without extrapolating into nonsense.
+    """
+
+    def __init__(self, samples: Iterable[TimedState]):
+        ordered = sorted(samples, key=lambda ts: ts.time)
+        if not ordered:
+            raise ConfigurationError("a trajectory needs at least one sample")
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.time - earlier.time <= 0.0:
+                raise ConfigurationError("trajectory timestamps must be distinct")
+        self._times = [ts.time for ts in ordered]
+        self._states = [ts.state for ts in ordered]
+        # Array views for vectorized interpolation (the latency search
+        # samples thousands of points per evaluation tick).
+        self._t = np.array(self._times)
+        self._x = np.array([s.position.x for s in self._states])
+        self._y = np.array([s.position.y for s in self._states])
+        self._speed = np.array([s.speed for s in self._states])
+        last = self._states[-1]
+        self._end_velocity = (
+            np.cos(last.heading) * last.speed,
+            np.sin(last.heading) * last.speed,
+        )
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first sample (seconds)."""
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last sample (seconds)."""
+        return self._times[-1]
+
+    @property
+    def duration(self) -> float:
+        """Time covered by the samples (seconds)."""
+        return self.end_time - self.start_time
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def samples(self) -> Sequence[TimedState]:
+        """All samples in time order."""
+        return [
+            TimedState(t, s) for t, s in zip(self._times, self._states)
+        ]
+
+    def extrapolated_state_at(self, time: float) -> VehicleState:
+        """Like :meth:`state_at`, but coasting past the final sample.
+
+        Beyond the last sample the vehicle continues at its final speed
+        along its final heading (zero acceleration). Freezing the
+        position while keeping the speed — what plain clamping does —
+        would describe a physically impossible ghost; threat evaluation
+        near the end of a recorded trace needs the coasting behaviour.
+        """
+        if time <= self._times[-1]:
+            return self.state_at(time)
+        last = self._states[-1]
+        dt = time - self._times[-1]
+        return VehicleState(
+            position=last.position + Vec2.unit(last.heading) * (last.speed * dt),
+            heading=last.heading,
+            speed=last.speed,
+            accel=0.0,
+        )
+
+    def state_at(self, time: float) -> VehicleState:
+        """State at ``time``, linearly interpolated (clamped at the ends)."""
+        if time <= self._times[0]:
+            return self._states[0]
+        if time >= self._times[-1]:
+            return self._states[-1]
+        hi = bisect.bisect_right(self._times, time)
+        lo = hi - 1
+        t0, t1 = self._times[lo], self._times[hi]
+        w = (time - t0) / (t1 - t0)
+        s0, s1 = self._states[lo], self._states[hi]
+        return VehicleState(
+            position=s0.position.lerp(s1.position, w),
+            heading=_lerp_angle(s0.heading, s1.heading, w),
+            speed=s0.speed + (s1.speed - s0.speed) * w,
+            accel=s0.accel + (s1.accel - s0.accel) * w,
+        )
+
+    def sample_extrapolated(
+        self, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(x, y, speed)`` at many query times.
+
+        Linear interpolation inside the recorded span; constant-velocity
+        coasting beyond the final sample (matching
+        :meth:`extrapolated_state_at`); clamped before the first sample.
+        """
+        times = np.asarray(times, dtype=float)
+        xs = np.interp(times, self._t, self._x)
+        ys = np.interp(times, self._t, self._y)
+        speeds = np.interp(times, self._t, self._speed)
+        overrun = times > self._t[-1]
+        if np.any(overrun):
+            dt = times[overrun] - self._t[-1]
+            xs[overrun] = self._x[-1] + self._end_velocity[0] * dt
+            ys[overrun] = self._y[-1] + self._end_velocity[1] * dt
+            speeds[overrun] = self._speed[-1]
+        return xs, ys, speeds
+
+    def shifted(self, offset: float) -> "StateTrajectory":
+        """Copy with all timestamps shifted by ``offset`` seconds."""
+        return StateTrajectory(
+            TimedState(t + offset, s)
+            for t, s in zip(self._times, self._states)
+        )
+
+
+def _lerp_angle(a: float, b: float, w: float) -> float:
+    """Interpolate angles along the shorter arc."""
+    from repro.units import wrap_angle
+
+    return wrap_angle(a + wrap_angle(b - a) * w)

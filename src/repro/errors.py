@@ -1,0 +1,32 @@
+"""Exception hierarchy for the Zhuyi reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the library can catch one type. Sub-types distinguish
+configuration mistakes from runtime simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter set or scenario specification is invalid."""
+
+
+class GeometryError(ReproError):
+    """A geometric construction is degenerate (zero-length lane, etc.)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state at runtime."""
+
+
+class TraceError(ReproError):
+    """A scenario trace is malformed or cannot be (de)serialized."""
+
+
+class EstimationError(ReproError):
+    """The Zhuyi estimator was invoked with inconsistent inputs."""

@@ -1,0 +1,173 @@
+"""Oriented bounding boxes and overlap tests.
+
+Vehicles are modelled as rectangles in the top view. Collision detection
+("safety" in the paper means no collision between ego and actors) uses the
+separating-axis theorem (SAT) on the two boxes' edge normals, which is
+exact for convex polygons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class OrientedBox:
+    """A rectangle centred at ``center`` with ``heading`` along its length.
+
+    Attributes:
+        center: centre of the rectangle, world frame (metres).
+        heading: orientation of the length axis (radians).
+        length: extent along the heading axis (metres).
+        width: extent across the heading axis (metres).
+    """
+
+    center: Vec2
+    heading: float
+    length: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0 or self.width <= 0.0:
+            raise GeometryError(
+                f"box dimensions must be positive, got "
+                f"length={self.length}, width={self.width}"
+            )
+
+    def corners(self) -> list[Vec2]:
+        """The four corners in counter-clockwise order."""
+        forward = Vec2.unit(self.heading) * (self.length / 2.0)
+        left = Vec2.unit(self.heading).perp() * (self.width / 2.0)
+        return [
+            self.center + forward + left,
+            self.center - forward + left,
+            self.center - forward - left,
+            self.center + forward - left,
+        ]
+
+    def axes(self) -> tuple[Vec2, Vec2]:
+        """The two unit edge normals (length axis and width axis)."""
+        forward = Vec2.unit(self.heading)
+        return forward, forward.perp()
+
+    def half_extents(self) -> tuple[float, float]:
+        """Half-length and half-width."""
+        return self.length / 2.0, self.width / 2.0
+
+    def contains_point(self, point: Vec2) -> bool:
+        """Whether a world point lies inside (or on) the box."""
+        delta = point - self.center
+        forward, left = self.axes()
+        half_len, half_wid = self.half_extents()
+        return (
+            abs(delta.dot(forward)) <= half_len + 1e-12
+            and abs(delta.dot(left)) <= half_wid + 1e-12
+        )
+
+    def circumradius(self) -> float:
+        """Radius of the smallest circle containing the box."""
+        return math.hypot(self.length / 2.0, self.width / 2.0)
+
+
+def _projection_interval(box: OrientedBox, axis: Vec2) -> tuple[float, float]:
+    """Project a box onto a unit axis; returns the (min, max) interval."""
+    center = box.center.dot(axis)
+    forward, left = box.axes()
+    half_len, half_wid = box.half_extents()
+    radius = abs(forward.dot(axis)) * half_len + abs(left.dot(axis)) * half_wid
+    return center - radius, center + radius
+
+
+def boxes_overlap(a: OrientedBox, b: OrientedBox) -> bool:
+    """Exact overlap test between two oriented boxes (SAT).
+
+    Runs a cheap bounding-circle rejection first, since in a driving
+    scenario almost all pairs are far apart almost all the time.
+    """
+    max_gap = a.circumradius() + b.circumradius()
+    if a.center.distance_to(b.center) > max_gap:
+        return False
+    for axis in (*a.axes(), *b.axes()):
+        a_min, a_max = _projection_interval(a, axis)
+        b_min, b_max = _projection_interval(b, axis)
+        if a_max < b_min or b_max < a_min:
+            return False
+    return True
+
+
+def box_distance(a: OrientedBox, b: OrientedBox) -> float:
+    """Approximate clearance between two boxes (0 when overlapping).
+
+    Exact corner-to-edge distance is unnecessary for this library; the
+    simulator uses :func:`boxes_overlap` for collision and this helper only
+    for diagnostics, so a corner/edge sampling approximation suffices.
+    """
+    if boxes_overlap(a, b):
+        return 0.0
+    best = math.inf
+    a_pts = a.corners() + [a.center]
+    b_pts = b.corners() + [b.center]
+    for pa in a_pts:
+        for pb in b_pts:
+            best = min(best, pa.distance_to(pb))
+    for pa in a.corners():
+        for qa, qb in _edges(b):
+            best = min(best, _point_segment_distance(pa, qa, qb))
+    for pb in b.corners():
+        for qa, qb in _edges(a):
+            best = min(best, _point_segment_distance(pb, qa, qb))
+    return best
+
+
+def segment_intersects_box(a: Vec2, b: Vec2, box: OrientedBox) -> bool:
+    """Exact segment-vs-oriented-box intersection (slab method).
+
+    Used by the occlusion model: a sight ray is blocked when the segment
+    from the camera to the target crosses another vehicle's footprint.
+    """
+    # Work in the box's local frame where it is axis-aligned.
+    forward, left = box.axes()
+    half_len, half_wid = box.half_extents()
+    delta_a = a - box.center
+    delta_b = b - box.center
+    local_a = Vec2(delta_a.dot(forward), delta_a.dot(left))
+    local_b = Vec2(delta_b.dot(forward), delta_b.dot(left))
+
+    direction = local_b - local_a
+    t_min, t_max = 0.0, 1.0
+    for start, d, half in (
+        (local_a.x, direction.x, half_len),
+        (local_a.y, direction.y, half_wid),
+    ):
+        if abs(d) < 1e-12:
+            if abs(start) > half:
+                return False
+            continue
+        t1 = (-half - start) / d
+        t2 = (half - start) / d
+        if t1 > t2:
+            t1, t2 = t2, t1
+        t_min = max(t_min, t1)
+        t_max = min(t_max, t2)
+        if t_min > t_max:
+            return False
+    return True
+
+
+def _edges(box: OrientedBox) -> list[tuple[Vec2, Vec2]]:
+    pts = box.corners()
+    return [(pts[i], pts[(i + 1) % 4]) for i in range(4)]
+
+
+def _point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> float:
+    seg = b - a
+    seg_len_sq = seg.norm_sq()
+    if seg_len_sq == 0.0:
+        return p.distance_to(a)
+    t = max(0.0, min(1.0, (p - a).dot(seg) / seg_len_sq))
+    closest = a + seg * t
+    return p.distance_to(closest)

@@ -1,0 +1,54 @@
+"""Angular sectors modelling camera fields of view.
+
+Equation 5 of the paper groups actors by "the camera's field of view";
+with a top-view state representation a camera FOV is a circular sector:
+a mounting bearing, an opening angle and a maximum range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.transforms import Frame2
+from repro.geometry.vec import Vec2
+from repro.units import wrap_angle
+
+
+@dataclass(frozen=True)
+class AngularSector:
+    """A camera FOV: sector centred on ``center_bearing`` in a body frame.
+
+    Attributes:
+        center_bearing: direction of the sector centre relative to the body
+            frame's +X axis (radians; 0 = forward, +pi/2 = left).
+        opening_angle: full opening angle of the sector (radians).
+        max_range: maximum sensing distance (metres).
+    """
+
+    center_bearing: float
+    opening_angle: float
+    max_range: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.opening_angle <= 2.0 * 3.141592653589794:
+            raise GeometryError(
+                f"opening angle must be in (0, 2*pi], got {self.opening_angle}"
+            )
+        if self.max_range <= 0.0:
+            raise GeometryError(f"max range must be positive, got {self.max_range}")
+
+    def contains_local(self, point: Vec2) -> bool:
+        """Whether a body-frame point falls inside the sector."""
+        distance = point.norm()
+        if distance > self.max_range:
+            return False
+        if distance == 0.0:
+            return True
+        bearing = point.angle()
+        offset = abs(wrap_angle(bearing - self.center_bearing))
+        return offset <= self.opening_angle / 2.0 + 1e-12
+
+    def contains(self, body: Frame2, point: Vec2) -> bool:
+        """Whether a world point falls in the sector mounted on ``body``."""
+        return self.contains_local(body.to_local(point))

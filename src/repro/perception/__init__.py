@@ -1,0 +1,35 @@
+"""Simulated perception substrate.
+
+The paper's AV runs a DNN perception stack per camera at a configurable
+frame processing rate (FPR). For the safety loop only the *timing* of
+perception matters: when a frame is captured, how long processing takes
+(``l0 = 1/FPR``), and how many consecutive frames (``K``) the tracker
+needs before it confirms a new actor. This package models exactly those
+quantities over ideal-geometry cameras, plus optional occlusion and
+measurement noise.
+"""
+
+from repro.perception.sensor import (
+    ANALYZED_CAMERAS,
+    Camera,
+    CameraRig,
+    default_rig,
+)
+from repro.perception.detection import Detection, DetectionModel
+from repro.perception.tracker import ConfirmationTracker, Track
+from repro.perception.world_model import PerceivedActor, WorldModel
+from repro.perception.pipeline import PerceptionSystem
+
+__all__ = [
+    "Camera",
+    "CameraRig",
+    "default_rig",
+    "ANALYZED_CAMERAS",
+    "Detection",
+    "DetectionModel",
+    "Track",
+    "ConfirmationTracker",
+    "PerceivedActor",
+    "WorldModel",
+    "PerceptionSystem",
+]

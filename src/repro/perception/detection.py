@@ -1,0 +1,125 @@
+"""Per-frame actor detection for one camera.
+
+Detection here is geometric: an actor is detected when its centre lies in
+the camera's FOV sector, is not occluded by another actor (optional — the
+paper lists occlusion handling as future work, so it defaults off), and
+survives a configurable miss probability. Measured position carries
+Gaussian noise; downstream velocity estimation differentiates positions,
+so noise and frame rate interact exactly as in a real stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.boxes import segment_intersects_box
+from repro.geometry.vec import Vec2
+from repro.perception.sensor import Camera
+
+#: The sight ray is shortened by this much at the target end so the
+#: target's own footprint never "occludes" itself (metres).
+_TARGET_CLEARANCE = 2.8
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected actor in one camera frame."""
+
+    actor_id: Hashable
+    camera: str
+    time: float
+    position: Vec2
+    true_speed: float
+    true_heading: float
+
+
+@dataclass(frozen=True)
+class DetectionModel:
+    """Detection characteristics shared by all cameras.
+
+    Attributes:
+        position_noise: standard deviation of the measured position (m).
+        miss_rate: probability that a visible actor is missed in a frame.
+        occlusion: whether actors hidden behind other actors are dropped
+            (an extension beyond the paper; defaults off).
+    """
+
+    position_noise: float = 0.1
+    miss_rate: float = 0.0
+    occlusion: bool = False
+
+    def __post_init__(self) -> None:
+        if self.position_noise < 0.0:
+            raise ConfigurationError("position noise must be non-negative")
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ConfigurationError(
+                f"miss rate must be in [0, 1), got {self.miss_rate}"
+            )
+
+    def detect(
+        self,
+        camera: Camera,
+        ego_state: VehicleState,
+        time: float,
+        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
+        rng: np.random.Generator,
+    ) -> list[Detection]:
+        """Detections produced by one camera frame captured at ``time``."""
+        camera_frame = camera.world_frame(ego_state)
+        detections: list[Detection] = []
+        for actor_id, (state, _spec) in actors.items():
+            if not camera.fov.contains_local(
+                camera_frame.to_local(state.position)
+            ):
+                continue
+            if self.occlusion and self._occluded(
+                camera_frame.origin, actor_id, state.position, actors
+            ):
+                continue
+            if self.miss_rate > 0.0 and rng.random() < self.miss_rate:
+                continue
+            noise = (
+                Vec2(
+                    rng.normal(0.0, self.position_noise),
+                    rng.normal(0.0, self.position_noise),
+                )
+                if self.position_noise > 0.0
+                else Vec2(0.0, 0.0)
+            )
+            detections.append(
+                Detection(
+                    actor_id=actor_id,
+                    camera=camera.name,
+                    time=time,
+                    position=state.position + noise,
+                    true_speed=state.speed,
+                    true_heading=state.heading,
+                )
+            )
+        return detections
+
+    def _occluded(
+        self,
+        eye: Vec2,
+        target_id: Hashable,
+        target: Vec2,
+        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
+    ) -> bool:
+        """Whether the sight ray from ``eye`` to ``target`` is blocked."""
+        ray = target - eye
+        distance = ray.norm()
+        if distance <= _TARGET_CLEARANCE:
+            return False
+        # Shorten the ray so the target's own footprint is excluded.
+        end = eye + ray * ((distance - _TARGET_CLEARANCE) / distance)
+        for actor_id, (state, spec) in actors.items():
+            if actor_id == target_id:
+                continue
+            if segment_intersects_box(eye, end, state.footprint(spec)):
+                return True
+        return False

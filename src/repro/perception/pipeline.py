@@ -1,0 +1,211 @@
+"""The FPR-scheduled perception system.
+
+Each camera captures frames at its own processing rate; a frame's
+detections reach the tracker (and hence the world model) only after the
+processing latency ``l0 = 1 / FPR``. Changing a camera's rate at runtime
+— what Zhuyi-based work prioritization does — simply reschedules its next
+capture.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.perception.detection import Detection, DetectionModel
+from repro.perception.sensor import CameraRig, default_rig
+from repro.perception.tracker import ConfirmationTracker
+from repro.perception.world_model import PerceivedActor, WorldModel
+
+#: Lowest accepted camera rate (frames per second).
+MIN_FPR = 0.5
+#: Highest accepted camera rate (frames per second).
+MAX_FPR = 120.0
+
+
+@dataclass(frozen=True)
+class _PendingFrame:
+    """A captured frame waiting out its processing latency."""
+
+    ready_time: float
+    capture_time: float
+    detections: tuple[Detection, ...]
+    expected: frozenset
+
+
+class PerceptionSystem:
+    """Multi-camera perception with per-camera processing rates.
+
+    Args:
+        rig: the camera rig (defaults to the paper's five-camera layout).
+        detection_model: shared detection characteristics.
+        fpr: initial rate for every camera — a scalar applied to all, or
+            a per-camera mapping.
+        confirmation_hits: the tracker's ``K``.
+        latency_factor: processing latency as a multiple of the frame
+            period (1.0 reproduces the paper's ``l0 = 1/FPR``).
+        seed: RNG seed for detection noise.
+    """
+
+    def __init__(
+        self,
+        rig: CameraRig | None = None,
+        detection_model: DetectionModel | None = None,
+        fpr: float | Mapping[str, float] = 30.0,
+        confirmation_hits: int = 5,
+        latency_factor: float = 1.0,
+        max_misses: int = 3,
+        seed: int = 0,
+    ):
+        if latency_factor < 0.0:
+            raise ConfigurationError("latency factor must be non-negative")
+        self.rig = rig if rig is not None else default_rig()
+        self.detection_model = (
+            detection_model if detection_model is not None else DetectionModel()
+        )
+        self.tracker = ConfirmationTracker(
+            confirmation_hits=confirmation_hits, max_misses=max_misses
+        )
+        self.world_model = WorldModel()
+        self._latency_factor = latency_factor
+        self._rng = np.random.default_rng(seed)
+        self._fpr: dict[str, float] = {}
+        self._next_capture: dict[str, float] = {}
+        self._frames_captured: dict[str, int] = {
+            name: 0 for name in self.rig.names
+        }
+        self._pending: list[tuple[float, int, _PendingFrame]] = []
+        self._sequence = itertools.count()
+        if isinstance(fpr, Mapping):
+            rates = dict(fpr)
+            missing = set(self.rig.names) - set(rates)
+            if missing:
+                raise ConfigurationError(f"no FPR given for cameras {missing}")
+        else:
+            rates = {name: float(fpr) for name in self.rig.names}
+        for name, rate in rates.items():
+            self.set_fpr(name, rate)
+            self._next_capture[name] = 0.0
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def fpr(self, camera: str) -> float:
+        """Current processing rate of a camera (frames/second)."""
+        self._check_camera(camera)
+        return self._fpr[camera]
+
+    def fprs(self) -> dict[str, float]:
+        """Current processing rate of every camera."""
+        return dict(self._fpr)
+
+    def set_fpr(self, camera: str, rate: float) -> None:
+        """Change a camera's processing rate (clamped to sane bounds)."""
+        self._check_camera(camera)
+        self._fpr[camera] = min(max(rate, MIN_FPR), MAX_FPR)
+
+    def processing_latency(self, camera: str) -> float:
+        """The camera's ``l0`` — one frame period times the factor."""
+        return self._latency_factor / self.fpr(camera)
+
+    def frames_captured(self, camera: str | None = None) -> int:
+        """Frames captured so far (one camera, or all when ``None``)."""
+        if camera is None:
+            return sum(self._frames_captured.values())
+        self._check_camera(camera)
+        return self._frames_captured[camera]
+
+    def _check_camera(self, camera: str) -> None:
+        if camera not in self.rig:
+            raise ConfigurationError(f"unknown camera {camera!r}")
+
+    # ------------------------------------------------------------------
+    # simulation hook
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        now: float,
+        ego_state: VehicleState,
+        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
+    ) -> None:
+        """Advance perception to ``now``.
+
+        Captures any camera frames that are due, then applies every
+        pending frame whose processing has finished.
+        """
+        self._capture_due_frames(now, ego_state, actors)
+        self._apply_ready_frames(now)
+
+    def _capture_due_frames(
+        self,
+        now: float,
+        ego_state: VehicleState,
+        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
+    ) -> None:
+        for camera in self.rig.cameras:
+            if now + 1e-9 < self._next_capture[camera.name]:
+                continue
+            frame_camera = camera
+            camera_frame = frame_camera.world_frame(ego_state)
+            expected = frozenset(
+                actor_id
+                for actor_id, (state, _spec) in actors.items()
+                if frame_camera.fov.contains_local(
+                    camera_frame.to_local(state.position)
+                )
+            )
+            detections = tuple(
+                self.detection_model.detect(
+                    frame_camera, ego_state, now, actors, self._rng
+                )
+            )
+            ready = now + self.processing_latency(camera.name)
+            heapq.heappush(
+                self._pending,
+                (
+                    ready,
+                    next(self._sequence),
+                    _PendingFrame(
+                        ready_time=ready,
+                        capture_time=now,
+                        detections=detections,
+                        expected=expected,
+                    ),
+                ),
+            )
+            self._frames_captured[camera.name] += 1
+            self._next_capture[camera.name] = now + 1.0 / self._fpr[camera.name]
+
+    def _apply_ready_frames(self, now: float) -> None:
+        while self._pending and self._pending[0][0] <= now + 1e-9:
+            _, _, frame = heapq.heappop(self._pending)
+            self.tracker.update(
+                frame.capture_time, frame.detections, frame.expected
+            )
+            self._refresh_world_model()
+
+    def _refresh_world_model(self) -> None:
+        confirmed = self.tracker.confirmed_tracks()
+        for actor_id in list(self.world_model.actors()):
+            if actor_id not in confirmed:
+                self.world_model.remove(actor_id)
+        for actor_id, track in confirmed.items():
+            self.world_model.upsert(
+                PerceivedActor(
+                    actor_id=actor_id,
+                    position=track.position,
+                    velocity=track.velocity,
+                    heading=track.heading,
+                    speed=track.speed,
+                    accel=track.accel,
+                    timestamp=track.last_update,
+                )
+            )

@@ -1,0 +1,140 @@
+"""Camera rig geometry.
+
+The experimental vehicle carries five cameras (Section 4.1): two front
+cameras with 60 and 120 degree FOV, two side cameras and a rear camera.
+The paper analyzes the 120-degree front camera and the two side cameras;
+:data:`ANALYZED_CAMERAS` names those three in the ``c1, c2, c3`` order of
+Table 1's ``max(F_c1 + F_c2 + F_c3)`` column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.fov import AngularSector
+from repro.geometry.transforms import Frame2
+from repro.geometry.vec import Vec2
+
+#: The three cameras whose estimates Table 1 reports (c1, c2, c3).
+ANALYZED_CAMERAS: tuple[str, str, str] = ("front_120", "left", "right")
+
+
+@dataclass(frozen=True)
+class Camera:
+    """One camera: a mounting frame on the ego body plus an FOV sector."""
+
+    name: str
+    mount: Frame2
+    fov: AngularSector
+
+    def world_frame(self, ego_state: VehicleState) -> Frame2:
+        """The camera frame in world coordinates for a given ego state."""
+        return ego_state.frame().compose(self.mount)
+
+    def sees(self, ego_state: VehicleState, point: Vec2) -> bool:
+        """Whether a world point is inside this camera's FOV."""
+        return self.fov.contains(self.world_frame(ego_state), point)
+
+
+class CameraRig:
+    """An ordered collection of cameras mounted on the ego."""
+
+    def __init__(self, cameras: Iterable[Camera]):
+        self._cameras = list(cameras)
+        if not self._cameras:
+            raise ConfigurationError("a camera rig needs at least one camera")
+        names = [camera.name for camera in self._cameras]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate camera names: {names}")
+        self._by_name = {camera.name: camera for camera in self._cameras}
+
+    @property
+    def cameras(self) -> Sequence[Camera]:
+        """All cameras in mounting order."""
+        return tuple(self._cameras)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Camera names in mounting order."""
+        return tuple(camera.name for camera in self._cameras)
+
+    def __getitem__(self, name: str) -> Camera:
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"no camera named {name!r}; rig has {sorted(self._by_name)}"
+            )
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._cameras)
+
+    def visible_actors(
+        self,
+        ego_state: VehicleState,
+        actor_positions: Mapping[Hashable, Vec2],
+    ) -> dict[str, list[Hashable]]:
+        """Which actors fall in which camera FOV (an actor may be in many)."""
+        visibility: dict[str, list[Hashable]] = {
+            camera.name: [] for camera in self._cameras
+        }
+        frames = {
+            camera.name: camera.world_frame(ego_state)
+            for camera in self._cameras
+        }
+        for actor_id, position in actor_positions.items():
+            for camera in self._cameras:
+                if camera.fov.contains_local(
+                    frames[camera.name].to_local(position)
+                ):
+                    visibility[camera.name].append(actor_id)
+        return visibility
+
+
+def default_rig(
+    front_range: float = 200.0,
+    side_range: float = 100.0,
+    rear_range: float = 120.0,
+) -> CameraRig:
+    """The paper's five-camera layout.
+
+    Front cameras mount at the windshield (+1.5 m), side cameras at the
+    mirrors (offset laterally, looking 90 degrees outwards) and the rear
+    camera at the tailgate. Side and rear use 120-degree optics.
+    """
+    deg = math.radians
+    return CameraRig(
+        [
+            Camera(
+                name="front_60",
+                mount=Frame2(Vec2(1.5, 0.0), 0.0),
+                fov=AngularSector(0.0, deg(60.0), front_range),
+            ),
+            Camera(
+                name="front_120",
+                mount=Frame2(Vec2(1.5, 0.0), 0.0),
+                fov=AngularSector(0.0, deg(120.0), front_range),
+            ),
+            Camera(
+                name="left",
+                mount=Frame2(Vec2(0.5, 0.9), deg(90.0)),
+                fov=AngularSector(0.0, deg(120.0), side_range),
+            ),
+            Camera(
+                name="right",
+                mount=Frame2(Vec2(0.5, -0.9), deg(-90.0)),
+                fov=AngularSector(0.0, deg(120.0), side_range),
+            ),
+            Camera(
+                name="rear",
+                mount=Frame2(Vec2(-2.0, 0.0), deg(180.0)),
+                fov=AngularSector(0.0, deg(120.0), rear_range),
+            ),
+        ]
+    )

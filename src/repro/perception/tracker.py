@@ -1,0 +1,208 @@
+"""K-frame confirmation tracking.
+
+A new actor must be seen in ``K`` consecutive frames before the tracker
+confirms it to the world model — the smoothing behaviour the paper folds
+into the confirmation delay ``alpha = K * (l - l0)``. Track velocity is
+estimated over a sliding time window of frame positions (endpoint slope),
+and acceleration from consecutive velocity estimates; at low frame rates
+both are stale and laggy, which is the physical mechanism that makes low
+FPR unsafe in closed loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.detection import Detection
+
+
+@dataclass
+class Track:
+    """Internal tracker state for one actor."""
+
+    actor_id: Hashable
+    position: Vec2
+    last_update: float
+    hits: int = 1
+    misses: int = 0
+    confirmed: bool = False
+    velocity: Vec2 = field(default_factory=lambda: Vec2(0.0, 0.0))
+    heading: float = 0.0
+    speed: float = 0.0
+    accel: float = 0.0
+    has_velocity: bool = False
+    history: deque = field(default_factory=deque)
+
+
+class ConfirmationTracker:
+    """Tracks actors across frames with K-frame confirmation.
+
+    Args:
+        confirmation_hits: consecutive detections needed to confirm (the
+            paper's ``K``).
+        max_misses: consecutive frame misses before a track is dropped.
+        velocity_window: time span (s) over which positions are
+            differenced for the velocity estimate. A longer window
+            suppresses measurement noise at high frame rates; at low
+            frame rates the window degenerates to the last two frames.
+        accel_smoothing: exponential smoothing factor for the
+            acceleration estimate (differenced velocity).
+        max_age: tracks not refreshed for this long (s) are dropped even
+            without counted misses — an actor that left every camera's
+            coverage must not haunt the world model forever.
+    """
+
+    def __init__(
+        self,
+        confirmation_hits: int = 5,
+        max_misses: int = 3,
+        velocity_window: float = 1.0,
+        accel_smoothing: float = 0.4,
+        max_age: float = 3.0,
+    ):
+        if confirmation_hits < 1:
+            raise ConfigurationError(
+                f"confirmation hits must be >= 1, got {confirmation_hits}"
+            )
+        if max_misses < 1:
+            raise ConfigurationError(f"max misses must be >= 1, got {max_misses}")
+        if velocity_window <= 0.0:
+            raise ConfigurationError(
+                f"velocity window must be positive, got {velocity_window}"
+            )
+        if not 0.0 <= accel_smoothing < 1.0:
+            raise ConfigurationError(
+                f"accel smoothing must be in [0, 1), got {accel_smoothing}"
+            )
+        if max_age <= 0.0:
+            raise ConfigurationError(f"max age must be positive, got {max_age}")
+        self._confirmation_hits = confirmation_hits
+        self._max_misses = max_misses
+        self._window = velocity_window
+        self._accel_smoothing = accel_smoothing
+        self._max_age = max_age
+        self._tracks: dict[Hashable, Track] = {}
+
+    @property
+    def confirmation_hits(self) -> int:
+        """The configured ``K``."""
+        return self._confirmation_hits
+
+    @property
+    def tracks(self) -> dict[Hashable, Track]:
+        """Live tracks by actor id (confirmed and tentative)."""
+        return dict(self._tracks)
+
+    def confirmed_tracks(self) -> dict[Hashable, Track]:
+        """Only the confirmed tracks."""
+        return {
+            actor_id: track
+            for actor_id, track in self._tracks.items()
+            if track.confirmed
+        }
+
+    def update(
+        self,
+        time: float,
+        detections: Iterable[Detection],
+        expected: Iterable[Hashable] | None = None,
+    ) -> None:
+        """Fold one frame batch's detections into the tracks.
+
+        Args:
+            time: capture time of the frame batch (seconds).
+            detections: the batch's detections. When several cameras see
+                the same actor at the same instant, only the first
+                detection updates the track (one hit per instant).
+            expected: actor ids this batch *could* have seen (union of
+                FOV coverage). Tracks in ``expected`` but not detected
+                accrue a miss; tracks outside coverage are left untouched
+                rather than penalized.
+        """
+        seen: set[Hashable] = set()
+        for detection in detections:
+            if detection.actor_id in seen:
+                continue
+            seen.add(detection.actor_id)
+            self._update_track(time, detection)
+
+        if expected is None:
+            missable = set(self._tracks)
+        else:
+            missable = set(expected) & set(self._tracks)
+        for actor_id in missable - seen:
+            track = self._tracks[actor_id]
+            track.misses += 1
+            track.hits = 0
+            if track.misses >= self._max_misses:
+                del self._tracks[actor_id]
+
+        for actor_id, track in list(self._tracks.items()):
+            if time - track.last_update > self._max_age:
+                del self._tracks[actor_id]
+
+    def _update_track(self, time: float, detection: Detection) -> None:
+        track = self._tracks.get(detection.actor_id)
+        if track is None:
+            track = Track(
+                actor_id=detection.actor_id,
+                position=detection.position,
+                last_update=time,
+                heading=detection.true_heading,
+            )
+            track.history.append((time, detection.position))
+            track.confirmed = track.hits >= self._confirmation_hits
+            self._tracks[detection.actor_id] = track
+            return
+        if time - track.last_update <= 0.0:
+            # A second camera seeing the actor at the same instant adds no
+            # temporal evidence: K counts consecutive *frames*, not views.
+            return
+
+        track.history.append((time, detection.position))
+        self._trim_history(track, time)
+        self._estimate_motion(track, detection)
+        track.position = detection.position
+        track.last_update = time
+        track.misses = 0
+        track.hits += 1
+        if track.hits >= self._confirmation_hits:
+            track.confirmed = True
+
+    def _trim_history(self, track: Track, now: float) -> None:
+        """Keep the window span plus one sample (at least two total)."""
+        history = track.history
+        while len(history) > 2 and now - history[1][0] >= self._window:
+            history.popleft()
+
+    def _estimate_motion(self, track: Track, detection: Detection) -> None:
+        """Velocity from window endpoints; acceleration from velocity."""
+        history = track.history
+        if len(history) < 2:
+            return
+        (t0, p0) = history[0]
+        (t1, p1) = history[-1]
+        span = t1 - t0
+        if span <= 0.0:
+            return
+        new_velocity = (p1 - p0) / span
+        new_speed = new_velocity.norm()
+        if track.has_velocity:
+            dt = t1 - track.last_update
+            if dt > 0.0:
+                raw_accel = (new_speed - track.speed) / dt
+                w = self._accel_smoothing
+                track.accel = w * track.accel + (1.0 - w) * raw_accel
+        else:
+            track.has_velocity = True
+            track.accel = 0.0
+        track.velocity = new_velocity
+        track.speed = new_speed
+        if new_speed > 0.3:
+            track.heading = new_velocity.angle()
+        else:
+            track.heading = detection.true_heading

@@ -1,0 +1,113 @@
+"""The perceived world model.
+
+The planner and the online Zhuyi estimator consume this — never the
+ground truth. It holds the latest confirmed actor estimates with their
+timestamps, so consumers can reason about staleness explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class PerceivedActor:
+    """A confirmed actor as the AV believes it to be.
+
+    Attributes:
+        actor_id: stable identity from the tracker.
+        position: last measured position (world frame, metres).
+        velocity: smoothed velocity estimate (m/s).
+        heading: estimated heading (radians).
+        speed: estimated scalar speed (m/s).
+        accel: estimated longitudinal acceleration (m/s^2).
+        timestamp: capture time of the measurement (seconds).
+    """
+
+    actor_id: Hashable
+    position: Vec2
+    velocity: Vec2
+    heading: float
+    speed: float
+    accel: float
+    timestamp: float
+
+    def extrapolated_position(self, time: float) -> Vec2:
+        """Extrapolation to ``time``, honouring estimated *braking*.
+
+        Linear extrapolation of a stale velocity badly overestimates how
+        far a braking lead travels, which inflates the perceived gap —
+        the dominant failure at low frame rates. Only deceleration is
+        honoured (never projecting the actor forward faster), and the
+        actor is stopped, not reversed, when the estimate says it halts.
+        """
+        dt = time - self.timestamp
+        if dt <= 0.0:
+            return self.position
+        brake = min(0.0, self.accel)
+        if brake < 0.0 and self.speed > 0.0:
+            time_to_stop = self.speed / -brake
+            dt_effective = min(dt, time_to_stop)
+            distance = (
+                self.speed * dt_effective + 0.5 * brake * dt_effective**2
+            )
+            if self.speed > 1e-9:
+                return self.position + self.velocity * (distance / self.speed)
+            return self.position
+        return self.position + self.velocity * dt
+
+    def extrapolated_speed(self, time: float) -> float:
+        """Speed estimate at ``time``, honouring estimated braking.
+
+        The measured speed is stale by the processing latency plus the
+        frame age; for a braking actor that staleness systematically
+        overestimates the current speed, so the estimated (braking-only)
+        acceleration is integrated forward, clamped at zero speed.
+        """
+        dt = time - self.timestamp
+        if dt <= 0.0:
+            return self.speed
+        brake = min(0.0, self.accel)
+        return max(0.0, self.speed + brake * dt)
+
+
+class WorldModel:
+    """Latest confirmed actor estimates, keyed by actor id."""
+
+    def __init__(self) -> None:
+        self._actors: dict[Hashable, PerceivedActor] = {}
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    def __iter__(self) -> Iterator[PerceivedActor]:
+        return iter(self._actors.values())
+
+    def __contains__(self, actor_id: Hashable) -> bool:
+        return actor_id in self._actors
+
+    def get(self, actor_id: Hashable) -> PerceivedActor | None:
+        """The actor's latest estimate, or ``None`` if unconfirmed."""
+        return self._actors.get(actor_id)
+
+    def actors(self) -> dict[Hashable, PerceivedActor]:
+        """Snapshot of all confirmed actors."""
+        return dict(self._actors)
+
+    def upsert(self, actor: PerceivedActor) -> None:
+        """Insert or refresh one actor estimate."""
+        self._actors[actor.actor_id] = actor
+
+    def remove(self, actor_id: Hashable) -> None:
+        """Drop an actor (track lost)."""
+        self._actors.pop(actor_id, None)
+
+    def staleness(self, actor_id: Hashable, now: float) -> float | None:
+        """Seconds since the actor's last measurement, or ``None``."""
+        actor = self._actors.get(actor_id)
+        if actor is None:
+            return None
+        return now - actor.timestamp

@@ -1,0 +1,28 @@
+"""Ego planner substrate: IDM cruise control, AEB, lane keeping.
+
+The paper's scenarios are engineered so that "hard braking is the only
+option" — the planner therefore keeps its lane and controls speed: an
+Intelligent Driver Model follows confirmed leads comfortably, and an
+automatic-emergency-braking (AEB) monitor overrides with the vehicle's
+full braking authority when the comfortable envelope is exceeded. All
+decisions consume the *perceived* world model, never ground truth, so
+perception rate directly shapes safety.
+"""
+
+from repro.planning.idm import IDMParams, idm_acceleration
+from repro.planning.aeb import AEBParams, AEBMonitor, required_deceleration
+from repro.planning.lateral import LaneKeeper
+from repro.planning.planner import Planner, PlannerConfig, PlanOutput, PlannerMode
+
+__all__ = [
+    "IDMParams",
+    "idm_acceleration",
+    "AEBParams",
+    "AEBMonitor",
+    "required_deceleration",
+    "LaneKeeper",
+    "Planner",
+    "PlannerConfig",
+    "PlanOutput",
+    "PlannerMode",
+]

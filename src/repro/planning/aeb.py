@@ -1,0 +1,147 @@
+"""Automatic emergency braking (AEB).
+
+The safety procedure the paper assumes is hard braking. This monitor
+triggers it when the deceleration required to avoid the perceived lead
+exceeds the comfortable envelope (or time-to-collision collapses), and
+holds it — with hysteresis — until the situation is clearly resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def required_deceleration(
+    speed: float, lead_speed: float, gap: float
+) -> float:
+    """Deceleration needed to avoid reaching a lead moving at ``lead_speed``.
+
+    Constant-deceleration bound in relative coordinates: braking from
+    ``speed`` down to ``lead_speed`` consumes ``(v - v_lead)^2 / (2*a)``
+    of the gap, so avoiding contact needs
+    ``a >= (v - v_lead)^2 / (2 * gap)``. (For a lead that is itself
+    braking, continuous re-evaluation tightens the demand each tick.)
+    Zero when the ego is not closing; infinity when the gap is already
+    gone while closing.
+    """
+    if speed <= lead_speed:
+        return 0.0
+    if gap <= 0.0:
+        return float("inf")
+    closing = speed - lead_speed
+    return closing * closing / (2.0 * gap)
+
+
+@dataclass(frozen=True)
+class AEBParams:
+    """AEB tuning.
+
+    Attributes:
+        trigger_decel: required deceleration (m/s^2) above which the
+            emergency brake engages.
+        release_decel: required deceleration below which it may release.
+        hard_decel: commanded deceleration while engaged (m/s^2).
+        ttc_trigger: time-to-collision (s) below which it engages
+            regardless of the deceleration heuristic.
+        min_release_gap: gap (m) below which the brake never releases.
+        reaction_horizon: how far ahead (s) the lead's estimated
+            deceleration is projected when judging the threat — a braking
+            lead is treated as already being at the speed it will reach
+            this many seconds from now.
+    """
+
+    trigger_decel: float = 2.8
+    release_decel: float = 1.0
+    hard_decel: float = 8.0
+    ttc_trigger: float = 1.5
+    min_release_gap: float = 5.0
+    reaction_horizon: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.trigger_decel <= 0.0 or self.hard_decel <= 0.0:
+            raise ConfigurationError("AEB decelerations must be positive")
+        if not 0.0 <= self.release_decel < self.trigger_decel:
+            raise ConfigurationError(
+                "release threshold must be below the trigger threshold"
+            )
+        if self.ttc_trigger <= 0.0:
+            raise ConfigurationError("TTC trigger must be positive")
+        if self.min_release_gap < 0.0:
+            raise ConfigurationError("release gap must be non-negative")
+
+
+class AEBMonitor:
+    """Stateful AEB trigger with hysteresis."""
+
+    def __init__(self, params: AEBParams | None = None):
+        self.params = params if params is not None else AEBParams()
+        self._engaged = False
+
+    @property
+    def engaged(self) -> bool:
+        """Whether the emergency brake is currently held."""
+        return self._engaged
+
+    def reset(self) -> None:
+        """Return to the disengaged state."""
+        self._engaged = False
+
+    def update(
+        self,
+        speed: float,
+        gap: float | None,
+        lead_speed: float | None,
+        lead_accel: float = 0.0,
+    ) -> float | None:
+        """One control-tick decision.
+
+        Args:
+            speed: ego speed (m/s).
+            gap: bumper-to-bumper gap to the most binding lead (m), or
+                ``None`` when no lead is perceived.
+            lead_speed: that lead's speed (m/s).
+            lead_accel: the lead's estimated longitudinal acceleration
+                (m/s^2); only deceleration is acted on.
+
+        Returns:
+            The commanded deceleration (positive, m/s^2) while engaged,
+            or ``None`` when the normal controller should drive.
+        """
+        if gap is None or lead_speed is None:
+            # Nothing perceived ahead; the emergency is over.
+            self._engaged = False
+            return None
+
+        # A braking lead is judged at the speed it will reach within the
+        # reaction horizon — this compensates the lag of finite-differenced
+        # speed estimates at low frame rates.
+        projected_brake = min(0.0, lead_accel)
+        effective_lead_speed = max(
+            0.0, lead_speed + projected_brake * self.params.reaction_horizon
+        )
+        needed = required_deceleration(speed, effective_lead_speed, gap)
+        if projected_brake < -0.5:
+            # The lead is stopping: the ego must be able to stop within
+            # the gap plus the lead's remaining stopping distance.
+            lead_stop_distance = lead_speed**2 / (2.0 * -projected_brake)
+            needed = max(
+                needed, speed**2 / (2.0 * max(gap + lead_stop_distance, 0.1))
+            )
+        closing = speed - effective_lead_speed
+        ttc = gap / closing if closing > 1e-6 else float("inf")
+
+        if not self._engaged:
+            if needed >= self.params.trigger_decel or ttc <= self.params.ttc_trigger:
+                self._engaged = True
+        else:
+            resolved = (
+                closing <= 0.25
+                and needed <= self.params.release_decel
+                and gap >= self.params.min_release_gap
+            )
+            if resolved or speed <= 0.01:
+                self._engaged = False
+
+        return self.params.hard_decel if self._engaged else None

@@ -1,0 +1,90 @@
+"""Intelligent Driver Model (IDM) longitudinal control.
+
+The standard IDM (Treiber et al.) produces smooth car-following: free
+acceleration toward the desired speed, tempered by a quadratic penalty on
+the ratio between the desired and the actual gap to the lead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IDMParams:
+    """IDM tuning.
+
+    Attributes:
+        desired_speed: cruise speed when unobstructed (m/s).
+        time_headway: desired time gap to the lead (s).
+        min_gap: standstill gap (m).
+        max_accel: comfortable acceleration bound (m/s^2).
+        comfortable_decel: comfortable deceleration bound (m/s^2).
+        exponent: free-road acceleration exponent (4 in the literature).
+    """
+
+    desired_speed: float = 30.0
+    time_headway: float = 1.5
+    min_gap: float = 3.5
+    max_accel: float = 2.0
+    comfortable_decel: float = 3.0
+    exponent: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.desired_speed <= 0.0:
+            raise ConfigurationError("desired speed must be positive")
+        if self.time_headway <= 0.0 or self.min_gap <= 0.0:
+            raise ConfigurationError("headway and min gap must be positive")
+        if self.max_accel <= 0.0 or self.comfortable_decel <= 0.0:
+            raise ConfigurationError("IDM acceleration bounds must be positive")
+
+    def with_desired_speed(self, desired_speed: float) -> "IDMParams":
+        """Copy with a different cruise speed."""
+        return IDMParams(
+            desired_speed=desired_speed,
+            time_headway=self.time_headway,
+            min_gap=self.min_gap,
+            max_accel=self.max_accel,
+            comfortable_decel=self.comfortable_decel,
+            exponent=self.exponent,
+        )
+
+
+def idm_acceleration(
+    speed: float,
+    params: IDMParams,
+    gap: float | None = None,
+    lead_speed: float | None = None,
+) -> float:
+    """IDM acceleration command.
+
+    Args:
+        speed: ego speed (m/s).
+        params: IDM tuning.
+        gap: bumper-to-bumper distance to the lead (m); ``None`` = free road.
+        lead_speed: lead speed (m/s); required when ``gap`` is given.
+
+    Returns:
+        Longitudinal acceleration command (m/s^2), unbounded below —
+        the caller clamps to vehicle limits.
+    """
+    if speed < 0.0:
+        raise ConfigurationError(f"speed must be non-negative, got {speed}")
+    free_term = 1.0 - (speed / params.desired_speed) ** params.exponent
+    if gap is None:
+        return params.max_accel * free_term
+    if lead_speed is None:
+        raise ConfigurationError("lead_speed is required when gap is given")
+
+    effective_gap = max(gap, 0.1)
+    closing = speed - lead_speed
+    desired_gap = params.min_gap + speed * params.time_headway
+    desired_gap += (speed * closing) / (
+        2.0 * math.sqrt(params.max_accel * params.comfortable_decel)
+    )
+    desired_gap = max(desired_gap, params.min_gap)
+    interaction = (desired_gap / effective_gap) ** 2
+    return params.max_accel * (free_term - interaction)

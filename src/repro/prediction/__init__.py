@@ -1,0 +1,22 @@
+"""Trajectory-prediction substrate.
+
+The online (post-deployment) Zhuyi estimator consumes "multiple future
+trajectories, each with an associated probability, for each actor"
+(Section 2.1). The paper leverages external predictors (MultiPath,
+PredictionNet); this package provides physics-based equivalents that
+exercise the same aggregation code path: constant-velocity,
+constant-acceleration, and a multi-hypothesis manoeuvre predictor.
+"""
+
+from repro.prediction.base import PredictedTrajectory, Predictor
+from repro.prediction.constant_velocity import ConstantVelocityPredictor
+from repro.prediction.constant_accel import ConstantAccelerationPredictor
+from repro.prediction.maneuver import ManeuverPredictor
+
+__all__ = [
+    "PredictedTrajectory",
+    "Predictor",
+    "ConstantVelocityPredictor",
+    "ConstantAccelerationPredictor",
+    "ManeuverPredictor",
+]

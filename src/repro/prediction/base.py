@@ -1,0 +1,58 @@
+"""Prediction interfaces.
+
+A predictor maps one perceived actor to a set of timestamped future
+trajectories with probabilities summing to one. Trajectories are absolute
+— their timestamps continue the simulation clock from ``now``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.dynamics.state import StateTrajectory
+from repro.errors import EstimationError
+from repro.perception.world_model import PerceivedActor
+
+
+@dataclass(frozen=True)
+class PredictedTrajectory:
+    """One hypothesized future with its probability."""
+
+    trajectory: StateTrajectory
+    probability: float
+    label: str = "hypothesis"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise EstimationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Maps a perceived actor to probabilistic future trajectories."""
+
+    def predict(
+        self, actor: PerceivedActor, now: float, horizon: float
+    ) -> Sequence[PredictedTrajectory]:
+        """Futures for ``actor`` covering ``[now, now + horizon]``.
+
+        Probabilities over the returned set must sum to 1 (within
+        floating-point tolerance).
+        """
+        ...
+
+
+def check_probabilities(
+    predictions: Sequence[PredictedTrajectory], tolerance: float = 1e-6
+) -> None:
+    """Validate that prediction probabilities sum to one."""
+    if not predictions:
+        raise EstimationError("a predictor must return at least one trajectory")
+    total = sum(prediction.probability for prediction in predictions)
+    if abs(total - 1.0) > tolerance:
+        raise EstimationError(
+            f"prediction probabilities sum to {total}, expected 1"
+        )

@@ -1,0 +1,78 @@
+"""Constant-acceleration prediction.
+
+Integrates the actor's estimated longitudinal acceleration along its
+heading, clamping speed at zero (a braking actor stops; it does not
+reverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamics.longitudinal import travel
+from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.world_model import PerceivedActor
+from repro.prediction.base import PredictedTrajectory
+
+
+def rollout_constant_accel(
+    actor: PerceivedActor,
+    accel: float,
+    now: float,
+    horizon: float,
+    sample_period: float,
+    max_speed: float | None = None,
+) -> StateTrajectory:
+    """Straight-line rollout at a fixed longitudinal acceleration."""
+    direction = (
+        Vec2.unit(actor.heading)
+        if actor.speed > 1e-6
+        else Vec2.unit(actor.heading)
+    )
+    samples = []
+    t = 0.0
+    while t <= horizon + 1e-9:
+        distance, speed = travel(actor.speed, accel, t, max_speed)
+        samples.append(
+            TimedState(
+                time=now + t,
+                state=VehicleState(
+                    position=actor.position + direction * distance,
+                    heading=actor.heading,
+                    speed=speed,
+                    accel=accel if speed > 0.0 else 0.0,
+                ),
+            )
+        )
+        t += sample_period
+    return StateTrajectory(samples)
+
+
+@dataclass(frozen=True)
+class ConstantAccelerationPredictor:
+    """The actor holds its estimated acceleration (speed clamped at 0)."""
+
+    sample_period: float = 0.25
+    max_speed: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0.0:
+            raise ConfigurationError("sample period must be positive")
+
+    def predict(
+        self, actor: PerceivedActor, now: float, horizon: float
+    ) -> list[PredictedTrajectory]:
+        if horizon <= 0.0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        trajectory = rollout_constant_accel(
+            actor, actor.accel, now, horizon, self.sample_period, self.max_speed
+        )
+        return [
+            PredictedTrajectory(
+                trajectory=trajectory,
+                probability=1.0,
+                label="constant-acceleration",
+            )
+        ]

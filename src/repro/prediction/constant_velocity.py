@@ -1,0 +1,53 @@
+"""Constant-velocity prediction — the simplest single-future predictor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+from repro.errors import ConfigurationError
+from repro.perception.world_model import PerceivedActor
+from repro.prediction.base import PredictedTrajectory
+
+
+@dataclass(frozen=True)
+class ConstantVelocityPredictor:
+    """The actor keeps its current velocity vector.
+
+    Attributes:
+        sample_period: spacing of the emitted trajectory samples (s).
+    """
+
+    sample_period: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0.0:
+            raise ConfigurationError("sample period must be positive")
+
+    def predict(
+        self, actor: PerceivedActor, now: float, horizon: float
+    ) -> list[PredictedTrajectory]:
+        if horizon <= 0.0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        samples = []
+        t = 0.0
+        while t <= horizon + 1e-9:
+            samples.append(
+                TimedState(
+                    time=now + t,
+                    state=VehicleState(
+                        position=actor.position + actor.velocity * t,
+                        heading=actor.heading,
+                        speed=actor.speed,
+                        accel=0.0,
+                    ),
+                )
+            )
+            t += self.sample_period
+        return [
+            PredictedTrajectory(
+                trajectory=StateTrajectory(samples),
+                probability=1.0,
+                label="constant-velocity",
+            )
+        ]

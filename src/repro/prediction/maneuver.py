@@ -1,0 +1,188 @@
+"""Multi-hypothesis manoeuvre prediction.
+
+Emits several physically plausible futures per actor — keep velocity,
+gentle brake, hard brake, accelerate, and (when a road is supplied and
+the actor sits in a lane adjacent to a target lane) a lane-change
+hypothesis with a smooth lateral profile. Probabilities are configurable
+and renormalized over the hypotheses that apply.
+
+This stands in for the learned predictors the paper leverages
+(MultiPath, PredictionNet): Equation 4 only needs a weighted set of
+futures, which this produces from the perceived state alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dynamics.longitudinal import travel
+from repro.dynamics.profiles import smoothstep, smoothstep_slope
+from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+from repro.errors import ConfigurationError
+from repro.perception.world_model import PerceivedActor
+from repro.prediction.base import PredictedTrajectory, check_probabilities
+from repro.prediction.constant_accel import rollout_constant_accel
+from repro.road.lane import FrenetPoint
+from repro.road.track import Road
+
+
+@dataclass(frozen=True)
+class ManeuverPredictor:
+    """Physics-based multi-hypothesis predictor.
+
+    Attributes:
+        sample_period: spacing of emitted trajectory samples (s).
+        gentle_brake: deceleration of the gentle-brake hypothesis (m/s^2).
+        hard_brake: deceleration of the hard-brake hypothesis (m/s^2).
+        accelerate: acceleration of the speed-up hypothesis (m/s^2).
+        lane_change_duration: manoeuvre time of the lane-change
+            hypothesis (s).
+        road: optional road; enables the lane-change hypothesis toward
+            ``target_lane``.
+        target_lane: lane index a lane-change hypothesis steers into
+            (typically the ego's lane); ``None`` disables it.
+        weights: base probability of each hypothesis by label; missing
+            labels get zero. Renormalized over applicable hypotheses.
+    """
+
+    sample_period: float = 0.25
+    gentle_brake: float = 3.0
+    hard_brake: float = 6.0
+    accelerate: float = 1.5
+    lane_change_duration: float = 3.0
+    road: Road | None = None
+    target_lane: int | None = None
+    max_speed: float = 60.0
+    weights: dict[str, float] = field(
+        default_factory=lambda: {
+            "keep": 0.5,
+            "gentle-brake": 0.2,
+            "hard-brake": 0.1,
+            "accelerate": 0.1,
+            "lane-change": 0.1,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0.0:
+            raise ConfigurationError("sample period must be positive")
+        if min(self.gentle_brake, self.hard_brake, self.accelerate) <= 0.0:
+            raise ConfigurationError("manoeuvre magnitudes must be positive")
+        if self.lane_change_duration <= 0.0:
+            raise ConfigurationError("lane-change duration must be positive")
+        if any(weight < 0.0 for weight in self.weights.values()):
+            raise ConfigurationError("hypothesis weights must be non-negative")
+
+    def predict(
+        self, actor: PerceivedActor, now: float, horizon: float
+    ) -> list[PredictedTrajectory]:
+        if horizon <= 0.0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        hypotheses: list[tuple[str, StateTrajectory]] = [
+            (
+                "keep",
+                rollout_constant_accel(
+                    actor, 0.0, now, horizon, self.sample_period, self.max_speed
+                ),
+            ),
+            (
+                "gentle-brake",
+                rollout_constant_accel(
+                    actor,
+                    -self.gentle_brake,
+                    now,
+                    horizon,
+                    self.sample_period,
+                    self.max_speed,
+                ),
+            ),
+            (
+                "hard-brake",
+                rollout_constant_accel(
+                    actor,
+                    -self.hard_brake,
+                    now,
+                    horizon,
+                    self.sample_period,
+                    self.max_speed,
+                ),
+            ),
+            (
+                "accelerate",
+                rollout_constant_accel(
+                    actor,
+                    self.accelerate,
+                    now,
+                    horizon,
+                    self.sample_period,
+                    self.max_speed,
+                ),
+            ),
+        ]
+        lane_change = self._lane_change_rollout(actor, now, horizon)
+        if lane_change is not None:
+            hypotheses.append(("lane-change", lane_change))
+
+        raw = [
+            (label, trajectory, self.weights.get(label, 0.0))
+            for label, trajectory in hypotheses
+        ]
+        total = sum(weight for _, _, weight in raw)
+        if total <= 0.0:
+            raise ConfigurationError("all hypothesis weights are zero")
+        predictions = [
+            PredictedTrajectory(
+                trajectory=trajectory,
+                probability=weight / total,
+                label=label,
+            )
+            for label, trajectory, weight in raw
+            if weight > 0.0
+        ]
+        check_probabilities(predictions)
+        return predictions
+
+    def _lane_change_rollout(
+        self, actor: PerceivedActor, now: float, horizon: float
+    ) -> StateTrajectory | None:
+        """Lane change toward ``target_lane`` at constant speed, or None."""
+        if self.road is None or self.target_lane is None:
+            return None
+        start = self.road.to_frenet(actor.position)
+        current_lane = self.road.lane_of_offset(start.d)
+        if current_lane == self.target_lane:
+            return None
+        if abs(current_lane - self.target_lane) > 1:
+            return None  # only adjacent-lane changes are hypothesized
+        target_d = self.road.lane_offset(self.target_lane)
+        samples = []
+        t = 0.0
+        while t <= horizon + 1e-9:
+            distance, speed = travel(actor.speed, 0.0, t, self.max_speed)
+            progress = smoothstep(t / self.lane_change_duration)
+            d = start.d + (target_d - start.d) * progress
+            s = start.s + distance
+            position = self.road.to_world(FrenetPoint(s, d))
+            heading = self.road.heading_at(s)
+            # Add the lateral component to the heading during the manoeuvre.
+            if 0.0 < t < self.lane_change_duration and speed > 1e-6:
+                lateral_rate = (
+                    (target_d - start.d)
+                    * smoothstep_slope(t / self.lane_change_duration)
+                    / self.lane_change_duration
+                )
+                heading += math.atan2(lateral_rate, speed)
+            samples.append(
+                TimedState(
+                    time=now + t,
+                    state=VehicleState(
+                        position=position,
+                        heading=heading,
+                        speed=speed,
+                        accel=0.0,
+                    ),
+                )
+            )
+            t += self.sample_period
+        return StateTrajectory(samples)

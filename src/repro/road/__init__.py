@@ -1,0 +1,27 @@
+"""Road-network substrate: centerlines, Frenet frames and lane layouts.
+
+The paper's scenarios all take place on a 3-lane road, straight or curved
+(Section 4.1). Scenario scripts and the Zhuyi threat extraction both work
+in Frenet coordinates (station ``s`` along the road, lateral offset ``d``),
+which these classes provide for straight, arc and composite centerlines.
+"""
+
+from repro.road.lane import (
+    ArcCenterline,
+    Centerline,
+    CompositeCenterline,
+    FrenetPoint,
+    StraightCenterline,
+)
+from repro.road.track import Road, three_lane_curved_road, three_lane_straight_road
+
+__all__ = [
+    "Centerline",
+    "StraightCenterline",
+    "ArcCenterline",
+    "CompositeCenterline",
+    "FrenetPoint",
+    "Road",
+    "three_lane_straight_road",
+    "three_lane_curved_road",
+]

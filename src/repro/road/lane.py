@@ -1,0 +1,258 @@
+"""Centerline primitives with exact Frenet <-> world conversions.
+
+A centerline is an arc-length parameterized planar curve. The library
+uses three kinds: straight segments, circular arcs, and composites built
+by chaining the two. Lateral offsets (``d``) are positive to the *left*
+of the direction of travel, matching the paper's ego-centric Y axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+from repro.units import wrap_angle
+
+
+@dataclass(frozen=True)
+class FrenetPoint:
+    """Frenet coordinates on a centerline.
+
+    Attributes:
+        s: station — arc length along the centerline (metres).
+        d: lateral offset, positive to the left of travel (metres).
+    """
+
+    s: float
+    d: float
+
+
+@runtime_checkable
+class Centerline(Protocol):
+    """Arc-length parameterized curve with Frenet conversions."""
+
+    @property
+    def length(self) -> float:
+        """Total arc length (metres)."""
+        ...
+
+    def point_at(self, s: float) -> Vec2:
+        """World position of the centerline at station ``s``."""
+        ...
+
+    def heading_at(self, s: float) -> float:
+        """Tangent heading (radians) at station ``s``."""
+        ...
+
+    def curvature_at(self, s: float) -> float:
+        """Signed curvature at ``s`` (positive = turning left)."""
+        ...
+
+    def to_world(self, frenet: FrenetPoint) -> Vec2:
+        """World position of a Frenet point."""
+        ...
+
+    def to_frenet(self, point: Vec2) -> FrenetPoint:
+        """Frenet coordinates of the closest centerline point."""
+        ...
+
+
+@dataclass(frozen=True)
+class StraightCenterline:
+    """A straight segment starting at ``start`` with constant ``heading``."""
+
+    start: Vec2
+    heading: float
+    segment_length: float
+
+    def __post_init__(self) -> None:
+        if self.segment_length <= 0.0:
+            raise GeometryError(
+                f"centerline length must be positive, got {self.segment_length}"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.segment_length
+
+    def point_at(self, s: float) -> Vec2:
+        return self.start + Vec2.unit(self.heading) * s
+
+    def heading_at(self, s: float) -> float:
+        return self.heading
+
+    def curvature_at(self, s: float) -> float:
+        return 0.0
+
+    def to_world(self, frenet: FrenetPoint) -> Vec2:
+        tangent = Vec2.unit(self.heading)
+        return self.start + tangent * frenet.s + tangent.perp() * frenet.d
+
+    def to_frenet(self, point: Vec2) -> FrenetPoint:
+        tangent = Vec2.unit(self.heading)
+        delta = point - self.start
+        return FrenetPoint(s=delta.dot(tangent), d=delta.dot(tangent.perp()))
+
+
+@dataclass(frozen=True)
+class ArcCenterline:
+    """A circular arc.
+
+    Attributes:
+        center: centre of the circle (world frame).
+        radius: circle radius (metres), strictly positive.
+        start_angle: polar angle (radians) of the arc's start point as seen
+            from ``center``.
+        arc_length: arc length (metres), strictly positive.
+        turn_left: True for a counter-clockwise arc (curving left).
+    """
+
+    center: Vec2
+    radius: float
+    start_angle: float
+    arc_length: float
+    turn_left: bool = True
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise GeometryError(f"arc radius must be positive, got {self.radius}")
+        if self.arc_length <= 0.0:
+            raise GeometryError(
+                f"arc length must be positive, got {self.arc_length}"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.arc_length
+
+    def _angle_at(self, s: float) -> float:
+        sweep = s / self.radius
+        return self.start_angle + (sweep if self.turn_left else -sweep)
+
+    def point_at(self, s: float) -> Vec2:
+        return self.center + Vec2.from_polar(self.radius, self._angle_at(s))
+
+    def heading_at(self, s: float) -> float:
+        angle = self._angle_at(s)
+        offset = math.pi / 2.0 if self.turn_left else -math.pi / 2.0
+        return wrap_angle(angle + offset)
+
+    def curvature_at(self, s: float) -> float:
+        return (1.0 if self.turn_left else -1.0) / self.radius
+
+    def to_world(self, frenet: FrenetPoint) -> Vec2:
+        # For a left turn the leftward normal points toward the centre, so
+        # a positive d shrinks the radius; for a right turn it grows it.
+        angle = self._angle_at(frenet.s)
+        if self.turn_left:
+            effective_radius = self.radius - frenet.d
+        else:
+            effective_radius = self.radius + frenet.d
+        if effective_radius <= 0.0:
+            raise GeometryError(
+                f"lateral offset {frenet.d} exceeds arc radius {self.radius}"
+            )
+        return self.center + Vec2.from_polar(effective_radius, angle)
+
+    def to_frenet(self, point: Vec2) -> FrenetPoint:
+        delta = point - self.center
+        distance = delta.norm()
+        if distance == 0.0:
+            raise GeometryError("cannot project the arc centre onto the arc")
+        angle = delta.angle()
+        if self.turn_left:
+            sweep = wrap_angle(angle - self.start_angle)
+            d = self.radius - distance
+        else:
+            sweep = wrap_angle(self.start_angle - angle)
+            d = distance - self.radius
+        return FrenetPoint(s=sweep * self.radius, d=d)
+
+
+class CompositeCenterline:
+    """Centerline built by chaining segments end to end.
+
+    Each appended segment must start where the previous one ends (within a
+    small tolerance) with a matching heading, so station is continuous.
+    """
+
+    _JOIN_TOLERANCE = 1e-6
+
+    def __init__(self, segments: Sequence[Centerline]):
+        if not segments:
+            raise GeometryError("composite centerline needs at least one segment")
+        self._segments = list(segments)
+        self._offsets: list[float] = []
+        running = 0.0
+        for index, segment in enumerate(self._segments):
+            if index > 0:
+                prev = self._segments[index - 1]
+                gap = prev.point_at(prev.length).distance_to(segment.point_at(0.0))
+                if gap > self._JOIN_TOLERANCE:
+                    raise GeometryError(
+                        f"segment {index} does not join the previous one "
+                        f"(gap {gap:.3g} m)"
+                    )
+                heading_gap = abs(
+                    wrap_angle(
+                        prev.heading_at(prev.length) - segment.heading_at(0.0)
+                    )
+                )
+                if heading_gap > 1e-6:
+                    raise GeometryError(
+                        f"segment {index} heading mismatch ({heading_gap:.3g} rad)"
+                    )
+            self._offsets.append(running)
+            running += segment.length
+        self._total_length = running
+
+    @property
+    def length(self) -> float:
+        return self._total_length
+
+    def _locate(self, s: float) -> tuple[Centerline, float]:
+        """The segment containing station ``s`` and the local station."""
+        clamped = min(max(s, 0.0), self._total_length)
+        for segment, offset in zip(
+            reversed(self._segments), reversed(self._offsets)
+        ):
+            if clamped >= offset:
+                return segment, clamped - offset
+        return self._segments[0], clamped
+
+    def point_at(self, s: float) -> Vec2:
+        segment, local_s = self._locate(s)
+        return segment.point_at(local_s)
+
+    def heading_at(self, s: float) -> float:
+        segment, local_s = self._locate(s)
+        return segment.heading_at(local_s)
+
+    def curvature_at(self, s: float) -> float:
+        segment, local_s = self._locate(s)
+        return segment.curvature_at(local_s)
+
+    def to_world(self, frenet: FrenetPoint) -> Vec2:
+        segment, local_s = self._locate(frenet.s)
+        return segment.to_world(FrenetPoint(local_s, frenet.d))
+
+    def to_frenet(self, point: Vec2) -> FrenetPoint:
+        best: FrenetPoint | None = None
+        best_cost = math.inf
+        for segment, offset in zip(self._segments, self._offsets):
+            local = segment.to_frenet(point)
+            clamped_s = min(max(local.s, 0.0), segment.length)
+            on_curve = segment.to_world(FrenetPoint(clamped_s, 0.0))
+            cost = point.distance_to(on_curve)
+            # Penalize projections that fall outside the segment so interior
+            # matches win over endpoint extrapolations.
+            if local.s < 0.0 or local.s > segment.length:
+                cost += abs(local.s - clamped_s)
+            if cost < best_cost:
+                best_cost = cost
+                best = FrenetPoint(offset + clamped_s, local.d)
+        assert best is not None
+        return best

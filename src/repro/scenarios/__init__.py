@@ -1,0 +1,19 @@
+"""The paper's nine driving scenarios (Table 1).
+
+Each scenario is a 3-lane-road choreography with seeded jitter
+reproducing the paper's run-to-run variance. ``build_scenario(name,
+seed)`` returns a :class:`BuiltScenario` whose ``run(fpr)`` executes the
+full closed loop and returns a trace.
+"""
+
+from repro.scenarios.base import BuiltScenario, ScenarioSpec, jittered
+from repro.scenarios.catalog import SCENARIO_NAMES, SCENARIOS, build_scenario
+
+__all__ = [
+    "ScenarioSpec",
+    "BuiltScenario",
+    "jittered",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "build_scenario",
+]

@@ -1,0 +1,180 @@
+"""Scenario machinery: specs, seeded jitter, and the run harness.
+
+A :class:`ScenarioSpec` declares a scenario's geometry and choreography
+as *factories* — actors carry latched triggers and other run state, so
+every run rebuilds them. Jitter is drawn from a generator seeded only by
+the scenario seed, which makes runs of the same seed at different FPR
+settings share identical choreography (paired comparisons, as needed for
+the minimum-required-FPR search), while different seeds reproduce the
+paper's "simulations can be non-deterministic ... run ten times and
+average" protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.actors.vehicle import Actor
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.detection import DetectionModel
+from repro.perception.pipeline import PerceptionSystem
+from repro.perception.sensor import default_rig
+from repro.planning.planner import Planner, PlannerConfig
+from repro.road.lane import FrenetPoint
+from repro.road.track import Road
+from repro.sim.simulator import SimHook, SimulationConfig, Simulator
+from repro.sim.trace import ScenarioTrace
+from repro.units import mph_to_mps
+
+
+def jittered(
+    rng: np.random.Generator, value: float, fraction: float = 0.1
+) -> float:
+    """``value`` scaled by a uniform factor in ``[1-fraction, 1+fraction]``."""
+    if fraction < 0.0:
+        raise ConfigurationError("jitter fraction must be non-negative")
+    if fraction == 0.0:
+        return value
+    return value * (1.0 + rng.uniform(-fraction, fraction))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one catalog scenario.
+
+    Attributes:
+        name: catalog key.
+        description: one-line summary (mirrors Table 1's description).
+        ego_speed_mph: ego cruise speed as the paper quotes it.
+        ego_lane: ego's lane (0 = rightmost).
+        ego_station: ego start station along the road (m).
+        activity: the paper's Front/Right/Left activity flags.
+        paper_mrf: the paper's minimum-required-FPR entry (for reports).
+        build_road: road factory.
+        build_actors: actor factory, given the road and the jitter RNG.
+        duration: maximum simulated time (s).
+    """
+
+    name: str
+    description: str
+    ego_speed_mph: float
+    ego_lane: int
+    ego_station: float
+    activity: Mapping[str, bool]
+    paper_mrf: str
+    build_road: Callable[[], Road]
+    build_actors: Callable[[Road, np.random.Generator], list[Actor]]
+    duration: float = 30.0
+
+
+class BuiltScenario:
+    """A scenario bound to a seed, ready to run at any FPR setting."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.road = spec.build_road()
+
+    @property
+    def name(self) -> str:
+        """Catalog name of the scenario."""
+        return self.spec.name
+
+    @property
+    def ego_speed(self) -> float:
+        """Ego cruise speed in m/s."""
+        return mph_to_mps(self.spec.ego_speed_mph)
+
+    def ego_initial_state(self) -> VehicleState:
+        """The ego's state at t = 0."""
+        offset = self.road.lane_offset(self.spec.ego_lane)
+        position = self.road.to_world(
+            FrenetPoint(self.spec.ego_station, offset)
+        )
+        return VehicleState(
+            position=position,
+            heading=self.road.heading_at(self.spec.ego_station),
+            speed=self.ego_speed,
+            accel=0.0,
+        )
+
+    def build_actors(self) -> list[Actor]:
+        """Fresh, jittered actors for one run (same seed, same jitter)."""
+        rng = np.random.default_rng(self.seed)
+        return self.spec.build_actors(self.road, rng)
+
+    def run(
+        self,
+        fpr: float | Mapping[str, float] = 30.0,
+        hooks: Sequence[SimHook] = (),
+        detection_model: DetectionModel | None = None,
+        sim_config: SimulationConfig | None = None,
+        confirmation_hits: int = 5,
+        ego_spec: VehicleSpec | None = None,
+    ) -> ScenarioTrace:
+        """Run the closed loop once and return the trace.
+
+        Args:
+            fpr: fixed rate for all cameras, or a per-camera mapping.
+            hooks: simulation hooks (e.g. the Zhuyi online system).
+            detection_model: perception characteristics; the default has
+                occlusion on (DriveSim cameras cannot see through
+                vehicles — this is what makes cut-out reveals sudden).
+            sim_config: overrides duration / dt / stopping behaviour.
+            confirmation_hits: the tracker's ``K``.
+            ego_spec: the ego's physical spec.
+        """
+        spec = self.spec
+        ego_spec = ego_spec if ego_spec is not None else VehicleSpec()
+        detection = (
+            detection_model
+            if detection_model is not None
+            else DetectionModel(position_noise=0.08, occlusion=True)
+        )
+        perception = PerceptionSystem(
+            rig=default_rig(),
+            detection_model=detection,
+            fpr=fpr,
+            confirmation_hits=confirmation_hits,
+            seed=self.seed + 7_919,  # decorrelate noise from choreography
+        )
+        planner = Planner(
+            config=PlannerConfig(
+                road=self.road,
+                target_lane=spec.ego_lane,
+                desired_speed=self.ego_speed,
+            ),
+            spec=ego_spec,
+        )
+        config = (
+            sim_config
+            if sim_config is not None
+            else SimulationConfig(duration=spec.duration)
+        )
+        simulator = Simulator(
+            scenario_name=spec.name,
+            road=self.road,
+            ego_initial=self.ego_initial_state(),
+            ego_spec=ego_spec,
+            planner=planner,
+            perception=perception,
+            actors=self.build_actors(),
+            config=config,
+            hooks=hooks,
+            seed=self.seed,
+        )
+        trace = simulator.run()
+        trace.metadata.update(
+            {
+                "ego_speed_mph": spec.ego_speed_mph,
+                "ego_lane": spec.ego_lane,
+                "activity": dict(spec.activity),
+                "paper_mrf": spec.paper_mrf,
+            }
+        )
+        return trace

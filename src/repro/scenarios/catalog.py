@@ -1,0 +1,461 @@
+"""The nine Table 1 scenarios.
+
+Every scenario follows the paper's prose (Section 4.1). Geometry numbers
+(gaps, trigger distances) are this reproduction's tuning — the paper does
+not publish them — chosen so the *shape* of Table 1 holds: the cut-out
+scenarios are the hardest (highest MRF), the activity scenarios are
+benign, and everything is survivable at 30 FPR.
+
+Note: the prose for "Front & right activity 3" says the actor cuts in
+from the *right-most* lane while the table flags Left activity; we follow
+the prose (see DESIGN.md, "known paper ambiguities").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.actors.behavior import AtTime, WhenActorGapBelow, WhenEgoGapBelow
+from repro.actors.maneuvers import (
+    Cruise,
+    Follow,
+    PaceBeside,
+    SuddenBrake,
+    TriggeredLaneChange,
+)
+from repro.actors.vehicle import Actor
+from repro.dynamics.state import VehicleSpec
+from repro.errors import ConfigurationError
+from repro.road.track import Road, three_lane_curved_road, three_lane_straight_road
+from repro.scenarios.base import BuiltScenario, ScenarioSpec, jittered
+from repro.units import mph_to_mps
+
+#: Ego start station on the straight road (m).
+_EGO_START = 60.0
+
+
+def _straight_road() -> Road:
+    return three_lane_straight_road(length=2000.0)
+
+
+def _curved_road() -> Road:
+    return three_lane_curved_road(
+        entry_length=150.0, radius=350.0, arc_length=1400.0, turn_left=False
+    )
+
+
+# ----------------------------------------------------------------------
+# cut-out family
+# ----------------------------------------------------------------------
+
+
+def _cut_out_actors(
+    road: Road, rng: np.random.Generator, ego_speed_mph: float
+) -> list[Actor]:
+    """Lead cuts out of the ego's lane, revealing a static obstacle.
+
+    Two more actors pace the ego on both adjacent lanes, so hard braking
+    is the ego's only option. The bail-out gap is chosen so the obstacle
+    is revealed near-critically: at 40 mph the scenario is survivable
+    only with a fast perception reaction (the paper's hardest MRF).
+    """
+    speed = mph_to_mps(ego_speed_mph)
+    lead_gap = jittered(rng, 0.3 * speed + 20.0, 0.05)
+    # Slightly tighter bail-out at low speed keeps the 20 mph variant's
+    # demand above its MRF even in gently-driven high-FPR traces.
+    bail_out_gap = jittered(rng, 22.0 if speed < 12.0 else 26.0, 0.05)
+    cruise_before = 2.5  # seconds of steady driving before the bail-out
+    obstacle_gap = lead_gap + bail_out_gap + speed * cruise_before
+    lead = Actor(
+        actor_id="lead",
+        road=road,
+        behavior=TriggeredLaneChange(
+            trigger=WhenActorGapBelow(target_id="obstacle", gap=bail_out_gap),
+            target_lane=0,
+            duration=jittered(rng, 1.8, 0.08),
+            then=Cruise(target_speed=speed),
+        ),
+        lane=1,
+        station=_EGO_START + lead_gap,
+        speed=speed,
+    )
+    obstacle = Actor(
+        actor_id="obstacle",
+        road=road,
+        behavior=Cruise(target_speed=0.0),
+        lane=1,
+        station=_EGO_START + obstacle_gap,
+        speed=0.0,
+    )
+    left_blocker = Actor(
+        actor_id="left_blocker",
+        road=road,
+        behavior=Cruise(target_speed=speed),
+        lane=2,
+        station=_EGO_START + jittered(rng, 2.0, 0.3),
+        speed=speed,
+    )
+    right_blocker = Actor(
+        actor_id="right_blocker",
+        road=road,
+        behavior=Cruise(target_speed=speed),
+        lane=0,
+        station=_EGO_START - jittered(rng, 3.0, 0.3),
+        speed=speed,
+    )
+    return [lead, obstacle, left_blocker, right_blocker]
+
+
+# ----------------------------------------------------------------------
+# cut-in family
+# ----------------------------------------------------------------------
+
+
+def _cut_in_actors(
+    road: Road,
+    rng: np.random.Generator,
+    ego_speed_mph: float,
+    actor_speed_mph: float,
+    trigger_gap: float,
+    start_gap: float,
+    duration: float,
+    with_left_blocker: bool,
+    blocker_station_offset: float = -8.0,
+    from_lane: int = 0,
+    ego_lane: int = 1,
+    ego_station: float = _EGO_START,
+) -> list[Actor]:
+    """An actor cuts into the ego's lane from an adjacent lane."""
+    actor_speed = mph_to_mps(actor_speed_mph)
+    ego_speed = mph_to_mps(ego_speed_mph)
+    cutter = Actor(
+        actor_id="cutter",
+        road=road,
+        behavior=TriggeredLaneChange(
+            trigger=WhenEgoGapBelow(gap=jittered(rng, trigger_gap, 0.08)),
+            target_lane=ego_lane,
+            duration=jittered(rng, duration, 0.12),
+            cruise_speed=actor_speed,
+        ),
+        lane=from_lane,
+        station=ego_station + jittered(rng, start_gap, 0.08),
+        speed=actor_speed,
+    )
+    actors = [cutter]
+    if with_left_blocker:
+        actors.append(
+            Actor(
+                actor_id="left_blocker",
+                road=road,
+                behavior=Cruise(target_speed=ego_speed),
+                lane=2,
+                station=ego_station + blocker_station_offset,
+                speed=ego_speed,
+            )
+        )
+    return actors
+
+
+# ----------------------------------------------------------------------
+# the catalog
+# ----------------------------------------------------------------------
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def _register(spec: ScenarioSpec) -> None:
+    if spec.name in SCENARIOS:
+        raise ConfigurationError(f"duplicate scenario name {spec.name!r}")
+    SCENARIOS[spec.name] = spec
+
+
+_register(
+    ScenarioSpec(
+        name="cut_out",
+        description=(
+            "Front actor cuts out of the ego's lane revealing a static "
+            "obstacle; adjacent lanes blocked."
+        ),
+        ego_speed_mph=20.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": True},
+        paper_mrf="2",
+        build_road=_straight_road,
+        build_actors=lambda road, rng: _cut_out_actors(road, rng, 20.0),
+        duration=35.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="cut_out_fast",
+        description="Cut-out with the ego traveling at a higher speed.",
+        ego_speed_mph=40.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": True},
+        paper_mrf="6",
+        build_road=_straight_road,
+        build_actors=lambda road, rng: _cut_out_actors(road, rng, 40.0),
+        duration=35.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="cut_in",
+        description="An actor cuts in front of the ego at a safe distance.",
+        ego_speed_mph=70.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": False, "left": False},
+        paper_mrf="<1",
+        build_road=_straight_road,
+        build_actors=lambda road, rng: _cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=70.0,
+            actor_speed_mph=55.0,
+            trigger_gap=55.0,
+            start_gap=75.0,
+            duration=3.0,
+            with_left_blocker=False,
+        ),
+        duration=40.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="challenging_cut_in",
+        description=(
+            "An actor cuts in much closer to the ego; a left-lane actor "
+            "leaves braking as the only option."
+        ),
+        ego_speed_mph=60.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": False},
+        paper_mrf="3",
+        build_road=_straight_road,
+        build_actors=lambda road, rng: _cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=60.0,
+            actor_speed_mph=40.0,
+            trigger_gap=26.0,
+            start_gap=45.0,
+            duration=2.2,
+            with_left_blocker=True,
+            blocker_station_offset=-9.0,
+        ),
+        duration=35.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="challenging_cut_in_curved",
+        description="The challenging cut-in staged on a curved road.",
+        ego_speed_mph=40.0,
+        ego_lane=1,
+        ego_station=40.0,
+        activity={"front": True, "right": True, "left": True},
+        paper_mrf="3",
+        build_road=_curved_road,
+        build_actors=lambda road, rng: _cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=40.0,
+            actor_speed_mph=26.0,
+            trigger_gap=20.0,
+            start_gap=38.0,
+            duration=2.2,
+            with_left_blocker=True,
+            blocker_station_offset=-2.0,
+            ego_station=40.0,
+        ),
+        duration=40.0,
+    )
+)
+
+
+def _vehicle_following_actors(
+    road: Road, rng: np.random.Generator
+) -> list[Actor]:
+    speed = mph_to_mps(70.0)
+    return [
+        Actor(
+            actor_id="lead",
+            road=road,
+            behavior=SuddenBrake(
+                trigger=AtTime(time=jittered(rng, 4.0, 0.15)),
+                decel=jittered(rng, 3.0, 0.1),
+                cruise_speed=speed,
+            ),
+            lane=1,
+            station=_EGO_START + jittered(rng, 50.0, 0.04),
+            speed=speed,
+        )
+    ]
+
+
+_register(
+    ScenarioSpec(
+        name="vehicle_following",
+        description=(
+            "The ego follows a lead at 50 m on a highway; the lead "
+            "suddenly brakes to a stop."
+        ),
+        ego_speed_mph=70.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": False, "left": False},
+        paper_mrf="<1",
+        build_road=_straight_road,
+        build_actors=_vehicle_following_actors,
+        duration=35.0,
+    )
+)
+
+
+def _front_right_1_actors(road: Road, rng: np.random.Generator) -> list[Actor]:
+    """Ego in the left lane; benign lane-change traffic around it."""
+    speed = mph_to_mps(40.0)
+    mover = Actor(
+        actor_id="mover",
+        road=road,
+        behavior=TriggeredLaneChange(
+            trigger=AtTime(time=jittered(rng, 3.0, 0.2)),
+            target_lane=1,
+            duration=jittered(rng, 3.0, 0.15),
+            cruise_speed=speed,
+        ),
+        lane=0,
+        station=_EGO_START + jittered(rng, 45.0, 0.1),
+        speed=speed,
+    )
+    overtaker = Actor(
+        actor_id="overtaker",
+        road=road,
+        behavior=TriggeredLaneChange(
+            trigger=AtTime(time=jittered(rng, 4.0, 0.2)),
+            target_lane=1,
+            duration=jittered(rng, 3.0, 0.15),
+            cruise_speed=mph_to_mps(45.0),
+        ),
+        lane=2,
+        station=_EGO_START - jittered(rng, 32.0, 0.1),
+        speed=mph_to_mps(45.0),
+    )
+    return [mover, overtaker]
+
+
+_register(
+    ScenarioSpec(
+        name="front_right_activity_1",
+        description=(
+            "Ego in the left lane; an actor moves from the rightmost lane "
+            "to the middle, another moves from behind the ego to the right."
+        ),
+        ego_speed_mph=40.0,
+        ego_lane=2,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": False},
+        paper_mrf="<1",
+        build_road=_straight_road,
+        build_actors=_front_right_1_actors,
+        duration=30.0,
+    )
+)
+
+
+def _front_right_2_actors(road: Road, rng: np.random.Generator) -> list[Actor]:
+    """Front actor cuts out right then paces the ego; a follower behind."""
+    speed = mph_to_mps(40.0)
+    pacer = Actor(
+        actor_id="pacer",
+        road=road,
+        behavior=TriggeredLaneChange(
+            trigger=AtTime(time=jittered(rng, 2.5, 0.2)),
+            target_lane=0,
+            duration=jittered(rng, 2.8, 0.15),
+            cruise_speed=speed,
+            then=PaceBeside(station_offset=jittered(rng, 1.0, 0.5)),
+        ),
+        lane=1,
+        station=_EGO_START + jittered(rng, 32.0, 0.1),
+        speed=speed,
+    )
+    follower = Actor(
+        actor_id="follower",
+        road=road,
+        behavior=Follow(lead_id=None),
+        lane=1,
+        station=_EGO_START - jittered(rng, 35.0, 0.1),
+        speed=speed,
+    )
+    return [pacer, follower]
+
+
+_register(
+    ScenarioSpec(
+        name="front_right_activity_2",
+        description=(
+            "Ego in the middle lane; the front actor cuts out to the "
+            "rightmost lane and paces the ego side by side; another actor "
+            "follows the ego."
+        ),
+        ego_speed_mph=40.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": False},
+        paper_mrf="<1",
+        build_road=_straight_road,
+        build_actors=_front_right_2_actors,
+        duration=30.0,
+    )
+)
+
+
+_register(
+    ScenarioSpec(
+        name="front_right_activity_3",
+        description=(
+            "Ego in the middle lane; an actor from the rightmost lane cuts "
+            "into the ego's lane ahead of it."
+        ),
+        ego_speed_mph=60.0,
+        ego_lane=1,
+        ego_station=_EGO_START,
+        activity={"front": True, "right": True, "left": False},
+        paper_mrf="<1",
+        build_road=_straight_road,
+        build_actors=lambda road, rng: _cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=60.0,
+            actor_speed_mph=45.0,
+            trigger_gap=42.0,
+            start_gap=60.0,
+            duration=2.6,
+            with_left_blocker=False,
+        ),
+        duration=35.0,
+    )
+)
+
+
+#: Catalog keys in Table 1 order.
+SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)
+
+
+def build_scenario(name: str, seed: int = 0) -> BuiltScenario:
+    """Instantiate a catalog scenario with a jitter seed."""
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return BuiltScenario(SCENARIOS[name], seed=seed)

@@ -1,0 +1,21 @@
+"""Simulator core: the closed loop of ego, actors, perception, planner.
+
+Replaces the paper's NVIDIA DriveSim + AV stack combination with a
+deterministic 100 Hz kinematic loop that records a full scenario trace —
+"the states of the ego and all the actors at all the time-steps"
+(Section 3.1) — plus collision events and planner telemetry.
+"""
+
+from repro.sim.collision import CollisionChecker, CollisionEvent
+from repro.sim.trace import ScenarioTrace, TraceStep
+from repro.sim.simulator import SimulationConfig, Simulator, SimHook
+
+__all__ = [
+    "CollisionEvent",
+    "CollisionChecker",
+    "TraceStep",
+    "ScenarioTrace",
+    "SimulationConfig",
+    "Simulator",
+    "SimHook",
+]

@@ -1,0 +1,52 @@
+"""Collision detection between the ego and scripted actors.
+
+Safety in the paper is binary: "no collision between the ego and
+surrounding actors". The checker reports each ego-actor pair at most
+once so a continuing overlap does not flood the event list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.geometry.boxes import boxes_overlap
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """One ego-actor collision."""
+
+    time: float
+    actor_id: Hashable
+
+
+class CollisionChecker:
+    """Stateful per-run collision detector."""
+
+    def __init__(self, ego_spec: VehicleSpec):
+        self._ego_spec = ego_spec
+        self._already_hit: set[Hashable] = set()
+
+    @property
+    def collided_actors(self) -> frozenset:
+        """Actors the ego has already collided with this run."""
+        return frozenset(self._already_hit)
+
+    def check(
+        self,
+        time: float,
+        ego_state: VehicleState,
+        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
+    ) -> list[CollisionEvent]:
+        """New collisions at this instant (each actor reported once)."""
+        ego_box = ego_state.footprint(self._ego_spec)
+        events: list[CollisionEvent] = []
+        for actor_id, (state, spec) in actors.items():
+            if actor_id in self._already_hit:
+                continue
+            if boxes_overlap(ego_box, state.footprint(spec)):
+                self._already_hit.add(actor_id)
+                events.append(CollisionEvent(time=time, actor_id=actor_id))
+        return events

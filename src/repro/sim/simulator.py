@@ -1,0 +1,201 @@
+"""The closed-loop simulator.
+
+Per 100 Hz step: perception advances (captures due camera frames and
+applies frames whose processing latency elapsed), the planner decides
+from the perceived world model, the ego integrates one bicycle step,
+scripted actors advance their choreography, and collisions are checked.
+Hooks (e.g. the Zhuyi-based online safety system) run after perception
+so they can both read the world model and retune camera rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.actors.behavior import ScenarioContext
+from repro.actors.vehicle import Actor
+from repro.dynamics.bicycle import KinematicBicycle
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.perception.pipeline import PerceptionSystem
+from repro.planning.planner import Planner
+from repro.road.track import Road
+from repro.sim.collision import CollisionChecker, CollisionEvent
+from repro.sim.trace import ScenarioTrace, TraceStep
+
+
+@runtime_checkable
+class SimHook(Protocol):
+    """Extension point run every step after perception and planning."""
+
+    def on_step(self, now: float, simulator: "Simulator") -> None:
+        """Observe and/or steer the running simulation."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level settings."""
+
+    dt: float = 0.01
+    duration: float = 30.0
+    stop_on_collision: bool = True
+    settle_after_stop: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        if self.duration <= self.dt:
+            raise ConfigurationError("duration must exceed one step")
+
+
+class Simulator:
+    """One closed-loop scenario run."""
+
+    def __init__(
+        self,
+        scenario_name: str,
+        road: Road,
+        ego_initial: VehicleState,
+        ego_spec: VehicleSpec,
+        planner: Planner,
+        perception: PerceptionSystem,
+        actors: Sequence[Actor],
+        config: SimulationConfig | None = None,
+        hooks: Sequence[SimHook] = (),
+        seed: int | None = None,
+    ):
+        self.scenario_name = scenario_name
+        self.road = road
+        self.ego_state = ego_initial
+        self.ego_spec = ego_spec
+        self.planner = planner
+        self.perception = perception
+        self.actors = list(actors)
+        self.config = config if config is not None else SimulationConfig()
+        self.hooks = list(hooks)
+        self.seed = seed
+        self.time = 0.0
+        self._integrator = KinematicBicycle(ego_spec)
+        self._collision_checker = CollisionChecker(ego_spec)
+        self._collisions: list[CollisionEvent] = []
+        self._steps: list[TraceStep] = []
+        self._last_mode = "cruise"
+        self._initial_fprs = perception.fprs()
+
+        ids = [actor.actor_id for actor in self.actors]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate actor ids: {ids}")
+
+    # ------------------------------------------------------------------
+    # state snapshots
+    # ------------------------------------------------------------------
+
+    def actor_states(self) -> dict[str, VehicleState]:
+        """Ground-truth states of all actors right now."""
+        return {actor.actor_id: actor.state for actor in self.actors}
+
+    def actor_map(self) -> dict[str, tuple[VehicleState, VehicleSpec]]:
+        """(state, spec) pairs keyed by actor id — the perception input."""
+        return {
+            actor.actor_id: (actor.state, actor.spec) for actor in self.actors
+        }
+
+    @property
+    def collisions(self) -> list[CollisionEvent]:
+        """Collisions recorded so far."""
+        return list(self._collisions)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioTrace:
+        """Run to completion and return the recorded trace."""
+        config = self.config
+        steps_total = int(round(config.duration / config.dt))
+        stopped_since: float | None = None
+
+        for _ in range(steps_total):
+            now = self.time
+            actor_map = self.actor_map()
+
+            self.perception.step(now, self.ego_state, actor_map)
+            plan = self.planner.plan(
+                now, self.ego_state, self.perception.world_model
+            )
+            self._last_mode = plan.mode.value
+
+            for hook in self.hooks:
+                hook.on_step(now, self)
+
+            self._record(now)
+
+            # Integrate the ego and advance the choreography.
+            context = ScenarioContext(
+                road=self.road,
+                ego_state=self.ego_state,
+                actor_states={
+                    actor_id: state for actor_id, (state, _) in actor_map.items()
+                },
+            )
+            self.ego_state = self._integrator.step(
+                self.ego_state, plan.accel, plan.steer, config.dt
+            )
+            for actor in self.actors:
+                actor.step(now, config.dt, context)
+            self.time = now + config.dt
+
+            events = self._collision_checker.check(
+                self.time, self.ego_state, self.actor_map()
+            )
+            self._collisions.extend(events)
+            if events and config.stop_on_collision:
+                self._record(self.time)
+                break
+
+            # End early once everything has settled to a stop.
+            if config.settle_after_stop > 0.0:
+                moving = self.ego_state.speed > 0.05 or any(
+                    actor.state.speed > 0.05 for actor in self.actors
+                )
+                if moving:
+                    stopped_since = None
+                elif stopped_since is None:
+                    stopped_since = self.time
+                elif self.time - stopped_since >= config.settle_after_stop:
+                    self._record(self.time)
+                    break
+
+        if not self._steps or self._steps[-1].time < self.time - 1e-9:
+            self._record(self.time)
+
+        return ScenarioTrace(
+            scenario=self.scenario_name,
+            dt=config.dt,
+            steps=self._steps,
+            collisions=self._collisions,
+            nominal_fpr=self._nominal_fpr(),
+            seed=self.seed,
+            ego_spec=self.ego_spec,
+            actor_specs={actor.actor_id: actor.spec for actor in self.actors},
+        )
+
+    def _record(self, now: float) -> None:
+        self._steps.append(
+            TraceStep(
+                time=now,
+                ego=self.ego_state,
+                actors=self.actor_states(),
+                planner_mode=self._last_mode,
+                camera_fprs=self.perception.fprs(),
+            )
+        )
+
+    def _nominal_fpr(self) -> float | None:
+        """The run's fixed FPR setting, or ``None`` when per-camera."""
+        rates = set(self._initial_fprs.values())
+        if len(rates) == 1:
+            return rates.pop()
+        return None

@@ -1,0 +1,257 @@
+"""Scenario traces: the record the pre-deployment evaluator consumes.
+
+"For each AV tested scenario, the scenario trace is collected which
+includes the states of the ego and all the actors at all the time-steps"
+(Section 3.1). Traces serialize to JSON for archival and are queried as
+interpolated :class:`StateTrajectory` objects by the Zhuyi evaluator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.dynamics.state import (
+    StateTrajectory,
+    TimedState,
+    VehicleSpec,
+    VehicleState,
+)
+from repro.errors import TraceError
+from repro.geometry.vec import Vec2
+from repro.sim.collision import CollisionEvent
+from repro.units import seconds_to_ms
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """The scene at one simulation step."""
+
+    time: float
+    ego: VehicleState
+    actors: Mapping[str, VehicleState]
+    planner_mode: str = "cruise"
+    camera_fprs: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> int:
+        """Timestamp in milliseconds (the unit of the paper's figures)."""
+        return seconds_to_ms(self.time)
+
+
+class ScenarioTrace:
+    """A full recorded run of one scenario."""
+
+    def __init__(
+        self,
+        scenario: str,
+        dt: float,
+        steps: Sequence[TraceStep],
+        collisions: Sequence[CollisionEvent] = (),
+        nominal_fpr: float | None = None,
+        seed: int | None = None,
+        ego_spec: VehicleSpec | None = None,
+        actor_specs: Mapping[str, VehicleSpec] | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ):
+        if not steps:
+            raise TraceError("a trace needs at least one step")
+        self.scenario = scenario
+        self.dt = dt
+        self.steps = list(steps)
+        self.collisions = list(collisions)
+        self.nominal_fpr = nominal_fpr
+        self.seed = seed
+        self.ego_spec = ego_spec if ego_spec is not None else VehicleSpec()
+        self.actor_specs = dict(actor_specs) if actor_specs else {}
+        self.metadata = dict(metadata) if metadata else {}
+        self._ego_trajectory: StateTrajectory | None = None
+        self._actor_trajectories: dict[str, StateTrajectory] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Simulated time covered (seconds)."""
+        return self.steps[-1].time - self.steps[0].time
+
+    @property
+    def has_collision(self) -> bool:
+        """Whether any ego-actor collision occurred."""
+        return bool(self.collisions)
+
+    @property
+    def first_collision_time(self) -> float | None:
+        """Time of the first collision, or ``None``."""
+        if not self.collisions:
+            return None
+        return min(event.time for event in self.collisions)
+
+    def actor_ids(self) -> list[str]:
+        """All actor ids appearing anywhere in the trace."""
+        ids: dict[str, None] = {}
+        for step in self.steps:
+            for actor_id in step.actors:
+                ids.setdefault(actor_id, None)
+        return list(ids)
+
+    def actor_spec(self, actor_id: str) -> VehicleSpec:
+        """The actor's physical spec (default spec when unrecorded)."""
+        return self.actor_specs.get(actor_id, VehicleSpec())
+
+    def ego_trajectory(self) -> StateTrajectory:
+        """The ego's motion as an interpolated trajectory (cached)."""
+        if self._ego_trajectory is None:
+            self._ego_trajectory = StateTrajectory(
+                TimedState(step.time, step.ego) for step in self.steps
+            )
+        return self._ego_trajectory
+
+    def actor_trajectory(self, actor_id: str) -> StateTrajectory:
+        """One actor's motion as an interpolated trajectory (cached)."""
+        if actor_id not in self._actor_trajectories:
+            samples = [
+                TimedState(step.time, step.actors[actor_id])
+                for step in self.steps
+                if actor_id in step.actors
+            ]
+            if not samples:
+                raise TraceError(f"actor {actor_id!r} does not appear in trace")
+            self._actor_trajectories[actor_id] = StateTrajectory(samples)
+        return self._actor_trajectories[actor_id]
+
+    def step_at(self, time: float) -> TraceStep:
+        """The recorded step closest to ``time``."""
+        return min(self.steps, key=lambda step: abs(step.time - time))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "scenario": self.scenario,
+            "dt": self.dt,
+            "nominal_fpr": self.nominal_fpr,
+            "seed": self.seed,
+            "ego_spec": _spec_to_dict(self.ego_spec),
+            "actor_specs": {
+                actor_id: _spec_to_dict(spec)
+                for actor_id, spec in self.actor_specs.items()
+            },
+            "metadata": self.metadata,
+            "collisions": [
+                {"time": event.time, "actor_id": event.actor_id}
+                for event in self.collisions
+            ],
+            "steps": [
+                {
+                    "time": step.time,
+                    "ego": _state_to_dict(step.ego),
+                    "actors": {
+                        actor_id: _state_to_dict(state)
+                        for actor_id, state in step.actors.items()
+                    },
+                    "planner_mode": step.planner_mode,
+                    "camera_fprs": dict(step.camera_fprs),
+                }
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioTrace":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            steps = [
+                TraceStep(
+                    time=raw["time"],
+                    ego=_state_from_dict(raw["ego"]),
+                    actors={
+                        actor_id: _state_from_dict(state)
+                        for actor_id, state in raw["actors"].items()
+                    },
+                    planner_mode=raw.get("planner_mode", "cruise"),
+                    camera_fprs=raw.get("camera_fprs", {}),
+                )
+                for raw in data["steps"]
+            ]
+            collisions = [
+                CollisionEvent(time=raw["time"], actor_id=raw["actor_id"])
+                for raw in data.get("collisions", [])
+            ]
+            return cls(
+                scenario=data["scenario"],
+                dt=data["dt"],
+                steps=steps,
+                collisions=collisions,
+                nominal_fpr=data.get("nominal_fpr"),
+                seed=data.get("seed"),
+                ego_spec=_spec_from_dict(data["ego_spec"]),
+                actor_specs={
+                    actor_id: _spec_from_dict(spec)
+                    for actor_id, spec in data.get("actor_specs", {}).items()
+                },
+                metadata=data.get("metadata", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TraceError(f"malformed trace data: {exc}") from exc
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the trace to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ScenarioTrace":
+        """Read a trace from a JSON file."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid trace JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _state_to_dict(state: VehicleState) -> dict:
+    return {
+        "x": state.position.x,
+        "y": state.position.y,
+        "heading": state.heading,
+        "speed": state.speed,
+        "accel": state.accel,
+    }
+
+
+def _state_from_dict(data: Mapping) -> VehicleState:
+    return VehicleState(
+        position=Vec2(data["x"], data["y"]),
+        heading=data["heading"],
+        speed=data["speed"],
+        accel=data.get("accel", 0.0),
+    )
+
+
+def _spec_to_dict(spec: VehicleSpec) -> dict:
+    return {
+        "length": spec.length,
+        "width": spec.width,
+        "wheelbase": spec.wheelbase,
+        "max_accel": spec.max_accel,
+        "max_decel": spec.max_decel,
+        "max_speed": spec.max_speed,
+    }
+
+
+def _spec_from_dict(data: Mapping) -> VehicleSpec:
+    return VehicleSpec(
+        length=data["length"],
+        width=data["width"],
+        wheelbase=data["wheelbase"],
+        max_accel=data["max_accel"],
+        max_decel=data["max_decel"],
+        max_speed=data["max_speed"],
+    )

@@ -1,0 +1,117 @@
+"""Minimum-required-FPR search (Table 1's "Min Required FPR" column).
+
+"We validate the Zhuyi model by running the AV system with different FPR
+(ranging from 1 to 30) and check whether the estimated FPR for a
+scenario is above the minimum required FPR (MRF). The MRF is the FPR
+above which no collision was detected in the scenario."
+
+Runs of the same seed share choreography, so the collision outcome is a
+paired comparison across FPR settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.base import BuiltScenario
+from repro.scenarios.catalog import build_scenario
+
+#: The paper's validation grid of fixed FPR settings.
+DEFAULT_FPR_GRID: tuple[float, ...] = (
+    1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 15.0, 30.0
+)
+
+
+@dataclass(frozen=True)
+class MRFResult:
+    """Outcome of one MRF search.
+
+    Attributes:
+        scenario: scenario name.
+        mrf: the minimum FPR with no collision across all tested seeds,
+            or ``None`` when every tested rate collided.
+        collision_fprs: rates at which at least one seed collided.
+        safe_fprs: rates at which no seed collided.
+        runs: total closed-loop runs executed.
+    """
+
+    scenario: str
+    mrf: float | None
+    collision_fprs: tuple[float, ...]
+    safe_fprs: tuple[float, ...]
+    runs: int
+
+    @property
+    def label(self) -> str:
+        """Table 1 style label: "<1" when even the lowest rate is safe."""
+        if self.mrf is None:
+            return "unsafe"
+        if not self.collision_fprs:
+            return "<" + _format_fpr(self.mrf)
+        return _format_fpr(self.mrf)
+
+
+def _format_fpr(value: float) -> str:
+    return f"{value:g}"
+
+
+def find_minimum_required_fpr(
+    scenario: str | BuiltScenario,
+    fpr_grid: Sequence[float] = DEFAULT_FPR_GRID,
+    seeds: Sequence[int] = (0,),
+    collision_cache: Mapping[tuple[float, int], bool] | None = None,
+) -> MRFResult:
+    """Search the FPR grid for the lowest collision-free setting.
+
+    Args:
+        scenario: catalog name or an already-built scenario (whose seed
+            is then replaced by each entry of ``seeds``).
+        fpr_grid: candidate rates, any order (sorted internally).
+        seeds: jitter seeds; a rate counts as safe only when *all* seeds
+            are collision-free at that rate.
+        collision_cache: optional pre-computed ``(fpr, seed) -> collided``
+            results (the Table 1 harness reuses its validation runs).
+    """
+    if not fpr_grid:
+        raise ConfigurationError("FPR grid must not be empty")
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+
+    name = scenario if isinstance(scenario, str) else scenario.name
+    rates = sorted(set(fpr_grid))
+    runs = 0
+    collision_rates = []
+    safe_rates = []
+    for rate in rates:
+        collided = False
+        for seed in seeds:
+            key = (rate, seed)
+            if collision_cache is not None and key in collision_cache:
+                outcome = collision_cache[key]
+            else:
+                trace = build_scenario(name, seed=seed).run(fpr=rate)
+                runs += 1
+                outcome = trace.has_collision
+            if outcome:
+                collided = True
+        if collided:
+            collision_rates.append(rate)
+        else:
+            safe_rates.append(rate)
+
+    # The MRF is the lowest rate above every colliding rate.
+    mrf = None
+    worst_collision = max(collision_rates) if collision_rates else None
+    for rate in rates:
+        if worst_collision is None or rate > worst_collision:
+            mrf = rate
+            break
+    return MRFResult(
+        scenario=name,
+        mrf=mrf,
+        collision_fprs=tuple(collision_rates),
+        safe_fprs=tuple(safe_rates),
+        runs=runs,
+    )

@@ -1,0 +1,116 @@
+"""The online safety check (Section 3.2, "Safety Check").
+
+"With Zhuyi's estimated per-camera requirements, the system can check
+whether the current per-camera processing rates are above the estimates.
+If not, there is a safety concern with a high potential for a collision
+... the Safety check block can send an alarm to the AV system which can
+take one of the following actions": activate a backup system, drop
+non-essential work, or raise the under-provisioned cameras' rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.evaluator import EvaluationTick
+from repro.errors import ConfigurationError
+
+
+class MitigationAction(enum.Enum):
+    """The paper's three responses to a safety alarm."""
+
+    ACTIVATE_BACKUP = "activate-backup"
+    LIMITED_FUNCTIONALITY = "limited-functionality"
+    RAISE_PROCESSING_RATE = "raise-processing-rate"
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One camera operating below its Zhuyi requirement."""
+
+    time: float
+    camera: str
+    operating_fpr: float
+    required_fpr: float
+
+    @property
+    def deficit(self) -> float:
+        """How many frames/second short the camera is."""
+        return self.required_fpr - self.operating_fpr
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Result of one safety-check evaluation."""
+
+    time: float
+    safe: bool
+    alarms: tuple[Alarm, ...]
+    recommended_action: MitigationAction | None
+
+
+@dataclass
+class SafetyChecker:
+    """Compares operating rates against Zhuyi estimates.
+
+    Attributes:
+        margin: multiplicative headroom required on top of the estimate
+            (1.0 = the paper's plain comparison).
+        action_policy: mitigation recommended when alarms fire.
+    """
+
+    margin: float = 1.0
+    action_policy: MitigationAction = MitigationAction.RAISE_PROCESSING_RATE
+    _history: list[SafetyVerdict] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.margin < 1.0:
+            raise ConfigurationError(
+                f"safety margin must be at least 1, got {self.margin}"
+            )
+
+    @property
+    def history(self) -> Sequence[SafetyVerdict]:
+        """All verdicts issued so far."""
+        return tuple(self._history)
+
+    @property
+    def alarm_count(self) -> int:
+        """Total alarms raised so far."""
+        return sum(len(verdict.alarms) for verdict in self._history)
+
+    def check(
+        self,
+        tick: EvaluationTick,
+        operating_fprs: Mapping[str, float],
+    ) -> SafetyVerdict:
+        """Evaluate one estimation tick against current camera rates.
+
+        Cameras present in the tick but absent from ``operating_fprs``
+        are ignored (e.g. estimates for virtual cameras).
+        """
+        alarms = []
+        for camera, estimate in tick.camera_estimates.items():
+            if camera not in operating_fprs:
+                continue
+            operating = operating_fprs[camera]
+            required = estimate.fpr * self.margin
+            if operating + 1e-9 < required:
+                alarms.append(
+                    Alarm(
+                        time=tick.time,
+                        camera=camera,
+                        operating_fpr=operating,
+                        required_fpr=required,
+                    )
+                )
+        verdict = SafetyVerdict(
+            time=tick.time,
+            safe=not alarms,
+            alarms=tuple(alarms),
+            recommended_action=self.action_policy if alarms else None,
+        )
+        self._history.append(verdict)
+        return verdict

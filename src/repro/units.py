@@ -1,0 +1,68 @@
+"""Unit conversions and physical constants shared across the library.
+
+All internal quantities are SI: metres, seconds, metres/second,
+metres/second^2 and radians. The scenario catalog and the paper quote
+speeds in miles per hour and latencies in milliseconds; these helpers keep
+the conversions explicit and in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Metres in one mile.
+METERS_PER_MILE = 1609.344
+
+#: Seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Standard gravity, m/s^2. Used to sanity-bound braking decelerations.
+GRAVITY = 9.80665
+
+
+def mph_to_mps(mph: float) -> float:
+    """Convert miles per hour to metres per second."""
+    return mph * METERS_PER_MILE / SECONDS_PER_HOUR
+
+
+def mps_to_mph(mps: float) -> float:
+    """Convert metres per second to miles per hour."""
+    return mps * SECONDS_PER_HOUR / METERS_PER_MILE
+
+
+def kmh_to_mps(kmh: float) -> float:
+    """Convert kilometres per hour to metres per second."""
+    return kmh / 3.6
+
+
+def mps_to_kmh(mps: float) -> float:
+    """Convert metres per second to kilometres per hour."""
+    return mps * 3.6
+
+
+def seconds_to_ms(seconds: float) -> int:
+    """Convert seconds to integer milliseconds (round to nearest)."""
+    return int(round(seconds * 1000.0))
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1000.0
+
+
+def deg_to_rad(degrees: float) -> float:
+    """Convert degrees to radians."""
+    return math.radians(degrees)
+
+
+def rad_to_deg(radians: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(radians)
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle in radians to the interval (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi

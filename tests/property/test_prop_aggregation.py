@@ -1,0 +1,56 @@
+"""Property-based tests: Equation 4 aggregation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    MaxAggregator,
+    MeanAggregator,
+    PercentileAggregator,
+)
+
+latency_sets = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20
+)
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestAggregatorBounds:
+    @given(latency_sets)
+    def test_max_is_minimum(self, latencies):
+        assert MaxAggregator().aggregate(latencies) == min(latencies)
+
+    @given(latency_sets)
+    def test_mean_within_bounds(self, latencies):
+        value = MeanAggregator().aggregate(latencies)
+        assert min(latencies) - 1e-12 <= value <= max(latencies) + 1e-12
+
+    @given(latency_sets, percentiles)
+    def test_percentile_within_bounds(self, latencies, n):
+        value = PercentileAggregator(n).aggregate(latencies)
+        assert min(latencies) <= value <= max(latencies)
+
+    @given(latency_sets, percentiles, percentiles)
+    def test_percentile_monotone_in_n(self, latencies, n1, n2):
+        lo, hi = sorted((n1, n2))
+        # A higher percentile of demand is a lower (or equal) latency.
+        v_lo = PercentileAggregator(lo).aggregate(latencies)
+        v_hi = PercentileAggregator(hi).aggregate(latencies)
+        assert v_hi <= v_lo + 1e-12
+
+    @given(latency_sets)
+    def test_percentile_100_equals_max_aggregator(self, latencies):
+        assert PercentileAggregator(100.0).aggregate(latencies) == (
+            MaxAggregator().aggregate(latencies)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1.0), percentiles)
+    def test_singleton_returns_itself(self, latency, n):
+        assert PercentileAggregator(n).aggregate([latency]) == latency
+
+    @given(latency_sets)
+    def test_permutation_invariant(self, latencies):
+        aggregator = PercentileAggregator(99.0)
+        assert aggregator.aggregate(latencies) == aggregator.aggregate(
+            list(reversed(latencies))
+        )

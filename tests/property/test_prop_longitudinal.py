@@ -1,0 +1,66 @@
+"""Property-based tests: clamped longitudinal kinematics."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dynamics.longitudinal import braking_distance, time_to_stop, travel
+
+speed = st.floats(min_value=0.0, max_value=60.0)
+accel = st.floats(min_value=-10.0, max_value=5.0)
+duration = st.floats(min_value=0.0, max_value=30.0)
+decel = st.floats(min_value=0.5, max_value=10.0)
+
+
+class TestTravelProperties:
+    @given(speed, accel, duration)
+    def test_distance_non_negative(self, v, a, t):
+        distance, _ = travel(v, a, t)
+        assert distance >= 0.0
+
+    @given(speed, accel, duration)
+    def test_end_speed_non_negative(self, v, a, t):
+        _, end = travel(v, a, t)
+        assert end >= 0.0
+
+    @given(speed, accel, duration, duration)
+    def test_distance_monotone_in_time(self, v, a, t1, t2):
+        lo, hi = sorted((t1, t2))
+        d_lo, _ = travel(v, a, lo)
+        d_hi, _ = travel(v, a, hi)
+        assert d_hi >= d_lo - 1e-9
+
+    @given(speed, accel, duration, duration)
+    def test_additivity(self, v, a, t1, t2):
+        # Travelling t1 then t2 from the reached speed equals one segment
+        # of t1+t2 (for braking segments — acceleration without a cap is
+        # also additive).
+        d1, v1 = travel(v, a, t1)
+        d2, _ = travel(v1, a, t2) if a <= 0 else (None, None)
+        if d2 is None:
+            return
+        total, _ = travel(v, a, t1 + t2)
+        assert math.isclose(d1 + d2, total, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(speed, st.floats(min_value=0.1, max_value=5.0), duration,
+           st.floats(min_value=1.0, max_value=60.0))
+    def test_cap_never_exceeded(self, v, a, t, cap):
+        _, end = travel(v, a, t, max_speed=max(cap, v))
+        assert end <= max(cap, v) + 1e-9
+
+
+class TestStoppingProperties:
+    @given(speed, decel)
+    def test_travel_reaches_braking_distance(self, v, b):
+        t_stop = time_to_stop(v, b)
+        distance, end = travel(v, -b, t_stop + 1.0)
+        assert end == 0.0
+        assert math.isclose(
+            distance, braking_distance(v, b), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(speed, decel, decel)
+    def test_stronger_braking_shorter_distance(self, v, b1, b2):
+        lo, hi = sorted((b1, b2))
+        assert braking_distance(v, hi) <= braking_distance(v, lo) + 1e-9

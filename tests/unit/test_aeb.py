@@ -1,0 +1,116 @@
+"""Automatic emergency braking."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planning.aeb import AEBMonitor, AEBParams, required_deceleration
+
+
+class TestRequiredDeceleration:
+    def test_not_closing_is_zero(self):
+        assert required_deceleration(10.0, 12.0, 20.0) == 0.0
+
+    def test_stopped_lead(self):
+        # v^2 / (2*gap).
+        assert required_deceleration(20.0, 0.0, 40.0) == pytest.approx(5.0)
+
+    def test_moving_lead_uses_closing_speed(self):
+        # (v - v_lead)^2 / (2*gap): 10 m/s closing over 25 m -> 2 m/s^2.
+        assert required_deceleration(30.0, 20.0, 25.0) == pytest.approx(2.0)
+
+    def test_zero_gap_infinite(self):
+        assert math.isinf(required_deceleration(10.0, 0.0, 0.0))
+
+
+class TestTriggering:
+    def test_engages_above_threshold(self):
+        monitor = AEBMonitor(AEBParams(trigger_decel=2.8, hard_decel=8.0))
+        command = monitor.update(speed=20.0, gap=30.0, lead_speed=0.0)
+        assert command == 8.0
+        assert monitor.engaged
+
+    def test_stays_quiet_below_threshold(self):
+        monitor = AEBMonitor()
+        assert monitor.update(speed=20.0, gap=500.0, lead_speed=18.0) is None
+        assert not monitor.engaged
+
+    def test_ttc_trigger(self):
+        params = AEBParams(trigger_decel=50.0, ttc_trigger=2.0)
+        monitor = AEBMonitor(params)
+        # Required decel tiny but TTC = 1.5 s < 2 s.
+        assert monitor.update(speed=11.0, gap=15.0, lead_speed=1.0) is not None
+
+    def test_no_lead_disengages(self):
+        monitor = AEBMonitor()
+        monitor.update(speed=20.0, gap=10.0, lead_speed=0.0)
+        assert monitor.engaged
+        assert monitor.update(speed=20.0, gap=None, lead_speed=None) is None
+        assert not monitor.engaged
+
+    def test_braking_lead_anticipated(self):
+        # A lead at matched speed but braking hard should trigger even
+        # though the instantaneous closing speed is zero.
+        monitor = AEBMonitor(AEBParams(trigger_decel=2.8))
+        command = monitor.update(
+            speed=30.0, gap=20.0, lead_speed=30.0, lead_accel=-6.0
+        )
+        assert command is not None
+
+    def test_stopping_lead_distance_budget(self):
+        # Lead braking to a stop: ego must stop within gap + lead's
+        # remaining travel.
+        monitor = AEBMonitor(AEBParams(trigger_decel=2.8))
+        # Lead 14 m/s decelerating at 4: stops in 24.5 m; gap 25 m.
+        # Ego at 25 m/s must stop in 49.5 m -> needs 6.3 m/s^2.
+        command = monitor.update(
+            speed=25.0, gap=25.0, lead_speed=14.0, lead_accel=-4.0
+        )
+        assert command is not None
+
+
+class TestHysteresis:
+    def test_holds_while_closing(self):
+        monitor = AEBMonitor()
+        monitor.update(speed=20.0, gap=15.0, lead_speed=0.0)
+        assert monitor.engaged
+        # Still closing at moderate required decel: must hold.
+        assert monitor.update(speed=10.0, gap=12.0, lead_speed=0.0) is not None
+        assert monitor.engaged
+
+    def test_releases_when_resolved(self):
+        monitor = AEBMonitor(AEBParams(min_release_gap=5.0))
+        monitor.update(speed=20.0, gap=15.0, lead_speed=0.0)
+        # Lead sped away: no closing, big gap, no demand.
+        assert monitor.update(speed=10.0, gap=50.0, lead_speed=20.0) is None
+        assert not monitor.engaged
+
+    def test_releases_when_stopped(self):
+        monitor = AEBMonitor()
+        monitor.update(speed=20.0, gap=10.0, lead_speed=0.0)
+        monitor.update(speed=0.0, gap=8.0, lead_speed=0.0)
+        assert not monitor.engaged
+
+    def test_no_release_below_min_gap(self):
+        monitor = AEBMonitor(AEBParams(min_release_gap=5.0))
+        monitor.update(speed=10.0, gap=8.0, lead_speed=0.0)
+        assert monitor.engaged
+        # Gap tiny: keep braking even if demand looks low.
+        assert monitor.update(speed=1.0, gap=2.0, lead_speed=5.0) is not None
+
+    def test_reset(self):
+        monitor = AEBMonitor()
+        monitor.update(speed=20.0, gap=10.0, lead_speed=0.0)
+        monitor.reset()
+        assert not monitor.engaged
+
+
+class TestValidation:
+    def test_release_must_be_below_trigger(self):
+        with pytest.raises(ConfigurationError):
+            AEBParams(trigger_decel=2.0, release_decel=3.0)
+
+    def test_rejects_negative_hard_decel(self):
+        with pytest.raises(ConfigurationError):
+            AEBParams(hard_decel=-1.0)

@@ -1,0 +1,101 @@
+"""Equation 4 — multi-trajectory aggregation."""
+
+import pytest
+
+from repro.core.aggregation import (
+    MaxAggregator,
+    MeanAggregator,
+    PercentileAggregator,
+    aggregate_latencies,
+)
+from repro.errors import EstimationError
+
+
+class TestMaxAggregator:
+    def test_picks_most_demanding(self):
+        assert MaxAggregator().aggregate([0.5, 0.2, 0.9]) == 0.2
+
+    def test_single_value(self):
+        assert MaxAggregator().aggregate([0.4]) == 0.4
+
+    def test_unavoidable_dominates(self):
+        assert MaxAggregator().aggregate([0.5, 0.0]) == 0.0
+
+
+class TestMeanAggregator:
+    def test_uniform_mean(self):
+        assert MeanAggregator().aggregate([0.2, 0.4]) == pytest.approx(0.3)
+
+    def test_weighted_mean(self):
+        value = MeanAggregator().aggregate([0.2, 0.8], [0.75, 0.25])
+        assert value == pytest.approx(0.35)
+
+    def test_weights_normalized(self):
+        a = MeanAggregator().aggregate([0.2, 0.8], [3.0, 1.0])
+        b = MeanAggregator().aggregate([0.2, 0.8], [0.75, 0.25])
+        assert a == pytest.approx(b)
+
+
+class TestPercentileAggregator:
+    def test_99th_with_many_trajectories(self):
+        # 200 uniform latencies: PR99 lands near (but not at) the worst.
+        latencies = [i / 200.0 for i in range(1, 201)]
+        value = PercentileAggregator(99.0).aggregate(latencies)
+        assert 0.005 < value <= 0.02
+
+    def test_100_is_most_pessimistic(self):
+        assert PercentileAggregator(100.0).aggregate([0.3, 0.1, 0.9]) == 0.1
+
+    def test_0_is_most_permissive(self):
+        assert PercentileAggregator(0.0).aggregate([0.3, 0.1, 0.9]) == 0.9
+
+    def test_90_skips_10pct_extreme(self):
+        # A hard-brake hypothesis carrying exactly 10% probability is
+        # excluded at n=90 (exclusive convention).
+        value = PercentileAggregator(90.0).aggregate(
+            [0.05, 0.4, 0.6], [0.1, 0.6, 0.3]
+        )
+        assert value == 0.4
+
+    def test_99_keeps_10pct_extreme(self):
+        value = PercentileAggregator(99.0).aggregate(
+            [0.05, 0.4, 0.6], [0.1, 0.6, 0.3]
+        )
+        assert value == 0.05
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(EstimationError):
+            PercentileAggregator(101.0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            MaxAggregator().aggregate([])
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(EstimationError):
+            MeanAggregator().aggregate([-0.1])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(EstimationError):
+            MeanAggregator().aggregate([0.1, 0.2], [1.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(EstimationError):
+            MeanAggregator().aggregate([0.1, 0.2], [0.0, 0.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(EstimationError):
+            MeanAggregator().aggregate([0.1, 0.2], [1.0, -0.5])
+
+
+class TestConvenienceWrapper:
+    def test_default_is_percentile(self):
+        latencies = [0.1, 0.5, 0.9]
+        assert aggregate_latencies(latencies) == PercentileAggregator().aggregate(
+            latencies
+        )
+
+    def test_custom_aggregator(self):
+        assert aggregate_latencies([0.1, 0.9], aggregator=MaxAggregator()) == 0.1

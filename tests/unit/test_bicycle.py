@@ -1,0 +1,102 @@
+"""Kinematic bicycle integrator."""
+
+import math
+
+import pytest
+
+from repro.dynamics.bicycle import MAX_STEER_ANGLE, KinematicBicycle
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.geometry.vec import Vec2
+
+
+def make(speed: float = 10.0, heading: float = 0.0) -> VehicleState:
+    return VehicleState(Vec2(0, 0), heading, speed, 0.0)
+
+
+class TestLongitudinal:
+    def setup_method(self):
+        self.bike = KinematicBicycle(VehicleSpec())
+
+    def test_straight_coasting(self):
+        state = make(speed=10.0)
+        for _ in range(100):
+            state = self.bike.step(state, 0.0, 0.0, 0.01)
+        assert state.position.x == pytest.approx(10.0, abs=1e-6)
+        assert state.position.y == pytest.approx(0.0, abs=1e-9)
+        assert state.speed == pytest.approx(10.0)
+
+    def test_acceleration_integrates(self):
+        state = make(speed=0.0)
+        for _ in range(100):
+            state = self.bike.step(state, 2.0, 0.0, 0.01)
+        assert state.speed == pytest.approx(2.0)
+        assert state.position.x == pytest.approx(1.0, abs=1e-3)
+
+    def test_braking_stops_at_zero(self):
+        state = make(speed=1.0)
+        for _ in range(300):
+            state = self.bike.step(state, -5.0, 0.0, 0.01)
+        assert state.speed == 0.0
+
+    def test_accel_command_clamped_to_spec(self):
+        spec = VehicleSpec(max_accel=2.0)
+        bike = KinematicBicycle(spec)
+        state = bike.step(make(speed=10.0), 100.0, 0.0, 0.01)
+        assert state.accel <= 2.0 + 1e-9
+
+    def test_decel_command_clamped_to_spec(self):
+        spec = VehicleSpec(max_decel=6.0)
+        bike = KinematicBicycle(spec)
+        state = bike.step(make(speed=10.0), -100.0, 0.0, 0.01)
+        assert state.accel >= -6.0 - 1e-9
+
+    def test_speed_capped_at_max(self):
+        spec = VehicleSpec(max_speed=12.0)
+        bike = KinematicBicycle(spec)
+        state = make(speed=11.99)
+        for _ in range(100):
+            state = bike.step(state, 4.0, 0.0, 0.01)
+        assert state.speed == pytest.approx(12.0)
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ValueError):
+            self.bike.step(make(), 0.0, 0.0, 0.0)
+
+
+class TestSteering:
+    def setup_method(self):
+        self.spec = VehicleSpec()
+        self.bike = KinematicBicycle(self.spec)
+
+    def test_left_steer_turns_left(self):
+        state = make(speed=10.0)
+        for _ in range(50):
+            state = self.bike.step(state, 0.0, 0.2, 0.01)
+        assert state.heading > 0.0
+        assert state.position.y > 0.0
+
+    def test_steer_clamped(self):
+        state = self.bike.step(make(speed=10.0), 0.0, 10.0, 0.01)
+        expected_yaw_rate = 10.0 / self.spec.wheelbase * math.tan(MAX_STEER_ANGLE)
+        assert state.heading == pytest.approx(expected_yaw_rate * 0.01, rel=1e-3)
+
+    def test_circle_radius_matches_theory(self):
+        # Constant steer at constant speed traces a circle of radius
+        # wheelbase / tan(steer).
+        steer = 0.1
+        radius = self.spec.wheelbase / math.tan(steer)
+        state = make(speed=10.0)
+        states = [state]
+        for _ in range(2000):
+            state = self.bike.step(state, 0.0, steer, 0.01)
+            states.append(state)
+        # The circle's centre sits at (0, radius) for a start at origin
+        # heading +X.
+        center = Vec2(0.0, radius)
+        radii = [s.position.distance_to(center) for s in states[100:]]
+        assert min(radii) == pytest.approx(radius, rel=0.01)
+        assert max(radii) == pytest.approx(radius, rel=0.01)
+
+    def test_no_yaw_at_standstill(self):
+        state = self.bike.step(make(speed=0.0), 0.0, 0.3, 0.01)
+        assert state.heading == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,59 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scenarios_command(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.command == "scenarios"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "cut_in"])
+        assert args.fpr == 30.0
+        assert args.seed == 0
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "warp"])
+
+    def test_sweep_gap_positional(self):
+        args = build_parser().parse_args(["sweep", "100"])
+        assert args.gap == 100.0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_scenarios_lists_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "cut_out_fast" in out
+        assert "vehicle_following" in out
+
+    def test_sweep_renders(self, capsys):
+        assert main(["sweep", "30", "--resolution", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "s_n = 30 m" in out
+        assert "max finite FPR" in out
+
+    @pytest.mark.slow
+    def test_run_and_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            ["run", "cut_in", "--fpr", "30", "--save-trace", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "max estimated FPR" in out
+
+    @pytest.mark.slow
+    def test_mrf_command(self, capsys):
+        assert main(["mrf", "vehicle_following", "--grid", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum required FPR: <1" in out

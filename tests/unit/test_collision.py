@@ -1,0 +1,49 @@
+"""Collision checker."""
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.geometry.vec import Vec2
+from repro.sim.collision import CollisionChecker
+
+
+SPEC = VehicleSpec()
+
+
+def vstate(x: float, y: float = 0.0) -> VehicleState:
+    return VehicleState(Vec2(x, y), 0.0, 0.0, 0.0)
+
+
+class TestCollisionChecker:
+    def test_no_collision_when_apart(self):
+        checker = CollisionChecker(SPEC)
+        events = checker.check(1.0, vstate(0), {"a": (vstate(50), SPEC)})
+        assert events == []
+
+    def test_collision_detected(self):
+        checker = CollisionChecker(SPEC)
+        events = checker.check(2.5, vstate(0), {"a": (vstate(3.0), SPEC)})
+        assert len(events) == 1
+        assert events[0].actor_id == "a"
+        assert events[0].time == 2.5
+
+    def test_each_actor_reported_once(self):
+        checker = CollisionChecker(SPEC)
+        actors = {"a": (vstate(3.0), SPEC)}
+        assert len(checker.check(1.0, vstate(0), actors)) == 1
+        assert checker.check(1.1, vstate(0), actors) == []
+        assert checker.collided_actors == {"a"}
+
+    def test_multiple_simultaneous_collisions(self):
+        checker = CollisionChecker(SPEC)
+        actors = {
+            "front": (vstate(4.0), SPEC),
+            "side": (vstate(0.0, 1.5), SPEC),
+            "far": (vstate(100.0), SPEC),
+        }
+        events = checker.check(0.0, vstate(0), actors)
+        assert {e.actor_id for e in events} == {"front", "side"}
+
+    def test_second_actor_still_detected_after_first(self):
+        checker = CollisionChecker(SPEC)
+        checker.check(0.0, vstate(0), {"a": (vstate(3.0), SPEC)})
+        events = checker.check(1.0, vstate(0), {"b": (vstate(3.0), SPEC)})
+        assert [e.actor_id for e in events] == ["b"]

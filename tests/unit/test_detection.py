@@ -1,0 +1,142 @@
+"""Per-frame detection: FOV, occlusion, noise, misses."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.detection import DetectionModel
+from repro.perception.sensor import default_rig
+
+
+def vstate(x: float, y: float = 0.0, speed: float = 10.0) -> VehicleState:
+    return VehicleState(Vec2(x, y), 0.0, speed, 0.0)
+
+
+@pytest.fixture
+def rig():
+    return default_rig()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+SPEC = VehicleSpec()
+
+
+class TestBasicDetection:
+    def test_detects_actor_in_fov(self, rig, rng):
+        model = DetectionModel(position_noise=0.0)
+        detections = model.detect(
+            rig["front_120"], vstate(0), 1.0,
+            {"a": (vstate(50), SPEC)}, rng,
+        )
+        assert [d.actor_id for d in detections] == ["a"]
+        assert detections[0].time == 1.0
+        assert detections[0].position == Vec2(50, 0)
+
+    def test_ignores_actor_outside_fov(self, rig, rng):
+        model = DetectionModel()
+        detections = model.detect(
+            rig["front_120"], vstate(0), 0.0,
+            {"behind": (vstate(-50), SPEC)}, rng,
+        )
+        assert detections == []
+
+    def test_noise_perturbs_position(self, rig):
+        model = DetectionModel(position_noise=0.5)
+        rng = np.random.default_rng(7)
+        detections = model.detect(
+            rig["front_120"], vstate(0), 0.0,
+            {"a": (vstate(50), SPEC)}, rng,
+        )
+        assert detections[0].position != Vec2(50, 0)
+        assert detections[0].position.distance_to(Vec2(50, 0)) < 3.0
+
+    def test_carries_true_kinematics(self, rig, rng):
+        model = DetectionModel(position_noise=0.0)
+        detections = model.detect(
+            rig["front_120"], vstate(0), 0.0,
+            {"a": (vstate(50, speed=17.5), SPEC)}, rng,
+        )
+        assert detections[0].true_speed == 17.5
+
+
+class TestMissRate:
+    def test_miss_rate_one_impossible(self):
+        with pytest.raises(ConfigurationError):
+            DetectionModel(miss_rate=1.0)
+
+    def test_high_miss_rate_drops_frames(self, rig):
+        model = DetectionModel(miss_rate=0.9)
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(200):
+            hits += len(
+                model.detect(
+                    rig["front_120"], vstate(0), 0.0,
+                    {"a": (vstate(50), SPEC)}, rng,
+                )
+            )
+        assert 2 <= hits <= 50
+
+
+class TestOcclusion:
+    def test_blocked_by_vehicle_between(self, rig, rng):
+        model = DetectionModel(position_noise=0.0, occlusion=True)
+        actors = {
+            "blocker": (vstate(25), SPEC),
+            "hidden": (vstate(60), SPEC),
+        }
+        ids = {
+            d.actor_id
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+        }
+        assert ids == {"blocker"}
+
+    def test_adjacent_lane_not_blocking(self, rig, rng):
+        model = DetectionModel(position_noise=0.0, occlusion=True)
+        actors = {
+            "beside": (vstate(25, 3.5), SPEC),
+            "visible": (vstate(60), SPEC),
+        }
+        ids = {
+            d.actor_id
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+        }
+        assert ids == {"beside", "visible"}
+
+    def test_occlusion_off_sees_through(self, rig, rng):
+        model = DetectionModel(position_noise=0.0, occlusion=False)
+        actors = {
+            "blocker": (vstate(25), SPEC),
+            "hidden": (vstate(60), SPEC),
+        }
+        ids = {
+            d.actor_id
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+        }
+        assert ids == {"blocker", "hidden"}
+
+    def test_reveal_after_lateral_shift(self, rig, rng):
+        # The cut-out mechanism: once the blocker moves ~a lane over, the
+        # obstacle behind it becomes visible.
+        model = DetectionModel(position_noise=0.0, occlusion=True)
+        actors = {
+            "blocker": (vstate(25, 2.5), SPEC),
+            "obstacle": (vstate(60, 0.0, speed=0.0), SPEC),
+        }
+        ids = {
+            d.actor_id
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+        }
+        assert "obstacle" in ids
+
+
+class TestValidation:
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            DetectionModel(position_noise=-0.1)

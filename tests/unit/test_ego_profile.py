@@ -1,0 +1,98 @@
+"""Ego reaction/braking closed forms (d_e1, d_e2, v_en)."""
+
+import pytest
+
+from repro.core.ego_profile import EgoMotion, braking_deceleration
+from repro.core.parameters import ZhuyiParams
+from repro.errors import EstimationError
+
+
+class TestBrakingDeceleration:
+    def test_floor_is_c3(self, params):
+        # Cruising (a0 = 0): the floor C3 applies.
+        assert braking_deceleration(0.0, params) == pytest.approx(4.9)
+
+    def test_accelerating_does_not_weaken(self, params):
+        assert braking_deceleration(3.0, params) == pytest.approx(4.9)
+
+    def test_current_braking_scales(self, params):
+        # Braking at 6 m/s^2: a_b = max(4.9, 1.1*6) = 6.6.
+        assert braking_deceleration(-6.0, params) == pytest.approx(6.6)
+
+    def test_mild_braking_keeps_floor(self, params):
+        assert braking_deceleration(-1.0, params) == pytest.approx(4.9)
+
+
+class TestEgoMotion:
+    def test_from_state(self, params):
+        ego = EgoMotion.from_state(speed=20.0, accel=-6.0, params=params)
+        assert ego.braking_decel == pytest.approx(6.6)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(EstimationError):
+            EgoMotion(speed=-1.0, accel=0.0, braking_decel=4.9)
+
+    def test_rejects_zero_braking(self):
+        with pytest.raises(EstimationError):
+            EgoMotion(speed=1.0, accel=0.0, braking_decel=0.0)
+
+
+class TestReactionTravel:
+    def test_constant_speed_reaction(self):
+        ego = EgoMotion(speed=20.0, accel=0.0, braking_decel=4.9)
+        d_e1, v_tr = ego.reaction_travel(1.5)
+        assert d_e1 == pytest.approx(30.0)
+        assert v_tr == pytest.approx(20.0)
+
+    def test_accelerating_reaction(self):
+        ego = EgoMotion(speed=20.0, accel=2.0, braking_decel=4.9)
+        d_e1, v_tr = ego.reaction_travel(2.0)
+        assert d_e1 == pytest.approx(44.0)
+        assert v_tr == pytest.approx(24.0)
+
+    def test_speed_cap_during_reaction(self):
+        ego = EgoMotion(speed=20.0, accel=2.0, braking_decel=4.9)
+        _, v_tr = ego.reaction_travel(10.0, speed_cap=25.0)
+        assert v_tr == pytest.approx(25.0)
+
+    def test_braking_ego_can_stop_in_reaction(self):
+        ego = EgoMotion(speed=5.0, accel=-5.0, braking_decel=5.5)
+        d_e1, v_tr = ego.reaction_travel(3.0)
+        assert v_tr == 0.0
+        assert d_e1 == pytest.approx(2.5)
+
+    def test_rejects_negative_reaction_time(self):
+        ego = EgoMotion(speed=5.0, accel=0.0, braking_decel=4.9)
+        with pytest.raises(EstimationError):
+            ego.reaction_travel(-0.1)
+
+
+class TestTotalTravel:
+    def test_reaction_plus_braking(self):
+        ego = EgoMotion(speed=20.0, accel=0.0, braking_decel=5.0)
+        total, v_en = ego.total_travel(reaction_time=1.0, check_time=3.0)
+        # 20 m coast + braking from 20 at 5 for 2 s: 40 - 10 = 30 m.
+        assert total == pytest.approx(50.0)
+        assert v_en == pytest.approx(10.0)
+
+    def test_full_stop(self):
+        ego = EgoMotion(speed=20.0, accel=0.0, braking_decel=5.0)
+        total, v_en = ego.total_travel(reaction_time=1.0, check_time=100.0)
+        assert v_en == 0.0
+        assert total == pytest.approx(20.0 + 40.0)
+
+    def test_check_before_reaction_raises(self):
+        ego = EgoMotion(speed=20.0, accel=0.0, braking_decel=5.0)
+        with pytest.raises(EstimationError):
+            ego.total_travel(reaction_time=2.0, check_time=1.0)
+
+
+class TestStopTime:
+    def test_stop_time(self):
+        ego = EgoMotion(speed=20.0, accel=0.0, braking_decel=5.0)
+        assert ego.stop_time_after(1.0) == pytest.approx(5.0)
+
+    def test_stop_time_with_acceleration(self):
+        ego = EgoMotion(speed=20.0, accel=2.0, braking_decel=5.0)
+        # v_tr = 24 after 2 s; stop takes 24/5.
+        assert ego.stop_time_after(2.0) == pytest.approx(2.0 + 4.8)

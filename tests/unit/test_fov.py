@@ -1,0 +1,67 @@
+"""Camera FOV sectors."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.fov import AngularSector
+from repro.geometry.transforms import Frame2
+from repro.geometry.vec import Vec2
+
+
+def deg(value: float) -> float:
+    return math.radians(value)
+
+
+class TestConstruction:
+    def test_rejects_zero_opening(self):
+        with pytest.raises(GeometryError):
+            AngularSector(0.0, 0.0, 100.0)
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(GeometryError):
+            AngularSector(0.0, deg(60), -1.0)
+
+    def test_accepts_full_circle(self):
+        AngularSector(0.0, 2 * math.pi, 100.0)
+
+
+class TestMembership:
+    def test_straight_ahead_inside(self):
+        sector = AngularSector(0.0, deg(120), 100.0)
+        assert sector.contains_local(Vec2(50, 0))
+
+    def test_edge_of_opening(self):
+        sector = AngularSector(0.0, deg(120), 100.0)
+        # 60 degrees off-axis is exactly on the boundary.
+        assert sector.contains_local(Vec2.from_polar(50, deg(60)))
+        assert not sector.contains_local(Vec2.from_polar(50, deg(61)))
+
+    def test_beyond_range(self):
+        sector = AngularSector(0.0, deg(120), 100.0)
+        assert not sector.contains_local(Vec2(101, 0))
+
+    def test_origin_always_inside(self):
+        sector = AngularSector(deg(90), deg(10), 1.0)
+        assert sector.contains_local(Vec2(0, 0))
+
+    def test_rear_sector_wraps_pi(self):
+        rear = AngularSector(math.pi, deg(120), 100.0)
+        assert rear.contains_local(Vec2(-50, 0))
+        assert rear.contains_local(Vec2.from_polar(50, deg(130)))
+        assert rear.contains_local(Vec2.from_polar(50, deg(-130)))
+        assert not rear.contains_local(Vec2(50, 0))
+
+    def test_side_sector(self):
+        left = AngularSector(deg(90), deg(120), 100.0)
+        assert left.contains_local(Vec2(0, 50))
+        assert not left.contains_local(Vec2(0, -50))
+
+
+class TestMountedSector:
+    def test_contains_in_body_frame(self):
+        sector = AngularSector(0.0, deg(60), 100.0)
+        body = Frame2(Vec2(10, 10), deg(90))  # facing +Y
+        assert sector.contains(body, Vec2(10, 60))
+        assert not sector.contains(body, Vec2(60, 10))

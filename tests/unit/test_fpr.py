@@ -1,0 +1,86 @@
+"""Equation 5 — per-camera FPR."""
+
+import pytest
+
+from repro.core.fpr import CameraEstimate, estimate_camera_fprs, fpr_from_latency
+
+
+class TestFprFromLatency:
+    def test_reciprocal(self, params):
+        assert fpr_from_latency(0.5, params) == pytest.approx(2.0)
+
+    def test_clamped_to_cap(self, params):
+        assert fpr_from_latency(0.001, params) == pytest.approx(params.fpr_cap())
+
+    def test_clamped_to_floor(self, params):
+        assert fpr_from_latency(5.0, params) == pytest.approx(1.0)
+
+    def test_none_maps_to_cap(self, params):
+        assert fpr_from_latency(None, params) == pytest.approx(params.fpr_cap())
+
+    def test_zero_maps_to_cap(self, params):
+        assert fpr_from_latency(0.0, params) == pytest.approx(params.fpr_cap())
+
+
+class TestCameraEstimates:
+    def test_min_latency_binds(self, params):
+        estimates = estimate_camera_fprs(
+            actor_latencies={"a": 0.5, "b": 0.2},
+            camera_actors={"front": ["a", "b"]},
+            params=params,
+        )
+        front = estimates["front"]
+        assert front.latency == 0.2
+        assert front.binding_actor == "b"
+        assert front.fpr == pytest.approx(5.0)
+        assert front.actor_count == 2
+
+    def test_empty_camera_gets_floor(self, params):
+        estimates = estimate_camera_fprs(
+            actor_latencies={},
+            camera_actors={"left": []},
+            params=params,
+        )
+        left = estimates["left"]
+        assert left.latency == params.l_max
+        assert left.fpr == pytest.approx(1.0)
+        assert left.binding_actor is None
+
+    def test_gated_actor_ignored(self, params):
+        # Actor "c" is visible but was gated out (absent from latencies).
+        estimates = estimate_camera_fprs(
+            actor_latencies={"a": 0.5},
+            camera_actors={"front": ["a", "c"]},
+            params=params,
+        )
+        assert estimates["front"].actor_count == 1
+        assert estimates["front"].latency == 0.5
+
+    def test_unavoidable_pins_to_cap(self, params):
+        estimates = estimate_camera_fprs(
+            actor_latencies={"a": None},
+            camera_actors={"front": ["a"]},
+            params=params,
+        )
+        front = estimates["front"]
+        assert front.unavoidable
+        assert front.fpr == pytest.approx(params.fpr_cap())
+
+    def test_actor_in_multiple_cameras(self, params):
+        estimates = estimate_camera_fprs(
+            actor_latencies={"a": 0.25},
+            camera_actors={"front": ["a"], "left": ["a"], "right": []},
+            params=params,
+        )
+        assert estimates["front"].fpr == pytest.approx(4.0)
+        assert estimates["left"].fpr == pytest.approx(4.0)
+        assert estimates["right"].fpr == pytest.approx(1.0)
+
+    def test_every_camera_reported(self, params):
+        estimates = estimate_camera_fprs(
+            actor_latencies={},
+            camera_actors={"a": [], "b": [], "c": []},
+            params=params,
+        )
+        assert set(estimates) == {"a", "b", "c"}
+        assert all(isinstance(e, CameraEstimate) for e in estimates.values())

@@ -1,0 +1,77 @@
+"""Intelligent Driver Model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planning.idm import IDMParams, idm_acceleration
+
+
+class TestFreeRoad:
+    def test_accelerates_below_desired(self):
+        params = IDMParams(desired_speed=30.0)
+        assert idm_acceleration(10.0, params) > 0.0
+
+    def test_zero_at_desired_speed(self):
+        params = IDMParams(desired_speed=30.0)
+        assert idm_acceleration(30.0, params) == pytest.approx(0.0)
+
+    def test_decelerates_above_desired(self):
+        params = IDMParams(desired_speed=30.0)
+        assert idm_acceleration(35.0, params) < 0.0
+
+    def test_max_accel_from_standstill(self):
+        params = IDMParams(desired_speed=30.0, max_accel=2.0)
+        assert idm_acceleration(0.0, params) == pytest.approx(2.0)
+
+
+class TestFollowing:
+    def setup_method(self):
+        self.params = IDMParams(desired_speed=30.0)
+
+    def test_close_gap_brakes_hard(self):
+        accel = idm_acceleration(20.0, self.params, gap=5.0, lead_speed=20.0)
+        assert accel < -3.0
+
+    def test_large_gap_nearly_free(self):
+        accel = idm_acceleration(20.0, self.params, gap=500.0, lead_speed=20.0)
+        free = idm_acceleration(20.0, self.params)
+        assert accel == pytest.approx(free, abs=0.05)
+
+    def test_steady_state_gap(self):
+        # At equilibrium (accel = 0, equal speeds) the gap equals
+        # min_gap + v*T.
+        v = 20.0
+        expected = self.params.min_gap + v * self.params.time_headway
+        accel = idm_acceleration(v, self.params, gap=expected, lead_speed=v)
+        # The desired-speed term is not exactly zero below v0; allow slack.
+        assert abs(accel) < 0.6
+
+    def test_closing_speed_increases_braking(self):
+        matched = idm_acceleration(20.0, self.params, gap=40.0, lead_speed=20.0)
+        closing = idm_acceleration(25.0, self.params, gap=40.0, lead_speed=15.0)
+        assert closing < matched
+
+    def test_monotone_in_gap(self):
+        accels = [
+            idm_acceleration(20.0, self.params, gap=g, lead_speed=15.0)
+            for g in (10.0, 20.0, 40.0, 80.0)
+        ]
+        assert accels == sorted(accels)
+
+    def test_requires_lead_speed_with_gap(self):
+        with pytest.raises(ConfigurationError):
+            idm_acceleration(20.0, self.params, gap=10.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ConfigurationError):
+            idm_acceleration(-1.0, self.params)
+
+
+class TestParams:
+    def test_with_desired_speed(self):
+        params = IDMParams().with_desired_speed(17.5)
+        assert params.desired_speed == 17.5
+
+    def test_rejects_bad_headway(self):
+        with pytest.raises(ConfigurationError):
+            IDMParams(time_headway=0.0)

@@ -1,0 +1,159 @@
+"""Centerline primitives and Frenet conversions."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+from repro.road.lane import (
+    ArcCenterline,
+    CompositeCenterline,
+    FrenetPoint,
+    StraightCenterline,
+)
+
+
+class TestStraight:
+    def setup_method(self):
+        self.line = StraightCenterline(Vec2(10, 5), 0.0, 100.0)
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(GeometryError):
+            StraightCenterline(Vec2(0, 0), 0.0, 0.0)
+
+    def test_point_at(self):
+        assert self.line.point_at(40.0) == Vec2(50, 5)
+
+    def test_heading_constant(self):
+        assert self.line.heading_at(0.0) == self.line.heading_at(99.0) == 0.0
+
+    def test_zero_curvature(self):
+        assert self.line.curvature_at(50.0) == 0.0
+
+    def test_frenet_round_trip(self):
+        frenet = FrenetPoint(30.0, -2.5)
+        world = self.line.to_world(frenet)
+        back = self.line.to_frenet(world)
+        assert back.s == pytest.approx(30.0)
+        assert back.d == pytest.approx(-2.5)
+
+    def test_left_offset_is_positive_y(self):
+        world = self.line.to_world(FrenetPoint(0.0, 3.0))
+        assert world == Vec2(10, 8)
+
+
+class TestArc:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GeometryError):
+            ArcCenterline(Vec2(0, 0), 0.0, 0.0, 10.0)
+
+    def test_left_turn_quarter_circle(self):
+        # Start at angle -pi/2 (bottom of circle), turning left.
+        arc = ArcCenterline(
+            center=Vec2(0, 100),
+            radius=100.0,
+            start_angle=-math.pi / 2,
+            arc_length=100.0 * math.pi / 2,
+            turn_left=True,
+        )
+        start = arc.point_at(0.0)
+        assert start.distance_to(Vec2(0, 0)) < 1e-9
+        assert arc.heading_at(0.0) == pytest.approx(0.0)
+        end = arc.point_at(arc.length)
+        assert end.distance_to(Vec2(100, 100)) < 1e-9
+        assert arc.heading_at(arc.length) == pytest.approx(math.pi / 2)
+
+    def test_right_turn_heading(self):
+        arc = ArcCenterline(
+            center=Vec2(0, -100),
+            radius=100.0,
+            start_angle=math.pi / 2,
+            arc_length=50.0,
+            turn_left=False,
+        )
+        assert arc.heading_at(0.0) == pytest.approx(0.0)
+        assert arc.curvature_at(0.0) == pytest.approx(-0.01)
+
+    def test_left_positive_d_shrinks_radius(self):
+        arc = ArcCenterline(Vec2(0, 100), 100.0, -math.pi / 2, 100.0, True)
+        inner = arc.to_world(FrenetPoint(0.0, 3.0))
+        assert inner.distance_to(Vec2(0, 100)) == pytest.approx(97.0)
+
+    def test_frenet_round_trip_left(self):
+        arc = ArcCenterline(Vec2(0, 100), 100.0, -math.pi / 2, 150.0, True)
+        frenet = FrenetPoint(80.0, 1.5)
+        back = arc.to_frenet(arc.to_world(frenet))
+        assert back.s == pytest.approx(80.0)
+        assert back.d == pytest.approx(1.5)
+
+    def test_frenet_round_trip_right(self):
+        arc = ArcCenterline(Vec2(0, -100), 100.0, math.pi / 2, 150.0, False)
+        frenet = FrenetPoint(60.0, -2.0)
+        back = arc.to_frenet(arc.to_world(frenet))
+        assert back.s == pytest.approx(60.0)
+        assert back.d == pytest.approx(-2.0)
+
+    def test_offset_exceeding_radius_raises(self):
+        arc = ArcCenterline(Vec2(0, 10), 10.0, -math.pi / 2, 10.0, True)
+        with pytest.raises(GeometryError):
+            arc.to_world(FrenetPoint(0.0, 10.0))
+
+
+class TestComposite:
+    def _composite(self):
+        entry = StraightCenterline(Vec2(0, 0), 0.0, 100.0)
+        arc = ArcCenterline(
+            center=Vec2(100, 200),
+            radius=200.0,
+            start_angle=-math.pi / 2,
+            arc_length=100.0,
+            turn_left=True,
+        )
+        return CompositeCenterline([entry, arc])
+
+    def test_total_length(self):
+        assert self._composite().length == pytest.approx(200.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            CompositeCenterline([])
+
+    def test_rejects_disjoint_segments(self):
+        a = StraightCenterline(Vec2(0, 0), 0.0, 10.0)
+        b = StraightCenterline(Vec2(50, 0), 0.0, 10.0)
+        with pytest.raises(GeometryError):
+            CompositeCenterline([a, b])
+
+    def test_rejects_heading_mismatch(self):
+        a = StraightCenterline(Vec2(0, 0), 0.0, 10.0)
+        b = StraightCenterline(Vec2(10, 0), 0.5, 10.0)
+        with pytest.raises(GeometryError):
+            CompositeCenterline([a, b])
+
+    def test_continuity_at_joint(self):
+        composite = self._composite()
+        before = composite.point_at(99.999)
+        after = composite.point_at(100.001)
+        assert before.distance_to(after) < 0.01
+
+    def test_point_in_second_segment(self):
+        composite = self._composite()
+        # 50 m into the arc.
+        expected = ArcCenterline(
+            Vec2(100, 200), 200.0, -math.pi / 2, 100.0, True
+        ).point_at(50.0)
+        assert composite.point_at(150.0).distance_to(expected) < 1e-9
+
+    def test_frenet_round_trip_across_segments(self):
+        composite = self._composite()
+        for s in (10.0, 99.0, 101.0, 180.0):
+            frenet = FrenetPoint(s, 1.0)
+            back = composite.to_frenet(composite.to_world(frenet))
+            assert back.s == pytest.approx(s, abs=1e-6)
+            assert back.d == pytest.approx(1.0, abs=1e-6)
+
+    def test_curvature_switches_at_joint(self):
+        composite = self._composite()
+        assert composite.curvature_at(50.0) == 0.0
+        assert composite.curvature_at(150.0) == pytest.approx(1.0 / 200.0)

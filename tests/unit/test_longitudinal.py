@@ -1,0 +1,103 @@
+"""Clamped constant-acceleration closed forms."""
+
+import pytest
+
+from repro.dynamics.longitudinal import (
+    braking_distance,
+    clamp,
+    speed_after_distance,
+    time_to_stop,
+    travel,
+)
+
+
+class TestTravel:
+    def test_constant_speed(self):
+        assert travel(10.0, 0.0, 5.0) == (50.0, 10.0)
+
+    def test_zero_duration(self):
+        assert travel(10.0, -3.0, 0.0) == (0.0, 10.0)
+
+    def test_accelerating(self):
+        distance, speed = travel(10.0, 2.0, 3.0)
+        assert distance == pytest.approx(10 * 3 + 0.5 * 2 * 9)
+        assert speed == pytest.approx(16.0)
+
+    def test_braking_without_stopping(self):
+        distance, speed = travel(10.0, -2.0, 3.0)
+        assert distance == pytest.approx(30 - 9)
+        assert speed == pytest.approx(4.0)
+
+    def test_braking_clamps_at_zero(self):
+        distance, speed = travel(10.0, -2.0, 10.0)
+        assert speed == 0.0
+        assert distance == pytest.approx(braking_distance(10.0, 2.0))
+
+    def test_no_reverse_after_stop(self):
+        distance_short, _ = travel(10.0, -5.0, 2.0)
+        distance_long, _ = travel(10.0, -5.0, 100.0)
+        assert distance_long == pytest.approx(distance_short)
+
+    def test_speed_cap_binds(self):
+        distance, speed = travel(10.0, 2.0, 10.0, max_speed=14.0)
+        assert speed == 14.0
+        # 2 s to reach the cap (24 m), then 8 s at 14 m/s.
+        assert distance == pytest.approx(24.0 + 112.0)
+
+    def test_speed_cap_already_reached(self):
+        distance, speed = travel(20.0, 2.0, 5.0, max_speed=20.0)
+        assert speed == 20.0
+        assert distance == pytest.approx(100.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            travel(-1.0, 0.0, 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            travel(1.0, 0.0, -1.0)
+
+
+class TestStopping:
+    def test_braking_distance(self):
+        assert braking_distance(20.0, 5.0) == pytest.approx(40.0)
+
+    def test_time_to_stop(self):
+        assert time_to_stop(20.0, 5.0) == pytest.approx(4.0)
+
+    def test_consistency_with_travel(self):
+        t = time_to_stop(17.0, 4.9)
+        distance, speed = travel(17.0, -4.9, t)
+        assert speed == pytest.approx(0.0, abs=1e-9)
+        assert distance == pytest.approx(braking_distance(17.0, 4.9))
+
+    def test_rejects_non_positive_decel(self):
+        with pytest.raises(ValueError):
+            braking_distance(10.0, 0.0)
+        with pytest.raises(ValueError):
+            time_to_stop(10.0, -1.0)
+
+
+class TestSpeedAfterDistance:
+    def test_accelerating(self):
+        assert speed_after_distance(3.0, 2.0, 4.0) == pytest.approx(5.0)
+
+    def test_braking_to_zero_before_distance(self):
+        assert speed_after_distance(10.0, -5.0, 100.0) == 0.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            speed_after_distance(1.0, 0.0, -1.0)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_edges(self):
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.0, 1.0, -1.0)

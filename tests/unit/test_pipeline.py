@@ -1,0 +1,148 @@
+"""The FPR-scheduled perception pipeline."""
+
+import pytest
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.detection import DetectionModel
+from repro.perception.pipeline import MIN_FPR, PerceptionSystem
+
+
+SPEC = VehicleSpec()
+
+
+def ego_at(x: float = 0.0) -> VehicleState:
+    return VehicleState(Vec2(x, 0), 0.0, 10.0, 0.0)
+
+
+def static_actor(x: float, y: float = 0.0):
+    return (VehicleState(Vec2(x, y), 0.0, 0.0, 0.0), SPEC)
+
+
+def run_system(system: PerceptionSystem, duration: float, actors,
+               dt: float = 0.01):
+    t = 0.0
+    while t <= duration:
+        system.step(t, ego_at(), actors)
+        t += dt
+
+
+class TestScheduling:
+    def test_capture_count_matches_fpr(self):
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0), fpr=10.0
+        )
+        run_system(system, 1.999, {"a": static_actor(50)})
+        # 10 FPR for 2 s: 20 frames per camera.
+        assert system.frames_captured("front_120") == 20
+
+    def test_per_camera_rates(self):
+        rates = {
+            "front_60": 5.0, "front_120": 20.0,
+            "left": 10.0, "right": 10.0, "rear": 5.0,
+        }
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0), fpr=rates
+        )
+        run_system(system, 0.999, {"a": static_actor(50)})
+        assert system.frames_captured("front_120") == 20
+        assert system.frames_captured("front_60") == 5
+
+    def test_missing_camera_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionSystem(fpr={"front_120": 10.0})
+
+    def test_rate_clamped_to_floor(self):
+        system = PerceptionSystem(fpr=30.0)
+        system.set_fpr("left", 0.0)
+        assert system.fpr("left") == MIN_FPR
+
+    def test_unknown_camera_raises(self):
+        system = PerceptionSystem(fpr=30.0)
+        with pytest.raises(ConfigurationError):
+            system.set_fpr("nope", 10.0)
+
+    def test_processing_latency_is_frame_period(self):
+        system = PerceptionSystem(fpr=10.0)
+        assert system.processing_latency("front_120") == pytest.approx(0.1)
+
+
+class TestLatencyAndConfirmation:
+    def test_confirmation_delay_scales_with_fpr(self):
+        # K=5 at 10 FPR: 5 frames at 0.1 s + one 0.1 s processing delay:
+        # the actor must be absent from the world model before ~0.5 s and
+        # present shortly after.
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0),
+            fpr=10.0,
+            confirmation_hits=5,
+        )
+        actors = {"a": static_actor(50)}
+        seen_at = None
+        t = 0.0
+        while t <= 2.0 and seen_at is None:
+            system.step(t, ego_at(), actors)
+            if "a" in system.world_model:
+                seen_at = t
+            t += 0.01
+        assert seen_at is not None
+        assert 0.45 <= seen_at <= 0.65
+
+    def test_results_delayed_by_processing(self):
+        # With K=1 the first frame (t=0) becomes visible only after the
+        # processing latency (1 frame period).
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0),
+            fpr=2.0,
+            confirmation_hits=1,
+        )
+        actors = {"a": static_actor(50)}
+        system.step(0.0, ego_at(), actors)
+        assert "a" not in system.world_model
+        system.step(0.49, ego_at(), actors)
+        assert "a" not in system.world_model
+        system.step(0.51, ego_at(), actors)
+        assert "a" in system.world_model
+
+    def test_world_model_drops_lost_actor(self):
+        # An actor that leaves every camera's coverage ages out of the
+        # world model even though no in-coverage miss is ever counted.
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0),
+            fpr=10.0,
+            confirmation_hits=1,
+            max_misses=2,
+        )
+        actors = {"a": static_actor(50)}
+        run_system(system, 0.5, actors)
+        assert "a" in system.world_model
+        gone = {"a": static_actor(-500)}
+        t = 0.5
+        while t <= 4.5:
+            system.step(t, ego_at(), gone)
+            t += 0.01
+        assert "a" not in system.world_model
+
+    def test_world_model_velocity_estimate(self):
+        system = PerceptionSystem(
+            detection_model=DetectionModel(position_noise=0.0),
+            fpr=10.0,
+            confirmation_hits=1,
+        )
+        t = 0.0
+        while t <= 2.0:
+            actors = {
+                "a": (VehicleState(Vec2(50 + 7.0 * t, 0), 0.0, 7.0, 0.0), SPEC)
+            }
+            system.step(t, ego_at(), actors)
+            t += 0.01
+        perceived = system.world_model.get("a")
+        assert perceived is not None
+        assert perceived.speed == pytest.approx(7.0, abs=0.3)
+
+
+class TestValidation:
+    def test_rejects_negative_latency_factor(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionSystem(latency_factor=-1.0)

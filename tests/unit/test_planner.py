@@ -1,0 +1,104 @@
+"""The ego planner: lead selection, AEB escalation, cruise."""
+
+import pytest
+
+from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.geometry.vec import Vec2
+from repro.perception.world_model import PerceivedActor, WorldModel
+from repro.planning.planner import Planner, PlannerConfig, PlannerMode
+from repro.road.track import three_lane_straight_road
+
+
+SPEC = VehicleSpec()
+
+
+def ego_at(x: float = 100.0, y: float = 0.0, speed: float = 20.0):
+    return VehicleState(Vec2(x, y), 0.0, speed, 0.0)
+
+
+def perceived(actor_id, x, y=0.0, speed=15.0, accel=0.0, t=0.0):
+    return PerceivedActor(
+        actor_id=actor_id,
+        position=Vec2(x, y),
+        velocity=Vec2(speed, 0.0),
+        heading=0.0,
+        speed=speed,
+        accel=accel,
+        timestamp=t,
+    )
+
+
+@pytest.fixture
+def planner():
+    return Planner(
+        config=PlannerConfig(
+            road=three_lane_straight_road(),
+            target_lane=1,
+            desired_speed=20.0,
+        ),
+        spec=SPEC,
+    )
+
+
+class TestCruise:
+    def test_empty_world_cruises(self, planner):
+        plan = planner.plan(0.0, ego_at(speed=15.0), WorldModel())
+        assert plan.mode is PlannerMode.CRUISE
+        assert plan.accel > 0.0
+        assert plan.lead_id is None
+
+    def test_holds_desired_speed(self, planner):
+        plan = planner.plan(0.0, ego_at(speed=20.0), WorldModel())
+        assert plan.accel == pytest.approx(0.0, abs=0.1)
+
+
+class TestLeadSelection:
+    def test_in_lane_lead_followed(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("lead", 140.0, speed=15.0))
+        plan = planner.plan(0.0, ego_at(), wm)
+        assert plan.mode in (PlannerMode.FOLLOW, PlannerMode.EMERGENCY)
+        assert plan.lead_id == "lead"
+        assert plan.lead_gap == pytest.approx(40.0 - 4.8)
+
+    def test_adjacent_lane_ignored(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("beside", 140.0, y=3.5))
+        plan = planner.plan(0.0, ego_at(), wm)
+        assert plan.mode is PlannerMode.CRUISE
+
+    def test_behind_ignored(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("tail", 60.0))
+        plan = planner.plan(0.0, ego_at(), wm)
+        assert plan.mode is PlannerMode.CRUISE
+
+    def test_nearest_lead_binds(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("far", 200.0))
+        wm.upsert(perceived("near", 140.0))
+        plan = planner.plan(0.0, ego_at(), wm)
+        assert plan.lead_id == "near"
+
+    def test_stale_lead_extrapolated(self, planner):
+        wm = WorldModel()
+        # Measured 2 s ago at x=130 doing 15 m/s: now at ~160.
+        wm.upsert(perceived("lead", 130.0, speed=15.0, t=0.0))
+        plan = planner.plan(2.0, ego_at(), wm)
+        assert plan.lead_gap == pytest.approx(60.0 - 4.8, abs=0.5)
+
+
+class TestEmergency:
+    def test_emergency_on_stopped_lead(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("wall", 125.0, speed=0.0))
+        plan = planner.plan(0.0, ego_at(speed=20.0), wm)
+        assert plan.mode is PlannerMode.EMERGENCY
+        assert plan.accel <= -7.0
+
+    def test_follow_when_comfortable(self, planner):
+        wm = WorldModel()
+        wm.upsert(perceived("lead", 160.0, speed=18.0))
+        plan = planner.plan(0.0, ego_at(speed=20.0), wm)
+        assert plan.mode is PlannerMode.FOLLOW
+        assert plan.accel > -3.0

@@ -1,0 +1,150 @@
+"""Trajectory predictors."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.geometry.vec import Vec2
+from repro.perception.world_model import PerceivedActor
+from repro.prediction.base import PredictedTrajectory, check_probabilities
+from repro.prediction.constant_accel import ConstantAccelerationPredictor
+from repro.prediction.constant_velocity import ConstantVelocityPredictor
+from repro.prediction.maneuver import ManeuverPredictor
+from repro.road.track import three_lane_straight_road
+
+
+def perceived(x=0.0, y=0.0, speed=10.0, heading=0.0, accel=0.0, t=0.0):
+    return PerceivedActor(
+        actor_id="a",
+        position=Vec2(x, y),
+        velocity=Vec2.unit(heading) * speed,
+        heading=heading,
+        speed=speed,
+        accel=accel,
+        timestamp=t,
+    )
+
+
+class TestConstantVelocity:
+    def test_straight_line(self):
+        predictions = ConstantVelocityPredictor().predict(
+            perceived(speed=8.0), now=5.0, horizon=4.0
+        )
+        assert len(predictions) == 1
+        trajectory = predictions[0].trajectory
+        assert trajectory.state_at(9.0).position.x == pytest.approx(32.0)
+        assert trajectory.state_at(9.0).speed == pytest.approx(8.0)
+
+    def test_probability_one(self):
+        predictions = ConstantVelocityPredictor().predict(
+            perceived(), now=0.0, horizon=2.0
+        )
+        assert predictions[0].probability == 1.0
+
+    def test_heading_respected(self):
+        predictions = ConstantVelocityPredictor().predict(
+            perceived(heading=math.pi / 2, speed=5.0), now=0.0, horizon=2.0
+        )
+        end = predictions[0].trajectory.state_at(2.0)
+        assert end.position.y == pytest.approx(10.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            ConstantVelocityPredictor().predict(perceived(), 0.0, 0.0)
+
+
+class TestConstantAcceleration:
+    def test_braking_stops(self):
+        predictions = ConstantAccelerationPredictor().predict(
+            perceived(speed=10.0, accel=-5.0), now=0.0, horizon=5.0
+        )
+        end = predictions[0].trajectory.state_at(5.0)
+        assert end.speed == 0.0
+        assert end.position.x == pytest.approx(10.0)
+
+    def test_accelerating_caps_at_max_speed(self):
+        predictor = ConstantAccelerationPredictor(max_speed=12.0)
+        predictions = predictor.predict(
+            perceived(speed=10.0, accel=4.0), now=0.0, horizon=10.0
+        )
+        assert predictions[0].trajectory.state_at(10.0).speed == pytest.approx(12.0)
+
+
+class TestManeuverPredictor:
+    def test_probabilities_sum_to_one(self):
+        predictions = ManeuverPredictor().predict(perceived(), 0.0, 6.0)
+        assert sum(p.probability for p in predictions) == pytest.approx(1.0)
+
+    def test_labels_unique(self):
+        predictions = ManeuverPredictor().predict(perceived(), 0.0, 6.0)
+        labels = [p.label for p in predictions]
+        assert len(set(labels)) == len(labels)
+
+    def test_no_lane_change_without_road(self):
+        predictions = ManeuverPredictor().predict(perceived(), 0.0, 6.0)
+        assert "lane-change" not in {p.label for p in predictions}
+
+    def test_lane_change_toward_target_lane(self):
+        road = three_lane_straight_road()
+        predictor = ManeuverPredictor(road=road, target_lane=1)
+        # Actor in lane 0 (d = -3.5).
+        predictions = predictor.predict(
+            perceived(x=100.0, y=-3.5, speed=15.0), 0.0, 8.0
+        )
+        by_label = {p.label: p for p in predictions}
+        assert "lane-change" in by_label
+        end = by_label["lane-change"].trajectory.state_at(8.0)
+        assert end.position.y == pytest.approx(0.0, abs=0.1)
+
+    def test_no_lane_change_from_target_lane(self):
+        road = three_lane_straight_road()
+        predictor = ManeuverPredictor(road=road, target_lane=1)
+        predictions = predictor.predict(
+            perceived(x=100.0, y=0.0, speed=15.0), 0.0, 8.0
+        )
+        assert "lane-change" not in {p.label for p in predictions}
+
+    def test_no_lane_change_across_two_lanes(self):
+        road = three_lane_straight_road()
+        predictor = ManeuverPredictor(road=road, target_lane=2)
+        predictions = predictor.predict(
+            perceived(x=100.0, y=-3.5, speed=15.0), 0.0, 8.0
+        )
+        assert "lane-change" not in {p.label for p in predictions}
+
+    def test_brake_hypothesis_slower_than_keep(self):
+        predictions = ManeuverPredictor().predict(
+            perceived(speed=20.0), 0.0, 5.0
+        )
+        by_label = {p.label: p for p in predictions}
+        keep_end = by_label["keep"].trajectory.state_at(5.0)
+        brake_end = by_label["hard-brake"].trajectory.state_at(5.0)
+        assert brake_end.position.x < keep_end.position.x
+        assert brake_end.speed < keep_end.speed
+
+    def test_zero_weights_rejected(self):
+        predictor = ManeuverPredictor(weights={})
+        with pytest.raises(ConfigurationError):
+            predictor.predict(perceived(), 0.0, 5.0)
+
+
+class TestProbabilityCheck:
+    def test_accepts_valid(self):
+        predictions = ConstantVelocityPredictor().predict(perceived(), 0.0, 1.0)
+        check_probabilities(predictions)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            check_probabilities([])
+
+    def test_rejects_bad_sum(self):
+        predictions = ConstantVelocityPredictor().predict(perceived(), 0.0, 1.0)
+        bad = [PredictedTrajectory(predictions[0].trajectory, 0.5)]
+        with pytest.raises(EstimationError):
+            check_probabilities(bad)
+
+    def test_rejects_probability_above_one(self):
+        predictions = ConstantVelocityPredictor().predict(perceived(), 0.0, 1.0)
+        with pytest.raises(EstimationError):
+            PredictedTrajectory(predictions[0].trajectory, 1.5)

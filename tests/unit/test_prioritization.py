@@ -1,0 +1,110 @@
+"""Work prioritization: frame-budget allocation and actor ranking."""
+
+import pytest
+
+from repro.core.evaluator import EvaluationTick
+from repro.core.fpr import CameraEstimate
+from repro.errors import ConfigurationError
+from repro.system.prioritization import (
+    WorkPrioritizer,
+    allocate_frame_budget,
+    rank_actors,
+)
+
+
+class TestAllocation:
+    def test_budget_conserved(self):
+        allocation = allocate_frame_budget(
+            {"a": 10.0, "b": 2.0, "c": 1.0}, total_budget=45.0
+        )
+        assert sum(allocation.values()) == pytest.approx(45.0)
+
+    def test_floors_respected(self):
+        estimates = {"a": 10.0, "b": 2.0, "c": 1.0}
+        allocation = allocate_frame_budget(estimates, total_budget=45.0)
+        for camera, estimate in estimates.items():
+            assert allocation[camera] >= estimate
+
+    def test_surplus_proportional_to_demand(self):
+        allocation = allocate_frame_budget(
+            {"a": 10.0, "b": 5.0}, total_budget=30.0
+        )
+        # Surplus 15 split 2:1.
+        assert allocation["a"] == pytest.approx(20.0)
+        assert allocation["b"] == pytest.approx(10.0)
+
+    def test_degraded_mode_scales_down(self):
+        allocation = allocate_frame_budget(
+            {"a": 20.0, "b": 20.0}, total_budget=20.0
+        )
+        assert sum(allocation.values()) == pytest.approx(20.0)
+        assert allocation["a"] == pytest.approx(10.0)
+
+    def test_max_fpr_cap(self):
+        allocation = allocate_frame_budget(
+            {"a": 29.0, "b": 1.0}, total_budget=90.0, max_fpr=30.0
+        )
+        assert allocation["a"] <= 30.0
+
+    def test_min_fpr_floor(self):
+        allocation = allocate_frame_budget(
+            {"a": 0.2, "b": 10.0}, total_budget=20.0, min_fpr=1.0
+        )
+        assert allocation["a"] >= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            allocate_frame_budget({}, total_budget=10.0)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ConfigurationError):
+            allocate_frame_budget({"a": 1.0}, total_budget=0.0)
+
+
+class TestActorRanking:
+    def test_smaller_latency_more_important(self):
+        order = rank_actors({"slow": 0.9, "fast": 0.1, "mid": 0.5})
+        assert order == ["fast", "mid", "slow"]
+
+    def test_unavoidable_first(self):
+        order = rank_actors({"a": 0.5, "doomed": None})
+        assert order[0] == "doomed"
+
+    def test_empty_ok(self):
+        assert rank_actors({}) == []
+
+
+class TestWorkPrioritizer:
+    def _tick(self, fprs: dict) -> EvaluationTick:
+        return EvaluationTick(
+            time=0.0,
+            camera_estimates={
+                name: CameraEstimate(
+                    camera=name, latency=1.0 / fpr, fpr=fpr,
+                    binding_actor=None, unavoidable=False, actor_count=0,
+                )
+                for name, fpr in fprs.items()
+            },
+            actor_latencies={},
+            ego_speed=20.0,
+            ego_accel=0.0,
+        )
+
+    def test_allocation_from_tick(self):
+        prioritizer = WorkPrioritizer(
+            total_budget=36.0, cameras=("front_120", "left", "right")
+        )
+        allocation = prioritizer.allocation_for(
+            self._tick({"front_120": 10.0, "left": 1.0, "right": 1.0})
+        )
+        assert sum(allocation.values()) == pytest.approx(36.0)
+        assert allocation["front_120"] > allocation["left"]
+
+    def test_missing_camera_estimates_rejected(self):
+        prioritizer = WorkPrioritizer(total_budget=36.0, cameras=("ghost",))
+        with pytest.raises(ConfigurationError):
+            prioritizer.allocation_for(self._tick({"front_120": 5.0}))
+
+    def test_rejects_no_cameras(self):
+        with pytest.raises(ConfigurationError):
+            WorkPrioritizer(total_budget=10.0, cameras=())

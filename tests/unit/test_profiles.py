@@ -1,0 +1,37 @@
+"""Smoothstep motion profiles."""
+
+import pytest
+
+from repro.dynamics.profiles import smoothstep, smoothstep_slope
+
+
+class TestSmoothstep:
+    def test_endpoints(self):
+        assert smoothstep(0.0) == 0.0
+        assert smoothstep(1.0) == 1.0
+
+    def test_midpoint(self):
+        assert smoothstep(0.5) == pytest.approx(0.5)
+
+    def test_clamps_outside(self):
+        assert smoothstep(-1.0) == 0.0
+        assert smoothstep(2.0) == 1.0
+
+    def test_monotone(self):
+        values = [smoothstep(i / 100) for i in range(101)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestSlope:
+    def test_zero_at_ends(self):
+        assert smoothstep_slope(0.0) == 0.0
+        assert smoothstep_slope(1.0) == 0.0
+
+    def test_peak_at_center(self):
+        assert smoothstep_slope(0.5) == pytest.approx(1.5)
+
+    def test_matches_finite_difference(self):
+        h = 1e-6
+        for p in (0.2, 0.5, 0.8):
+            numeric = (smoothstep(p + h) - smoothstep(p - h)) / (2 * h)
+            assert smoothstep_slope(p) == pytest.approx(numeric, rel=1e-4)

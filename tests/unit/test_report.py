@@ -1,0 +1,93 @@
+"""ASCII rendering helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    pearson_correlation,
+    render_heatmap,
+    render_series,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_header_separator(self):
+        text = format_table(["x"], [["1"]])
+        assert text.splitlines()[1].strip("-") == ""
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestHeatmap:
+    def test_level_glyphs(self):
+        grid = np.array([[1.0, 4.0], [12.0, 40.0]])
+        text = render_heatmap(grid)
+        # Row 0 is printed last (y grows upward).
+        lines = text.splitlines()
+        assert lines[1] == ".:"
+        assert lines[0] == "*@"
+
+    def test_nan_is_blank(self):
+        grid = np.array([[float("nan"), 1.0]])
+        assert render_heatmap(grid).startswith(" ")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.array([1.0, 2.0]))
+
+
+class TestSeries:
+    def test_plots_and_labels(self):
+        values = [math.sin(i / 10) for i in range(100)]
+        text = render_series(values, width=40, height=8, label="sine")
+        lines = text.splitlines()
+        assert "sine" in lines[0]
+        assert len(lines) == 9
+        assert any("*" in line for line in lines[1:])
+
+    def test_constant_series_ok(self):
+        text = render_series([5.0] * 10)
+        assert "min=5" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_series([])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            render_series([1.0, 2.0], width=1)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson_correlation([1], [1])

@@ -1,0 +1,123 @@
+"""Camera rig geometry."""
+
+import math
+
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ConfigurationError
+from repro.geometry.fov import AngularSector
+from repro.geometry.transforms import Frame2
+from repro.geometry.vec import Vec2
+from repro.perception.sensor import ANALYZED_CAMERAS, Camera, CameraRig, default_rig
+
+
+def ego_at(x: float = 0.0, y: float = 0.0, heading: float = 0.0) -> VehicleState:
+    return VehicleState(Vec2(x, y), heading, 10.0, 0.0)
+
+
+class TestDefaultRig:
+    def setup_method(self):
+        self.rig = default_rig()
+
+    def test_five_cameras(self):
+        assert len(self.rig) == 5
+        assert set(self.rig.names) == {
+            "front_60", "front_120", "left", "right", "rear"
+        }
+
+    def test_analyzed_cameras_exist(self):
+        for name in ANALYZED_CAMERAS:
+            assert name in self.rig
+
+    def test_front_sees_ahead(self):
+        ego = ego_at()
+        assert self.rig["front_120"].sees(ego, Vec2(50, 0))
+        assert self.rig["front_60"].sees(ego, Vec2(50, 0))
+
+    def test_front_does_not_see_behind(self):
+        ego = ego_at()
+        assert not self.rig["front_120"].sees(ego, Vec2(-50, 0))
+
+    def test_narrow_front_narrower_than_wide(self):
+        ego = ego_at()
+        off_axis = Vec2(20, 15)  # ~37 degrees off
+        assert self.rig["front_120"].sees(ego, off_axis)
+        assert not self.rig["front_60"].sees(ego, off_axis)
+
+    def test_side_cameras_see_abeam(self):
+        ego = ego_at()
+        assert self.rig["left"].sees(ego, Vec2(0, 20))
+        assert self.rig["right"].sees(ego, Vec2(0, -20))
+        assert not self.rig["left"].sees(ego, Vec2(0, -20))
+
+    def test_rear_sees_behind(self):
+        ego = ego_at()
+        assert self.rig["rear"].sees(ego, Vec2(-40, 0))
+
+    def test_adjacent_lane_far_ahead_is_front_only(self):
+        # An actor 50 m ahead in the adjacent lane sits in the front
+        # camera's FOV, not the side camera's — why the paper's Cut-in
+        # has no side activity.
+        ego = ego_at()
+        point = Vec2(50, -3.5)
+        assert self.rig["front_120"].sees(ego, point)
+        assert not self.rig["right"].sees(ego, point)
+
+    def test_rotates_with_ego(self):
+        ego = ego_at(heading=math.pi / 2)  # facing +Y
+        assert self.rig["front_120"].sees(ego, Vec2(0, 50))
+        assert not self.rig["front_120"].sees(ego, Vec2(50, 0))
+
+    def test_range_limit(self):
+        ego = ego_at()
+        assert not self.rig["front_120"].sees(ego, Vec2(500, 0))
+
+
+class TestVisibility:
+    def test_visible_actors_grouping(self):
+        rig = default_rig()
+        ego = ego_at()
+        visibility = rig.visible_actors(
+            ego,
+            {
+                "ahead": Vec2(60, 0),
+                "left_abeam": Vec2(0, 15),
+                "behind": Vec2(-50, 0),
+            },
+        )
+        assert "ahead" in visibility["front_120"]
+        assert "left_abeam" in visibility["left"]
+        assert "behind" in visibility["rear"]
+        assert "behind" not in visibility["front_120"]
+
+    def test_actor_in_multiple_cameras(self):
+        rig = default_rig()
+        ego = ego_at()
+        # Ahead-left diagonal: both front_120 and (close enough) left.
+        visibility = rig.visible_actors(ego, {"diag": Vec2(10, 10)})
+        cameras = [name for name, ids in visibility.items() if "diag" in ids]
+        assert "front_120" in cameras
+        assert "left" in cameras
+
+
+class TestRigValidation:
+    def _camera(self, name: str) -> Camera:
+        return Camera(
+            name=name,
+            mount=Frame2(Vec2(0, 0), 0.0),
+            fov=AngularSector(0.0, math.radians(60), 100.0),
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CameraRig([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError):
+            CameraRig([self._camera("a"), self._camera("a")])
+
+    def test_unknown_camera_lookup_raises(self):
+        rig = CameraRig([self._camera("a")])
+        with pytest.raises(ConfigurationError):
+            rig["missing"]

@@ -1,0 +1,175 @@
+"""Threat extraction: fixed gaps, trajectory threats, lateral gating."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ZhuyiParams
+from repro.core.threat import FixedGapThreat, ThreatAssessor, TrajectoryThreat
+from repro.dynamics.state import (
+    StateTrajectory,
+    TimedState,
+    VehicleSpec,
+    VehicleState,
+)
+from repro.errors import EstimationError
+from repro.geometry.vec import Vec2
+
+
+def vstate(x: float, y: float = 0.0, speed: float = 10.0,
+           heading: float = 0.0) -> VehicleState:
+    return VehicleState(Vec2(x, y), heading, speed, 0.0)
+
+
+def straight_trajectory(x0: float, y: float, speed: float,
+                        duration: float = 10.0) -> StateTrajectory:
+    return StateTrajectory(
+        TimedState(t, vstate(x0 + speed * t, y, speed))
+        for t in np.arange(0.0, duration + 0.25, 0.25)
+    )
+
+
+class TestFixedGapThreat:
+    def test_constant_queries(self):
+        threat = FixedGapThreat(gap=30.0, actor_speed=5.0)
+        assert threat.gap_at(0.0) == 30.0
+        assert threat.gap_at(100.0) == 30.0
+        assert threat.actor_speed_at(42.0) == 5.0
+
+    def test_vectorized_matches_scalar(self):
+        threat = FixedGapThreat(gap=30.0, actor_speed=5.0)
+        gaps, speeds = threat.sample(np.array([0.0, 1.0, 2.0]))
+        assert np.allclose(gaps, 30.0)
+        assert np.allclose(speeds, 5.0)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(EstimationError):
+            FixedGapThreat(gap=-1.0, actor_speed=0.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(EstimationError):
+            FixedGapThreat(gap=1.0, actor_speed=-1.0)
+
+
+class TestTrajectoryThreat:
+    def setup_method(self):
+        self.spec = VehicleSpec(length=4.8)
+        self.ego = vstate(0.0, speed=20.0)
+
+    def test_gap_subtracts_half_lengths(self):
+        trajectory = straight_trajectory(50.0, 0.0, speed=0.0)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        assert threat.gap_at(0.0) == pytest.approx(50.0 - 4.8)
+
+    def test_gap_grows_with_receding_actor(self):
+        trajectory = straight_trajectory(50.0, 0.0, speed=10.0)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        assert threat.gap_at(2.0) == pytest.approx(70.0 - 4.8)
+
+    def test_gap_never_negative(self):
+        trajectory = straight_trajectory(1.0, 0.0, speed=0.0)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        assert threat.gap_at(0.0) == 0.0
+
+    def test_speed_query(self):
+        trajectory = straight_trajectory(50.0, 0.0, speed=7.5)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        assert threat.actor_speed_at(1.0) == pytest.approx(7.5)
+
+    def test_t0_offset(self):
+        trajectory = straight_trajectory(50.0, 0.0, speed=10.0)
+        threat = TrajectoryThreat(
+            self.ego, self.spec, trajectory, self.spec, t0=2.0
+        )
+        # Relative t=0 is absolute t=2: actor at 70.
+        assert threat.gap_at(0.0) == pytest.approx(70.0 - 4.8)
+
+    def test_coasts_past_prediction_end(self):
+        trajectory = straight_trajectory(50.0, 0.0, speed=10.0, duration=2.0)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        # At t=5 the record ends at x=70; coasting adds 3 s * 10 m/s.
+        assert threat.gap_at(5.0) == pytest.approx(100.0 - 4.8)
+
+    def test_vectorized_matches_scalar(self):
+        trajectory = straight_trajectory(50.0, 1.0, speed=4.0, duration=3.0)
+        threat = TrajectoryThreat(self.ego, self.spec, trajectory, self.spec)
+        times = np.array([0.0, 0.5, 2.9, 3.5, 8.0])
+        gaps, speeds = threat.sample(times)
+        for i, t in enumerate(times):
+            assert gaps[i] == pytest.approx(threat.gap_at(float(t)))
+            assert speeds[i] == pytest.approx(threat.actor_speed_at(float(t)))
+
+
+class TestThreatAssessorGating:
+    def setup_method(self):
+        self.params = ZhuyiParams()
+        self.assessor = ThreatAssessor(params=self.params)
+        self.spec = VehicleSpec()
+        self.ego = vstate(0.0, 0.0, speed=20.0)
+
+    def test_lead_in_lane_is_threat(self):
+        trajectory = straight_trajectory(40.0, 0.0, speed=15.0)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is not None
+
+    def test_adjacent_lane_actor_gated_out(self):
+        trajectory = straight_trajectory(40.0, 3.5, speed=15.0)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is None
+
+    def test_behind_actor_gated_out(self):
+        trajectory = straight_trajectory(-20.0, 0.0, speed=25.0)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is None
+
+    def test_cut_in_actor_is_threat(self):
+        # Starts in the adjacent lane, merges into the ego lane at t=2-4.
+        samples = []
+        for t in np.arange(0.0, 8.25, 0.25):
+            if t < 2.0:
+                y = 3.5
+            elif t < 4.0:
+                y = 3.5 * (1.0 - (t - 2.0) / 2.0)
+            else:
+                y = 0.0
+            samples.append(TimedState(t, vstate(40.0 + 15.0 * t, y, 15.0)))
+        trajectory = StateTrajectory(samples)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is not None
+
+    def test_cut_in_beyond_horizon_gated_out(self):
+        # Merge starts after the assessor's horizon: not yet a threat.
+        params = ZhuyiParams(horizon=3.0)
+        assessor = ThreatAssessor(params=params)
+        samples = []
+        for t in np.arange(0.0, 12.25, 0.25):
+            y = 3.5 if t < 10.0 else 0.0
+            samples.append(TimedState(t, vstate(40.0 + 15.0 * t, y, 15.0)))
+        trajectory = StateTrajectory(samples)
+        assert assessor.assess(self.ego, self.spec, trajectory, self.spec) is None
+
+    def test_gating_disabled_includes_everything(self):
+        params = ZhuyiParams(gate_lateral=False)
+        assessor = ThreatAssessor(params=params)
+        trajectory = straight_trajectory(40.0, 3.5, speed=15.0)
+        assert assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is not None
+
+    def test_faster_follower_in_lane_gated_out(self):
+        # The front_right_activity_1 regression: a faster actor behind the
+        # ego crosses the ego's *original* position but can never be hit
+        # by a braking ego.
+        trajectory = straight_trajectory(-30.0, 0.0, speed=25.0)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is None
+
+    def test_abeam_actor_in_other_lane_gated_out(self):
+        trajectory = straight_trajectory(1.0, 3.5, speed=20.0)
+        assert self.assessor.assess(
+            self.ego, self.spec, trajectory, self.spec
+        ) is None

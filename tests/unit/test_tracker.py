@@ -1,0 +1,119 @@
+"""K-frame confirmation tracking."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
+from repro.perception.detection import Detection
+from repro.perception.tracker import ConfirmationTracker
+
+
+def det(actor: str, x: float, y: float = 0.0, t: float = 0.0,
+        camera: str = "front_120") -> Detection:
+    return Detection(
+        actor_id=actor, camera=camera, time=t,
+        position=Vec2(x, y), true_speed=10.0, true_heading=0.0,
+    )
+
+
+class TestConfirmation:
+    def test_needs_k_consecutive_frames(self):
+        tracker = ConfirmationTracker(confirmation_hits=5)
+        for i in range(4):
+            tracker.update(i * 0.1, [det("a", 10 + i, t=i * 0.1)])
+            assert not tracker.tracks["a"].confirmed
+        tracker.update(0.4, [det("a", 14, t=0.4)])
+        assert tracker.tracks["a"].confirmed
+        assert "a" in tracker.confirmed_tracks()
+
+    def test_k_one_confirms_immediately(self):
+        tracker = ConfirmationTracker(confirmation_hits=1)
+        tracker.update(0.0, [det("a", 10)])
+        assert tracker.tracks["a"].confirmed
+
+    def test_miss_resets_hit_count(self):
+        tracker = ConfirmationTracker(confirmation_hits=3, max_misses=5)
+        tracker.update(0.0, [det("a", 10, t=0.0)])
+        tracker.update(0.1, [det("a", 11, t=0.1)])
+        tracker.update(0.2, [], expected=["a"])  # miss
+        tracker.update(0.3, [det("a", 13, t=0.3)])
+        tracker.update(0.4, [det("a", 14, t=0.4)])
+        assert not tracker.tracks["a"].confirmed
+        tracker.update(0.5, [det("a", 15, t=0.5)])
+        assert tracker.tracks["a"].confirmed
+
+    def test_out_of_coverage_not_a_miss(self):
+        tracker = ConfirmationTracker(confirmation_hits=3)
+        tracker.update(0.0, [det("a", 10)])
+        # Frame that could not have seen "a": no penalty.
+        tracker.update(0.1, [], expected=[])
+        assert tracker.tracks["a"].misses == 0
+
+    def test_track_dropped_after_max_misses(self):
+        tracker = ConfirmationTracker(confirmation_hits=1, max_misses=2)
+        tracker.update(0.0, [det("a", 10)])
+        tracker.update(0.1, [], expected=["a"])
+        assert "a" in tracker.tracks
+        tracker.update(0.2, [], expected=["a"])
+        assert "a" not in tracker.tracks
+
+    def test_same_instant_views_count_once(self):
+        # Two cameras seeing the actor in the same frame batch (or two
+        # batches at the same capture time) add one hit, not two.
+        tracker = ConfirmationTracker(confirmation_hits=3)
+        tracker.update(0.0, [det("a", 10, camera="front_60"),
+                             det("a", 10, camera="front_120")])
+        assert tracker.tracks["a"].hits == 1
+        tracker.update(0.0, [det("a", 10, camera="left")])
+        assert tracker.tracks["a"].hits == 1
+
+
+class TestVelocityEstimation:
+    def test_velocity_from_positions(self):
+        tracker = ConfirmationTracker(confirmation_hits=1)
+        tracker.update(0.0, [det("a", 10, t=0.0)])
+        tracker.update(1.0, [det("a", 20, t=1.0)])
+        track = tracker.tracks["a"]
+        assert track.velocity.x == pytest.approx(10.0)
+        assert track.speed == pytest.approx(10.0)
+
+    def test_window_averages_noise(self):
+        tracker = ConfirmationTracker(confirmation_hits=1, velocity_window=1.0)
+        # 10 m/s with +-0.3 m alternating noise at 10 FPS.
+        for i in range(11):
+            noise = 0.3 if i % 2 == 0 else -0.3
+            tracker.update(i * 0.1, [det("a", 10 + i * 1.0 + noise, t=i * 0.1)])
+        track = tracker.tracks["a"]
+        assert track.speed == pytest.approx(10.0, abs=1.0)
+
+    def test_heading_follows_motion(self):
+        tracker = ConfirmationTracker(confirmation_hits=1)
+        tracker.update(0.0, [det("a", 0, 0, t=0.0)])
+        tracker.update(1.0, [det("a", 0, 10, t=1.0)])
+        import math
+        assert tracker.tracks["a"].heading == pytest.approx(math.pi / 2)
+
+    def test_accel_estimated_from_speed_trend(self):
+        tracker = ConfirmationTracker(confirmation_hits=1, velocity_window=0.5)
+        # Decelerating at 2 m/s^2 from 20 m/s, sampled at 2 FPS.
+        x, v = 0.0, 20.0
+        for i in range(14):
+            t = i * 0.5
+            tracker.update(t, [det("a", x, t=t)])
+            x += v * 0.5 - 0.25 * 2.0 * 0.25 * 2  # integrate a=-2
+            v -= 1.0
+        assert tracker.tracks["a"].accel == pytest.approx(-2.0, abs=0.7)
+
+
+class TestValidation:
+    def test_rejects_zero_hits(self):
+        with pytest.raises(ConfigurationError):
+            ConfirmationTracker(confirmation_hits=0)
+
+    def test_rejects_zero_misses(self):
+        with pytest.raises(ConfigurationError):
+            ConfirmationTracker(max_misses=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            ConfirmationTracker(velocity_window=0.0)

@@ -1,0 +1,60 @@
+"""Unit conversions and angle wrapping."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSpeedConversions:
+    def test_60_mph_is_26_82_mps(self):
+        assert units.mph_to_mps(60.0) == pytest.approx(26.8224)
+
+    def test_mph_round_trip(self):
+        assert units.mps_to_mph(units.mph_to_mps(37.5)) == pytest.approx(37.5)
+
+    def test_kmh_to_mps(self):
+        assert units.kmh_to_mps(36.0) == pytest.approx(10.0)
+
+    def test_kmh_round_trip(self):
+        assert units.mps_to_kmh(units.kmh_to_mps(88.0)) == pytest.approx(88.0)
+
+    def test_zero_speed(self):
+        assert units.mph_to_mps(0.0) == 0.0
+
+
+class TestTimeConversions:
+    def test_seconds_to_ms_rounds(self):
+        assert units.seconds_to_ms(1.2345) == 1234
+        assert units.seconds_to_ms(1.2355) == 1236
+
+    def test_ms_to_seconds(self):
+        assert units.ms_to_seconds(330.0) == pytest.approx(0.33)
+
+    def test_ms_round_trip(self):
+        assert units.ms_to_seconds(units.seconds_to_ms(2.5)) == pytest.approx(2.5)
+
+
+class TestAngles:
+    def test_deg_rad_round_trip(self):
+        assert units.rad_to_deg(units.deg_to_rad(123.0)) == pytest.approx(123.0)
+
+    def test_wrap_identity_in_range(self):
+        assert units.wrap_angle(1.0) == pytest.approx(1.0)
+        assert units.wrap_angle(-1.0) == pytest.approx(-1.0)
+
+    def test_wrap_above_pi(self):
+        assert units.wrap_angle(math.pi + 0.1) == pytest.approx(-math.pi + 0.1)
+
+    def test_wrap_below_minus_pi(self):
+        assert units.wrap_angle(-math.pi - 0.1) == pytest.approx(math.pi - 0.1)
+
+    def test_wrap_pi_maps_to_pi(self):
+        assert units.wrap_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_wrap_many_turns(self):
+        assert units.wrap_angle(7.0 * math.pi) == pytest.approx(math.pi)
+
+    def test_wrap_zero(self):
+        assert units.wrap_angle(0.0) == 0.0

@@ -1,0 +1,95 @@
+"""Perceived world model and staleness-aware extrapolation."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.perception.world_model import PerceivedActor, WorldModel
+
+
+def actor(actor_id="a", x=0.0, speed=10.0, accel=0.0, timestamp=0.0):
+    return PerceivedActor(
+        actor_id=actor_id,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(speed, 0.0),
+        heading=0.0,
+        speed=speed,
+        accel=accel,
+        timestamp=timestamp,
+    )
+
+
+class TestWorldModel:
+    def test_upsert_and_get(self):
+        wm = WorldModel()
+        wm.upsert(actor("a", x=5.0))
+        assert wm.get("a").position.x == 5.0
+        assert "a" in wm
+        assert len(wm) == 1
+
+    def test_upsert_replaces(self):
+        wm = WorldModel()
+        wm.upsert(actor("a", x=5.0))
+        wm.upsert(actor("a", x=7.0))
+        assert wm.get("a").position.x == 7.0
+        assert len(wm) == 1
+
+    def test_remove(self):
+        wm = WorldModel()
+        wm.upsert(actor("a"))
+        wm.remove("a")
+        assert wm.get("a") is None
+
+    def test_remove_missing_is_noop(self):
+        WorldModel().remove("ghost")
+
+    def test_iteration(self):
+        wm = WorldModel()
+        wm.upsert(actor("a"))
+        wm.upsert(actor("b"))
+        assert {a.actor_id for a in wm} == {"a", "b"}
+
+    def test_staleness(self):
+        wm = WorldModel()
+        wm.upsert(actor("a", timestamp=1.0))
+        assert wm.staleness("a", now=3.0) == pytest.approx(2.0)
+        assert wm.staleness("ghost", now=3.0) is None
+
+
+class TestExtrapolation:
+    def test_constant_velocity(self):
+        a = actor(x=10.0, speed=5.0, timestamp=0.0)
+        assert a.extrapolated_position(2.0).x == pytest.approx(20.0)
+
+    def test_no_backwards_extrapolation(self):
+        a = actor(x=10.0, speed=5.0, timestamp=2.0)
+        assert a.extrapolated_position(1.0).x == 10.0
+
+    def test_braking_actor_travels_less(self):
+        braking = actor(x=0.0, speed=10.0, accel=-4.0, timestamp=0.0)
+        coasting = actor(x=0.0, speed=10.0, accel=0.0, timestamp=0.0)
+        assert (
+            braking.extrapolated_position(2.0).x
+            < coasting.extrapolated_position(2.0).x
+        )
+        # 10*2 - 0.5*4*4 = 12.
+        assert braking.extrapolated_position(2.0).x == pytest.approx(12.0)
+
+    def test_braking_actor_stops_not_reverses(self):
+        braking = actor(x=0.0, speed=10.0, accel=-5.0, timestamp=0.0)
+        # Stops after 2 s / 10 m; never moves back.
+        assert braking.extrapolated_position(10.0).x == pytest.approx(10.0)
+
+    def test_accelerating_actor_not_projected_faster(self):
+        # Only braking is honoured: optimistic acceleration must not
+        # inflate the predicted gap closure.
+        speeding = actor(x=0.0, speed=10.0, accel=3.0, timestamp=0.0)
+        assert speeding.extrapolated_position(2.0).x == pytest.approx(20.0)
+
+    def test_extrapolated_speed_braking(self):
+        a = actor(speed=10.0, accel=-4.0, timestamp=0.0)
+        assert a.extrapolated_speed(2.0) == pytest.approx(2.0)
+        assert a.extrapolated_speed(5.0) == 0.0
+
+    def test_extrapolated_speed_constant_otherwise(self):
+        a = actor(speed=10.0, accel=2.0, timestamp=0.0)
+        assert a.extrapolated_speed(3.0) == pytest.approx(10.0)
