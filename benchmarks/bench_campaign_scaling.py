@@ -1,0 +1,72 @@
+"""Campaign engine scaling — sequential vs parallel sweep throughput.
+
+Runs the same scenario x seed grid through ``CampaignRunner`` with one
+worker and with ``PARALLEL_WORKERS`` workers, records both wall times
+and the speedup, and checks that parallelism changed nothing but the
+clock: the per-run summaries must be byte-identical.
+
+The speedup target (>= 2x with 4 workers) is only asserted on machines
+that actually have >= 4 cores; on smaller hosts the benchmark still
+runs both paths and records the measured ratio, which is the honest
+number for that hardware. ``REPRO_CAMPAIGN_FULL=1`` widens the grid to
+the speed-sweep-expanded catalog.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import emit
+from repro.batch import Campaign, CampaignRunner, render_campaign_table
+from repro.scenarios.catalog import speed_sweep
+
+PARALLEL_WORKERS = 4
+
+
+def _campaign(full: bool) -> Campaign:
+    if full:
+        scenarios = tuple(speed_sweep()) + ("vehicle_following",)
+        return Campaign(scenarios=scenarios, seeds=(0, 1), stride=0.1)
+    return Campaign(
+        scenarios=("cut_out", "cut_in", "vehicle_following"),
+        seeds=(0, 1),
+        fprs=(30.0,),
+        stride=0.1,
+    )
+
+
+def _scaling_report():
+    full = os.environ.get("REPRO_CAMPAIGN_FULL", "0") == "1"
+    campaign = _campaign(full)
+    sequential = CampaignRunner(workers=1).run(campaign)
+    parallel = CampaignRunner(workers=PARALLEL_WORKERS).run(campaign)
+    speedup = sequential.elapsed / parallel.elapsed
+    lines = [
+        f"grid: {len(campaign.scenarios)} scenario(s) x "
+        f"{len(campaign.seeds)} seed(s) x {len(campaign.fprs)} FPR(s) "
+        f"= {campaign.size} runs",
+        f"host cores: {os.cpu_count()}",
+        f"sequential (1 worker):      {sequential.elapsed:8.2f} s",
+        f"parallel ({PARALLEL_WORKERS} workers):       {parallel.elapsed:8.2f} s",
+        f"speedup:                    {speedup:8.2f}x",
+        "",
+        render_campaign_table(sequential),
+    ]
+    return sequential, parallel, speedup, "\n".join(lines)
+
+
+def test_campaign_scaling(benchmark, artifact_dir):
+    sequential, parallel, speedup, report = benchmark.pedantic(
+        _scaling_report, rounds=1, iterations=1
+    )
+    emit(artifact_dir, "campaign_scaling", report)
+
+    # Parallelism must not change a single byte of any summary.
+    assert json.dumps([s.to_dict() for s in sequential.summaries]) == json.dumps(
+        [s.to_dict() for s in parallel.summaries]
+    )
+    assert not sequential.failures() and not parallel.failures()
+
+    cores = os.cpu_count() or 1
+    if cores >= PARALLEL_WORKERS:
+        # On real multi-core hardware the fan-out must pay for itself.
+        assert speedup >= 2.0, f"only {speedup:.2f}x with {cores} cores"

@@ -1,0 +1,55 @@
+"""Batch evaluation campaigns: scenario x seed x FPR sweeps at scale.
+
+The paper's statistical claims rest on sweeping many scenarios, jitter
+seeds and fixed FPR settings; this package turns that from a hand-written
+loop into a first-class subsystem:
+
+* :mod:`repro.batch.campaign` — the grid spec and its deterministic
+  expansion into per-run specs.
+* :mod:`repro.batch.runner` — sequential or process-parallel execution
+  with per-run failure capture.
+* :mod:`repro.batch.results` — per-run summaries, JSONL persistence
+  and reload.
+* :mod:`repro.batch.aggregate` — Table 1 rows straight from a stored
+  campaign, no re-simulation.
+
+Quickstart::
+
+    from repro.batch import Campaign, CampaignRunner, render_campaign_table
+
+    campaign = Campaign(scenarios=("cut_out", "cut_in"), seeds=(0, 1))
+    result = CampaignRunner(workers=4).run(campaign)
+    result.save_jsonl("campaign.jsonl")
+    print(render_campaign_table(result))
+"""
+
+from repro.batch.campaign import (
+    DEFAULT_VARIANT,
+    Campaign,
+    ParamVariant,
+    RunSpec,
+    full_catalog_campaign,
+)
+from repro.batch.runner import CampaignRunner, execute_run
+from repro.batch.results import SCHEMA_VERSION, CampaignResult, RunSummary
+from repro.batch.aggregate import (
+    campaign_table1,
+    render_campaign_table,
+    summarize_failures,
+)
+
+__all__ = [
+    "Campaign",
+    "ParamVariant",
+    "RunSpec",
+    "DEFAULT_VARIANT",
+    "full_catalog_campaign",
+    "CampaignRunner",
+    "execute_run",
+    "CampaignResult",
+    "RunSummary",
+    "SCHEMA_VERSION",
+    "campaign_table1",
+    "render_campaign_table",
+    "summarize_failures",
+]

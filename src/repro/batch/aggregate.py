@@ -1,0 +1,167 @@
+"""Aggregating a campaign back into the paper's Table 1.
+
+The Table 1 harness (:mod:`repro.analysis.table1`) runs its own grid
+inline; a campaign has already run the same grid — possibly in parallel
+— so these helpers derive the identical rows purely from the stored
+summaries: mean max-FPR estimates per fixed setting ("N/A" where a seed
+collided), the MRF label from the collision outcomes, peak total demand
+and the fraction of provision. No new simulations are launched; runs
+that failed outright contribute no collision evidence and are surfaced
+via :meth:`CampaignResult.failures`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.table1 import Table1Config, Table1Row, render_table1
+from repro.batch.campaign import Campaign
+from repro.batch.results import CampaignResult, RunSummary
+from repro.errors import ConfigurationError
+from repro.scenarios.catalog import SCENARIOS
+from repro.system.mrf import MRFResult
+
+
+def campaign_table1(
+    result: CampaignResult, variant: str | None = None
+) -> list[Table1Row]:
+    """One Table 1 row per campaign scenario, from stored summaries."""
+    campaign = result.campaign
+    variant = _resolve_variant(campaign, variant)
+    return [
+        _scenario_row(scenario, result, variant)
+        for scenario in campaign.scenarios
+    ]
+
+
+def render_campaign_table(
+    result: CampaignResult, variant: str | None = None
+) -> str:
+    """The campaign's Table 1 as printable text."""
+    campaign = result.campaign
+    rows = campaign_table1(result, variant)
+    config = Table1Config(
+        scenarios=campaign.scenarios,
+        fpr_grid=campaign.fprs,
+        seeds=campaign.seeds,
+        provisioned_fpr=campaign.provisioned_fpr,
+        cameras=campaign.cameras,
+        stride=campaign.stride,
+    )
+    return render_table1(rows, config)
+
+
+def _resolve_variant(campaign: Campaign, variant: str | None) -> str:
+    names = [v.name for v in campaign.variants]
+    if variant is None:
+        return names[0]
+    if variant not in names:
+        raise ConfigurationError(
+            f"unknown variant {variant!r}; campaign has {names}"
+        )
+    return variant
+
+
+def _scenario_row(
+    scenario: str, result: CampaignResult, variant: str
+) -> Table1Row:
+    campaign = result.campaign
+    summaries = result.for_scenario(scenario, variant=variant)
+
+    per_fpr_estimates: dict[float, list[float]] = {
+        fpr: [] for fpr in campaign.fprs
+    }
+    per_fpr_collided: dict[float, bool] = {fpr: False for fpr in campaign.fprs}
+    collision_cache: dict[tuple[float, int], bool] = {}
+    max_total = 0.0
+    for summary in summaries:
+        if not summary.ok:
+            continue
+        collision_cache[(summary.fpr, summary.seed)] = summary.collided
+        if summary.collided:
+            per_fpr_collided[summary.fpr] = True
+            continue
+        if summary.max_fpr is not None:
+            per_fpr_estimates[summary.fpr].append(summary.max_fpr)
+        if summary.max_total_fpr is not None:
+            max_total = max(max_total, summary.max_total_fpr)
+
+    mean_estimates: dict[float, float | None] = {}
+    for fpr in campaign.fprs:
+        values = per_fpr_estimates[fpr]
+        if per_fpr_collided[fpr] or not values:
+            mean_estimates[fpr] = None
+        else:
+            mean_estimates[fpr] = sum(values) / len(values)
+
+    spec = SCENARIOS[scenario]
+    provision = campaign.provisioned_fpr * len(campaign.cameras)
+    return Table1Row(
+        scenario=scenario,
+        ego_speed_mph=spec.ego_speed_mph,
+        activity=dict(spec.activity),
+        paper_mrf=spec.paper_mrf,
+        mrf=_mrf_from_cache(scenario, campaign, collision_cache),
+        mean_estimates=mean_estimates,
+        max_total_fpr=max_total,
+        fraction=max_total / provision if provision else 0.0,
+    )
+
+
+def _mrf_from_cache(
+    scenario: str,
+    campaign: Campaign,
+    collision_cache: Mapping[tuple[float, int], bool],
+) -> MRFResult:
+    """The MRF verdict from the campaign's own collision outcomes.
+
+    Unlike :func:`repro.system.mrf.find_minimum_required_fpr` this never
+    launches new runs: a rate whose runs all failed has no outcome at
+    all and is excluded from the verdict entirely — it is neither safe
+    nor colliding, and cannot be the MRF.
+    """
+    rates = sorted(set(campaign.fprs))
+    evidenced_rates = []
+    collision_rates = []
+    safe_rates = []
+    for rate in rates:
+        outcomes = [
+            collision_cache[(rate, seed)]
+            for seed in campaign.seeds
+            if (rate, seed) in collision_cache
+        ]
+        if not outcomes:
+            continue
+        evidenced_rates.append(rate)
+        if any(outcomes):
+            collision_rates.append(rate)
+        else:
+            safe_rates.append(rate)
+
+    mrf = None
+    worst = max(collision_rates) if collision_rates else None
+    for rate in evidenced_rates:
+        if worst is None or rate > worst:
+            mrf = rate
+            break
+    return MRFResult(
+        scenario=scenario,
+        mrf=mrf,
+        collision_fprs=tuple(collision_rates),
+        safe_fprs=tuple(safe_rates),
+        runs=0,
+    )
+
+
+def summarize_failures(result: CampaignResult) -> str:
+    """A short plain-text report of failed runs (empty string if none)."""
+    failures = result.failures()
+    if not failures:
+        return ""
+    lines = [f"{len(failures)} failed run(s):"]
+    lines.extend(
+        f"  #{s.index} {s.scenario} seed={s.seed} fpr={s.fpr:g} "
+        f"[{s.variant}]: {s.error}"
+        for s in failures
+    )
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Campaign specs: the grid a batch evaluation sweeps.
+
+The paper's Table 1 / Figures 4-8 story is a *campaign* — many scenarios
+x jitter seeds x fixed FPR settings (and optionally Zhuyi parameter
+variants), each run end to end through the closed loop and the offline
+evaluator. A :class:`Campaign` declares that grid once; expansion into
+:class:`RunSpec` entries is deterministic, so a parallel executor and a
+sequential loop visit the exact same runs in the exact same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro.core.parameters import ZhuyiParams
+from repro.errors import ConfigurationError
+from repro.perception.sensor import ANALYZED_CAMERAS
+
+#: Variant name used when a campaign sweeps no parameter overrides.
+DEFAULT_VARIANT = "default"
+
+
+@dataclass(frozen=True)
+class ParamVariant:
+    """A named :class:`ZhuyiParams` override swept by a campaign.
+
+    ``params = None`` means the model defaults (the common case); the
+    name still tags every run so result files stay self-describing.
+    """
+
+    name: str
+    params: ZhuyiParams | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a parameter variant needs a name")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined run of a campaign grid.
+
+    Everything a worker process needs travels in this (picklable)
+    record; the run outcome is a pure function of it, which is what
+    makes parallel and sequential campaigns byte-identical.
+    """
+
+    index: int
+    scenario: str
+    seed: int
+    fpr: float
+    variant: str
+    params: ZhuyiParams | None
+    stride: float
+    provisioned_fpr: float
+    cameras: tuple[str, ...]
+
+    def resolved_params(self) -> ZhuyiParams:
+        """The Zhuyi constants for this run."""
+        return self.params if self.params is not None else ZhuyiParams()
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A scenario x seed x FPR (x parameter-variant) evaluation grid.
+
+    Attributes:
+        scenarios: catalog names (validated against the registry,
+            including any ``speed_sweep`` expansions already applied).
+        seeds: jitter seeds; each seed is one choreography.
+        fprs: fixed perception rates the closed loop runs at.
+        variants: named Zhuyi parameter overrides (default: just the
+            paper constants).
+        stride: offline evaluation stride (seconds).
+        provisioned_fpr: per-camera provision for the fraction column.
+        cameras: cameras entering the total-demand summaries.
+    """
+
+    scenarios: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    fprs: tuple[float, ...] = (30.0,)
+    variants: tuple[ParamVariant, ...] = (ParamVariant(DEFAULT_VARIANT),)
+    stride: float = 0.05
+    provisioned_fpr: float = 30.0
+    cameras: tuple[str, ...] = ANALYZED_CAMERAS
+
+    def __post_init__(self) -> None:
+        from repro.scenarios.catalog import SCENARIOS, ensure_scenario
+
+        if not self.scenarios:
+            raise ConfigurationError("a campaign needs at least one scenario")
+        if not self.seeds or not self.fprs or not self.variants:
+            raise ConfigurationError(
+                "campaign seeds, fprs and variants must be non-empty"
+            )
+        for name in self.scenarios:
+            # ensure_scenario re-derives speed-sweep variants on demand,
+            # so a campaign reloaded from JSONL (or validated in a fresh
+            # process) accepts the names its header references.
+            if not ensure_scenario(name):
+                raise ConfigurationError(
+                    f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+                )
+        for label, values in (
+            ("scenario", self.scenarios),
+            ("seed", self.seeds),
+            ("fpr", self.fprs),
+            ("variant name", [variant.name for variant in self.variants]),
+        ):
+            if len(set(values)) != len(values):
+                raise ConfigurationError(
+                    f"duplicate {label} entries in campaign grid: {list(values)}"
+                )
+        if self.stride <= 0.0:
+            raise ConfigurationError(f"stride must be positive, got {self.stride}")
+        if self.provisioned_fpr <= 0.0:
+            raise ConfigurationError("provisioned FPR must be positive")
+
+    @property
+    def size(self) -> int:
+        """Total number of runs in the grid."""
+        return (
+            len(self.scenarios)
+            * len(self.seeds)
+            * len(self.fprs)
+            * len(self.variants)
+        )
+
+    def runs(self) -> list[RunSpec]:
+        """The grid expanded in deterministic (scenario, seed, fpr,
+        variant) order, each run stamped with its index."""
+        specs: list[RunSpec] = []
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                for fpr in self.fprs:
+                    for variant in self.variants:
+                        specs.append(
+                            RunSpec(
+                                index=len(specs),
+                                scenario=scenario,
+                                seed=int(seed),
+                                fpr=float(fpr),
+                                variant=variant.name,
+                                params=variant.params,
+                                stride=self.stride,
+                                provisioned_fpr=self.provisioned_fpr,
+                                cameras=tuple(self.cameras),
+                            )
+                        )
+        return specs
+
+    def to_dict(self) -> dict:
+        """JSON-ready grid description (the JSONL header payload)."""
+        return {
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "fprs": list(self.fprs),
+            "variants": [
+                {
+                    "name": variant.name,
+                    "params": (
+                        None
+                        if variant.params is None
+                        else asdict(variant.params)
+                    ),
+                }
+                for variant in self.variants
+            ],
+            "stride": self.stride,
+            "provisioned_fpr": self.provisioned_fpr,
+            "cameras": list(self.cameras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Campaign":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            scenarios=tuple(data["scenarios"]),
+            seeds=tuple(int(seed) for seed in data["seeds"]),
+            fprs=tuple(float(fpr) for fpr in data["fprs"]),
+            variants=tuple(
+                ParamVariant(
+                    name=raw["name"],
+                    params=(
+                        None
+                        if raw.get("params") is None
+                        else ZhuyiParams(**raw["params"])
+                    ),
+                )
+                for raw in data["variants"]
+            ),
+            stride=float(data["stride"]),
+            provisioned_fpr=float(data["provisioned_fpr"]),
+            cameras=tuple(data["cameras"]),
+        )
+
+
+def full_catalog_campaign(
+    seeds: Sequence[int] = (0,),
+    fprs: Sequence[float] = (30.0,),
+    stride: float = 0.05,
+) -> Campaign:
+    """A campaign over every registered scenario (incl. expansions)."""
+    from repro.scenarios.catalog import SCENARIOS
+
+    return Campaign(
+        scenarios=tuple(SCENARIOS),
+        seeds=tuple(seeds),
+        fprs=tuple(fprs),
+        stride=stride,
+    )

@@ -1,0 +1,232 @@
+"""Campaign results: per-run summaries, JSONL persistence, reload.
+
+One campaign run produces one :class:`RunSummary` — the Table 1
+quantities for that (scenario, seed, FPR, variant) cell: collision
+outcome, max estimated FPR, ``max(F_c1 + F_c2 + F_c3)``, fraction of
+provision and the per-camera maxima. Summaries are pure functions of
+the run spec, so they compare byte-identical between sequential and
+parallel executions; wall-clock timings live next to them in the
+:class:`CampaignResult`, never inside them.
+
+The on-disk format is JSONL: a header line (``kind: campaign``) with
+the grid and schema version, then one ``kind: run`` line per summary in
+run-index order. JSONL appends cheaply, streams without loading the
+whole file and diffs line-by-line in code review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.batch.campaign import Campaign
+from repro.errors import TraceError
+
+#: Bumped when a line's field set changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The Table 1 quantities of one campaign run.
+
+    Attributes:
+        index: position in the campaign's deterministic run order.
+        scenario / seed / fpr / variant: the grid cell.
+        collided: whether the closed loop ended in a collision (the
+            paper's "N/A" convention: no Zhuyi evaluation then).
+        collision_time: first collision time, or ``None``.
+        max_fpr: highest estimated FPR across cameras and ticks.
+        max_total_fpr: peak summed demand over the analyzed cameras.
+        fraction_of_provision: peak demand over the provision.
+        camera_max_fpr: per-camera maximum estimated FPR.
+        ticks: evaluation ticks produced.
+        duration: simulated seconds covered by the trace.
+        error: captured failure ("ErrorType: message"), or ``None``.
+    """
+
+    index: int
+    scenario: str
+    seed: int
+    fpr: float
+    variant: str
+    collided: bool
+    collision_time: float | None = None
+    max_fpr: float | None = None
+    max_total_fpr: float | None = None
+    fraction_of_provision: float | None = None
+    camera_max_fpr: Mapping[str, float] = field(default_factory=dict)
+    ticks: int = 0
+    duration: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without a captured failure."""
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (field order fixed for diffing)."""
+        return {
+            "index": self.index,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "fpr": self.fpr,
+            "variant": self.variant,
+            "collided": self.collided,
+            "collision_time": self.collision_time,
+            "max_fpr": self.max_fpr,
+            "max_total_fpr": self.max_total_fpr,
+            "fraction_of_provision": self.fraction_of_provision,
+            "camera_max_fpr": dict(self.camera_max_fpr),
+            "ticks": self.ticks,
+            "duration": self.duration,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSummary":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                index=int(data["index"]),
+                scenario=data["scenario"],
+                seed=int(data["seed"]),
+                fpr=float(data["fpr"]),
+                variant=data["variant"],
+                collided=bool(data["collided"]),
+                collision_time=data.get("collision_time"),
+                max_fpr=data.get("max_fpr"),
+                max_total_fpr=data.get("max_total_fpr"),
+                fraction_of_provision=data.get("fraction_of_provision"),
+                camera_max_fpr=dict(data.get("camera_max_fpr", {})),
+                ticks=int(data.get("ticks", 0)),
+                duration=float(data.get("duration", 0.0)),
+                error=data.get("error"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"malformed run summary: {exc}") from exc
+
+
+class CampaignResult:
+    """All summaries of one campaign, plus execution metadata."""
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        summaries: Sequence[RunSummary],
+        workers: int = 1,
+        elapsed: float = 0.0,
+    ):
+        self.campaign = campaign
+        self.summaries = sorted(summaries, key=lambda s: s.index)
+        self.workers = workers
+        self.elapsed = elapsed
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def failures(self) -> list[RunSummary]:
+        """Runs whose execution raised (not collisions — real failures)."""
+        return [summary for summary in self.summaries if not summary.ok]
+
+    def collisions(self) -> list[RunSummary]:
+        """Runs that ended in a collision."""
+        return [summary for summary in self.summaries if summary.collided]
+
+    def for_scenario(
+        self, scenario: str, variant: str | None = None
+    ) -> list[RunSummary]:
+        """Summaries of one scenario (optionally one variant)."""
+        return [
+            summary
+            for summary in self.summaries
+            if summary.scenario == scenario
+            and (variant is None or summary.variant == variant)
+        ]
+
+    def scenario_max_fpr(self, scenario: str) -> float | None:
+        """Highest estimated FPR across a scenario's collision-free runs."""
+        values = [
+            summary.max_fpr
+            for summary in self.for_scenario(scenario)
+            if summary.ok and not summary.collided and summary.max_fpr is not None
+        ]
+        return max(values) if values else None
+
+    def scenario_max_fraction(self, scenario: str) -> float | None:
+        """Worst fraction-of-provision across a scenario's clean runs."""
+        values = [
+            summary.fraction_of_provision
+            for summary in self.for_scenario(scenario)
+            if summary.ok
+            and not summary.collided
+            and summary.fraction_of_provision is not None
+        ]
+        return max(values) if values else None
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the header line plus one line per run summary."""
+        lines = [
+            json.dumps(
+                {
+                    "kind": "campaign",
+                    "schema": SCHEMA_VERSION,
+                    "workers": self.workers,
+                    "elapsed": self.elapsed,
+                    "grid": self.campaign.to_dict(),
+                }
+            )
+        ]
+        lines.extend(
+            json.dumps({"kind": "run", **summary.to_dict()})
+            for summary in self.summaries
+        )
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "CampaignResult":
+        """Reload a campaign written by :meth:`save_jsonl`."""
+        raw_lines = [
+            line
+            for line in Path(path).read_text().splitlines()
+            if line.strip()
+        ]
+        if not raw_lines:
+            raise TraceError(f"empty campaign file: {path}")
+        try:
+            records = [json.loads(line) for line in raw_lines]
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid campaign JSONL in {path}: {exc}") from exc
+        header = records[0]
+        if header.get("kind") != "campaign":
+            raise TraceError(
+                f"campaign file {path} does not start with a campaign header"
+            )
+        if header.get("schema") != SCHEMA_VERSION:
+            raise TraceError(
+                f"campaign schema {header.get('schema')!r} unsupported "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        campaign = Campaign.from_dict(header["grid"])
+        summaries = [
+            RunSummary.from_dict(record)
+            for record in records[1:]
+            if record.get("kind") == "run"
+        ]
+        return cls(
+            campaign=campaign,
+            summaries=summaries,
+            workers=int(header.get("workers", 1)),
+            elapsed=float(header.get("elapsed", 0.0)),
+        )

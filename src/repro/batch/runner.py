@@ -1,0 +1,172 @@
+"""Campaign execution: sequential or fanned out across processes.
+
+Each run is a pure function of its :class:`RunSpec` — the scenario
+choreography is seeded by the spec's seed, the perception noise by a
+fixed offset of it — so execution order and worker count cannot change
+any summary. The runner exploits that: ``workers=1`` is a plain loop,
+``workers>1`` submits every spec to a ``ProcessPoolExecutor`` and
+reassembles the summaries in run-index order. A run that raises is
+captured as a failed :class:`RunSummary` (``error`` set) instead of
+aborting the campaign; a worker crash surfaces the same way.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.batch.campaign import Campaign, RunSpec
+from repro.batch.results import CampaignResult, RunSummary
+from repro.core.evaluator import OfflineEvaluator
+from repro.errors import ConfigurationError
+
+#: Called after each completed run with (done, total, summary).
+ProgressHook = Callable[[int, int, RunSummary], None]
+
+
+def execute_run(spec: RunSpec) -> RunSummary:
+    """Run one grid cell end to end: closed loop, then offline Zhuyi.
+
+    Never raises — failures are folded into the summary so a single bad
+    cell cannot take down a thousand-run campaign.
+    """
+    try:
+        return _execute_run(spec)
+    except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
+        return RunSummary(
+            index=spec.index,
+            scenario=spec.scenario,
+            seed=spec.seed,
+            fpr=spec.fpr,
+            variant=spec.variant,
+            collided=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _execute_run(spec: RunSpec) -> RunSummary:
+    from repro.scenarios.catalog import build_scenario
+
+    built = build_scenario(spec.scenario, seed=spec.seed)
+    trace = built.run(fpr=spec.fpr)
+    if trace.has_collision:
+        # The paper's convention: collided runs report N/A, no estimate.
+        return RunSummary(
+            index=spec.index,
+            scenario=spec.scenario,
+            seed=spec.seed,
+            fpr=spec.fpr,
+            variant=spec.variant,
+            collided=True,
+            collision_time=trace.first_collision_time,
+            duration=trace.duration,
+        )
+    evaluator = OfflineEvaluator(
+        params=spec.resolved_params(), road=built.road, stride=spec.stride
+    )
+    series = evaluator.evaluate(trace)
+    return RunSummary(
+        index=spec.index,
+        scenario=spec.scenario,
+        seed=spec.seed,
+        fpr=spec.fpr,
+        variant=spec.variant,
+        collided=False,
+        max_fpr=series.max_fpr(),
+        max_total_fpr=series.max_total_fpr(spec.cameras),
+        fraction_of_provision=series.fraction_of_provision(
+            spec.provisioned_fpr, spec.cameras
+        ),
+        camera_max_fpr={
+            camera: series.max_fpr(camera) for camera in spec.cameras
+        },
+        ticks=len(series.ticks),
+        duration=trace.duration,
+    )
+
+
+@dataclass
+class CampaignRunner:
+    """Executes a campaign grid with a configurable worker count.
+
+    Attributes:
+        workers: 1 runs in-process; N > 1 fans out over N processes.
+        max_pending: cap on simultaneously submitted runs (bounds the
+            executor's memory on very large grids).
+    """
+
+    workers: int = 1
+    max_pending: int = 256
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"worker count must be at least 1, got {self.workers}"
+            )
+        if self.max_pending < 1:
+            raise ConfigurationError("max_pending must be at least 1")
+
+    def run(
+        self, campaign: Campaign, progress: ProgressHook | None = None
+    ) -> CampaignResult:
+        """Execute every run of the grid and collect the summaries."""
+        specs = campaign.runs()
+        started = time.perf_counter()
+        if self.workers == 1:
+            summaries = self._run_sequential(specs, progress)
+        else:
+            summaries = self._run_parallel(specs, progress)
+        elapsed = time.perf_counter() - started
+        return CampaignResult(
+            campaign=campaign,
+            summaries=summaries,
+            workers=self.workers,
+            elapsed=elapsed,
+        )
+
+    def _run_sequential(
+        self, specs: list[RunSpec], progress: ProgressHook | None
+    ) -> list[RunSummary]:
+        summaries = []
+        for spec in specs:
+            summary = execute_run(spec)
+            summaries.append(summary)
+            if progress is not None:
+                progress(len(summaries), len(specs), summary)
+        return summaries
+
+    def _run_parallel(
+        self, specs: list[RunSpec], progress: ProgressHook | None
+    ) -> list[RunSummary]:
+        summaries: list[RunSummary] = []
+        queue = list(reversed(specs))
+        pending = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            while queue or pending:
+                while queue and len(pending) < self.max_pending:
+                    spec = queue.pop()
+                    pending[pool.submit(execute_run, spec)] = spec
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = pending.pop(future)
+                    summaries.append(self._collect(future, spec))
+                    if progress is not None:
+                        progress(len(summaries), len(specs), summaries[-1])
+        return summaries
+
+    def _collect(self, future, spec: RunSpec) -> RunSummary:
+        try:
+            return future.result()
+        except Exception:  # noqa: BLE001 - e.g. a worker killed mid-run
+            return RunSummary(
+                index=spec.index,
+                scenario=spec.scenario,
+                seed=spec.seed,
+                fpr=spec.fpr,
+                variant=spec.variant,
+                collided=False,
+                error="WorkerError: " + traceback.format_exc(limit=1).strip(),
+            )

@@ -5,6 +5,7 @@ Commands:
 * ``run <scenario>`` — one closed-loop run + offline Zhuyi evaluation.
 * ``mrf <scenario>`` — minimum-required-FPR search.
 * ``sweep [gap]`` — Figure 8 style sensitivity heatmap.
+* ``campaign [scenarios ...]`` — batch scenario x seed x FPR sweep.
 * ``scenarios`` — list the catalog.
 """
 
@@ -18,6 +19,7 @@ import numpy as np
 from repro import OfflineEvaluator, SCENARIO_NAMES, build_scenario
 from repro.analysis.report import format_table, render_heatmap
 from repro.analysis.sensitivity import sweep_min_fpr
+from repro.errors import ConfigurationError
 from repro.perception.sensor import ANALYZED_CAMERAS
 from repro.system.mrf import find_minimum_required_fpr
 
@@ -82,6 +84,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.batch import (
+        Campaign,
+        CampaignRunner,
+        render_campaign_table,
+        summarize_failures,
+    )
+    from repro.scenarios.catalog import SCENARIOS, speed_sweep
+
+    if args.expand_speeds:
+        added = speed_sweep()
+        print(f"speed sweep: {len(added)} variant scenario(s) registered")
+    scenarios = tuple(args.scenarios) if args.scenarios else tuple(SCENARIOS)
+    try:
+        campaign = Campaign(
+            scenarios=scenarios,
+            seeds=tuple(range(args.seeds)),
+            fprs=tuple(float(x) for x in args.fprs.split(",")),
+            stride=args.stride,
+        )
+        runner = CampaignRunner(workers=args.workers)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"Campaign: {len(campaign.scenarios)} scenario(s) x "
+        f"{len(campaign.seeds)} seed(s) x {len(campaign.fprs)} FPR(s) = "
+        f"{campaign.size} runs with {args.workers} worker(s) ..."
+    )
+
+    def progress(done: int, total: int, summary) -> None:
+        if args.quiet:
+            return
+        outcome = (
+            "FAILED" if not summary.ok
+            else "collision" if summary.collided
+            else f"max FPR {summary.max_fpr:.1f}"
+        )
+        print(
+            f"  [{done}/{total}] {summary.scenario} seed={summary.seed} "
+            f"fpr={summary.fpr:g}: {outcome}"
+        )
+
+    result = runner.run(campaign, progress)
+    print(render_campaign_table(result))
+    print(
+        f"{len(result)} runs in {result.elapsed:.1f} s "
+        f"({result.elapsed / max(len(result), 1):.2f} s/run, "
+        f"{result.workers} worker(s)); "
+        f"{len(result.collisions())} collision(s)"
+    )
+    failures = summarize_failures(result)
+    if failures:
+        print(failures, file=sys.stderr)
+    if args.out:
+        result.save_jsonl(args.out)
+        print(f"campaign written to {args.out}")
+    return 1 if result.failures() else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,6 +169,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("gap", type=float, nargs="?", default=30.0)
     sweep.add_argument("--resolution", type=int, default=24)
 
+    campaign = sub.add_parser(
+        "campaign", help="batch scenario x seed x FPR sweep"
+    )
+    campaign.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenario names (default: the whole catalog)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=1, help="jitter seeds 0..N-1 (default 1)"
+    )
+    campaign.add_argument(
+        "--fprs",
+        default="30",
+        help="comma-separated fixed FPR settings (default 30)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    campaign.add_argument(
+        "--stride", type=float, default=0.05, help="evaluation stride (s)"
+    )
+    campaign.add_argument(
+        "--out", default=None, metavar="PATH", help="write results as JSONL"
+    )
+    campaign.add_argument(
+        "--expand-speeds",
+        action="store_true",
+        help="register cut-out/cut-in ego-speed variants first",
+    )
+    campaign.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
     return parser
 
 
@@ -116,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "mrf": _cmd_mrf,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.ego_profile import EgoMotion
 from repro.core.fpr import CameraEstimate, estimate_camera_fprs
 from repro.core.latency import LatencyResult, LatencySearch
@@ -167,17 +169,36 @@ class OfflineEvaluator:
             for actor_id in trace.actor_ids()
         }
 
-        ticks: list[EvaluationTick] = []
+        # Tick times are computed as start + i * stride rather than by
+        # accumulating ``t0 += stride``: repeated float addition drifts,
+        # which on long traces (or near-multiple durations) skips or
+        # duplicates the final tick.
         start = trace.steps[0].time
         end = trace.steps[-1].time
-        t0 = start
-        while t0 <= end + 1e-9:
-            ticks.append(
-                self._evaluate_tick(
-                    t0, trace, ego_trajectory, actor_trajectories, assessor, l0
-                )
+        count = int(np.floor((end - start) / self.stride + 1e-9)) + 1
+        times = start + self.stride * np.arange(count)
+
+        # Presample every trajectory once at the evaluation stride — one
+        # vectorized interpolation per vehicle instead of a bisect-based
+        # ``state_at`` per vehicle per tick (the batch campaign hot path).
+        ego_states = ego_trajectory.sample_states(times)
+        actor_states = {
+            actor_id: trajectory.sample_states(times)
+            for actor_id, trajectory in actor_trajectories.items()
+        }
+
+        ticks = [
+            self._evaluate_tick(
+                float(times[i]),
+                ego_states[i],
+                {actor_id: states[i] for actor_id, states in actor_states.items()},
+                trace,
+                actor_trajectories,
+                assessor,
+                l0,
             )
-            t0 += self.stride
+            for i in range(count)
+        ]
         return EvaluationSeries(
             scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
         )
@@ -185,13 +206,13 @@ class OfflineEvaluator:
     def _evaluate_tick(
         self,
         t0: float,
+        ego_state,
+        actor_states_now,
         trace: ScenarioTrace,
-        ego_trajectory,
         actor_trajectories,
         assessor: ThreatAssessor,
         l0: float,
     ) -> EvaluationTick:
-        ego_state = ego_trajectory.state_at(t0)
         ego_motion = EgoMotion.from_state(
             ego_state.speed, ego_state.accel, self.params
         )
@@ -199,7 +220,7 @@ class OfflineEvaluator:
         actor_latencies: dict[str, float | None] = {}
         actor_positions = {}
         for actor_id, trajectory in actor_trajectories.items():
-            actor_positions[actor_id] = trajectory.state_at(t0).position
+            actor_positions[actor_id] = actor_states_now[actor_id].position
             threat = assessor.assess(
                 ego_state,
                 trace.ego_spec,

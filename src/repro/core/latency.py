@@ -270,6 +270,13 @@ class LatencySearch:
         times = np.arange(0.0, horizon + step, step)
         if times.size == 0:
             return None, 0
+        # The search domain starts at t_n = t_r, which need not be a grid
+        # multiple; a feasible window narrower than one step that opens
+        # exactly at t_r (e.g. a near-spent distance budget) would fall
+        # between samples, making the reference scan claim infeasibility
+        # where the paper's t_r-anchored stepping is feasible.
+        if reaction_time <= horizon:
+            times = np.union1d(times, [reaction_time])
 
         distance, speed = self._ego_profile(ego, reaction_time, times)
         gaps, actor_speeds = threat.sample(times)

@@ -115,6 +115,10 @@ class StateTrajectory:
         self._x = np.array([s.position.x for s in self._states])
         self._y = np.array([s.position.y for s in self._states])
         self._speed = np.array([s.speed for s in self._states])
+        self._accel = np.array([s.accel for s in self._states])
+        # Unwrapped headings interpolate along the shorter arc between
+        # consecutive samples, matching the scalar ``state_at``.
+        self._heading = np.unwrap(np.array([s.heading for s in self._states]))
         last = self._states[-1]
         self._end_velocity = (
             np.cos(last.heading) * last.speed,
@@ -183,6 +187,18 @@ class StateTrajectory:
             accel=s0.accel + (s1.accel - s0.accel) * w,
         )
 
+    def _interp_clamped(
+        self, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clamped linear interpolation of ``(times, x, y, speed)``."""
+        times = np.asarray(times, dtype=float)
+        return (
+            times,
+            np.interp(times, self._t, self._x),
+            np.interp(times, self._t, self._y),
+            np.interp(times, self._t, self._speed),
+        )
+
     def sample_extrapolated(
         self, times: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -192,10 +208,7 @@ class StateTrajectory:
         coasting beyond the final sample (matching
         :meth:`extrapolated_state_at`); clamped before the first sample.
         """
-        times = np.asarray(times, dtype=float)
-        xs = np.interp(times, self._t, self._x)
-        ys = np.interp(times, self._t, self._y)
-        speeds = np.interp(times, self._t, self._speed)
+        times, xs, ys, speeds = self._interp_clamped(times)
         overrun = times > self._t[-1]
         if np.any(overrun):
             dt = times[overrun] - self._t[-1]
@@ -203,6 +216,29 @@ class StateTrajectory:
             ys[overrun] = self._y[-1] + self._end_velocity[1] * dt
             speeds[overrun] = self._speed[-1]
         return xs, ys, speeds
+
+    def sample_states(self, times: np.ndarray) -> list[VehicleState]:
+        """Vectorized :meth:`state_at` over many query times.
+
+        One batched interpolation replaces per-query bisection — the
+        offline evaluator presamples every evaluation tick of a trace in
+        a single call. Queries outside the recorded span clamp to the
+        endpoints, exactly like :meth:`state_at`.
+        """
+        from repro.units import wrap_angle
+
+        times, xs, ys, speeds = self._interp_clamped(times)
+        accels = np.interp(times, self._t, self._accel)
+        headings = np.interp(times, self._t, self._heading)
+        return [
+            VehicleState(
+                position=Vec2(float(x), float(y)),
+                heading=wrap_angle(float(h)),
+                speed=float(v),
+                accel=float(a),
+            )
+            for x, y, h, v, a in zip(xs, ys, headings, speeds, accels)
+        ]
 
     def shifted(self, offset: float) -> "StateTrajectory":
         """Copy with all timestamps shifted by ``offset`` seconds."""

@@ -7,7 +7,13 @@ full closed loop and returns a trace.
 """
 
 from repro.scenarios.base import BuiltScenario, ScenarioSpec, jittered
-from repro.scenarios.catalog import SCENARIO_NAMES, SCENARIOS, build_scenario
+from repro.scenarios.catalog import (
+    DEFAULT_SWEEP_SPEEDS,
+    SCENARIO_NAMES,
+    SCENARIOS,
+    build_scenario,
+    speed_sweep,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -15,5 +21,7 @@ __all__ = [
     "jittered",
     "SCENARIOS",
     "SCENARIO_NAMES",
+    "DEFAULT_SWEEP_SPEEDS",
     "build_scenario",
+    "speed_sweep",
 ]

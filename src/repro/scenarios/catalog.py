@@ -13,6 +13,8 @@ the prose (see DESIGN.md, "known paper ambiguities").
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 
 from repro.actors.behavior import AtTime, WhenActorGapBelow, WhenEgoGapBelow
@@ -448,13 +450,123 @@ _register(
 )
 
 
-#: Catalog keys in Table 1 order.
+#: Catalog keys in Table 1 order (the nine paper scenarios; expansions
+#: registered later by :func:`speed_sweep` are not re-listed here).
 SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)
+
+#: Ego speeds (mph) the default speed sweep derives variants at.
+DEFAULT_SWEEP_SPEEDS: tuple[float, ...] = (20.0, 30.0, 40.0, 50.0, 60.0, 70.0)
+
+
+def _cut_in_variant_actors(
+    road: Road, rng: np.random.Generator, ego_speed_mph: float
+) -> list[Actor]:
+    """The cut-in choreography rescaled to an ego speed.
+
+    Gaps shrink proportionally with speed (floored so low-speed variants
+    stay physical) and the cutter runs 15 mph below the ego, mirroring
+    the 70/55 mph baseline.
+    """
+    ratio = ego_speed_mph / 70.0
+    return _cut_in_actors(
+        road,
+        rng,
+        ego_speed_mph=ego_speed_mph,
+        actor_speed_mph=max(ego_speed_mph - 15.0, 5.0),
+        trigger_gap=max(55.0 * ratio, 15.0),
+        start_gap=max(75.0 * ratio, 25.0),
+        duration=3.0,
+        with_left_blocker=False,
+    )
+
+
+def speed_sweep(
+    speeds_mph: tuple[float, ...] = DEFAULT_SWEEP_SPEEDS,
+    families: tuple[str, ...] = ("cut_out", "cut_in"),
+) -> list[str]:
+    """Register ego-speed variants of the cut-out / cut-in families.
+
+    Campaigns need a grid wider than the nine Table 1 rows; this derives
+    ``<family>_<speed>mph`` scenarios (e.g. ``cut_out_50mph``) whose
+    choreography rescales with the ego speed. Registration is
+    idempotent — already-registered variants are simply returned again —
+    so expanding the catalog twice (CLI plus a library caller, or a
+    campaign reload) is safe.
+
+    Returns the variant names, in (family, speed) order.
+    """
+    builders = {
+        "cut_out": _cut_out_actors,
+        "cut_in": _cut_in_variant_actors,
+    }
+    names: list[str] = []
+    for family in families:
+        if family not in builders:
+            raise ConfigurationError(
+                f"unknown sweep family {family!r}; choose from {sorted(builders)}"
+            )
+        builder = builders[family]
+        for speed in speeds_mph:
+            if speed <= 0.0:
+                raise ConfigurationError(
+                    f"sweep speeds must be positive, got {speed:g}"
+                )
+            name = f"{family}_{speed:g}mph"
+            names.append(name)
+            if name in SCENARIOS:
+                continue
+            _register(
+                ScenarioSpec(
+                    name=name,
+                    description=(
+                        f"{family.replace('_', '-')} family at "
+                        f"{speed:g} mph ego speed (speed-sweep variant)"
+                    ),
+                    ego_speed_mph=speed,
+                    ego_lane=1,
+                    ego_station=_EGO_START,
+                    activity={
+                        "front": True,
+                        "right": family == "cut_out",
+                        "left": family == "cut_out",
+                    },
+                    paper_mrf="-",
+                    build_road=_straight_road,
+                    build_actors=(
+                        lambda road, rng, _b=builder, _s=speed: _b(road, rng, _s)
+                    ),
+                    duration=35.0,
+                )
+            )
+    return names
+
+
+#: Shape of a speed-sweep variant name, e.g. ``cut_out_50mph``.
+_SWEEP_NAME = re.compile(r"^(cut_out|cut_in)_(\d+(?:\.\d+)?)mph$")
+
+
+def ensure_scenario(name: str) -> bool:
+    """Make ``name`` registered, deriving sweep variants on demand.
+
+    The registry is process-local mutable state: a worker process under
+    a ``spawn`` start method, or a fresh process reloading a campaign
+    JSONL, has not seen the parent's ``speed_sweep()`` call. Any name
+    matching the sweep pattern carries its own recipe, so it can be
+    re-derived here instead of failing. Returns whether the name is
+    registered afterwards.
+    """
+    if name in SCENARIOS:
+        return True
+    match = _SWEEP_NAME.match(name)
+    if match is None:
+        return False
+    speed_sweep(speeds_mph=(float(match.group(2)),), families=(match.group(1),))
+    return name in SCENARIOS
 
 
 def build_scenario(name: str, seed: int = 0) -> BuiltScenario:
     """Instantiate a catalog scenario with a jitter seed."""
-    if name not in SCENARIOS:
+    if not ensure_scenario(name):
         raise ConfigurationError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         )

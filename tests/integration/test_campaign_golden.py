@@ -1,0 +1,54 @@
+"""Golden regression: a small campaign reproduces Table 1's shape.
+
+The paper's qualitative story — the cut-out family is the demand driver
+while benign activity scenarios barely dent the provision — must
+survive any refactor of the campaign engine or the evaluator hot path.
+"""
+
+import pytest
+
+from repro.batch import Campaign, CampaignRunner, campaign_table1
+
+CUT_OUT_FAMILY = ("cut_out", "cut_out_fast")
+ACTIVITY = ("front_right_activity_1", "front_right_activity_2")
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    campaign = Campaign(
+        scenarios=CUT_OUT_FAMILY + ("cut_in",) + ACTIVITY,
+        seeds=(0,),
+        fprs=(30.0,),
+        stride=0.05,
+    )
+    return CampaignRunner(workers=1).run(campaign)
+
+
+@pytest.mark.slow
+class TestTable1Shape:
+    def test_all_runs_clean_at_provision(self, golden_result):
+        assert not golden_result.failures()
+        assert not golden_result.collisions()
+
+    def test_cut_out_family_demands_most(self, golden_result):
+        family_peak = max(
+            golden_result.scenario_max_fpr(name) for name in CUT_OUT_FAMILY
+        )
+        for other in ("cut_in",) + ACTIVITY:
+            assert family_peak > golden_result.scenario_max_fpr(other), other
+
+    def test_activity_scenarios_stay_under_provision(self, golden_result):
+        for name in ACTIVITY:
+            fraction = golden_result.scenario_max_fraction(name)
+            assert fraction is not None and fraction < 1.0, name
+
+    def test_fast_cut_out_exceeds_slow(self, golden_result):
+        assert golden_result.scenario_max_fpr(
+            "cut_out_fast"
+        ) > golden_result.scenario_max_fpr("cut_out")
+
+    def test_rows_carry_paper_metadata(self, golden_result):
+        rows = {row.scenario: row for row in campaign_table1(golden_result)}
+        assert rows["cut_out"].ego_speed_mph == 20.0
+        assert rows["cut_out_fast"].paper_mrf == "6"
+        assert rows["front_right_activity_1"].activity["front"] is True

@@ -1,0 +1,62 @@
+"""Determinism under parallelism: workers must not change results."""
+
+import json
+
+import pytest
+
+from repro.batch import Campaign, CampaignRunner
+
+
+@pytest.fixture(scope="module")
+def parity_campaign() -> Campaign:
+    # Coarse stride keeps the evaluation cheap; determinism is
+    # stride-independent.
+    return Campaign(
+        scenarios=("cut_out", "cut_in"),
+        seeds=(0, 1),
+        fprs=(30.0,),
+        stride=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(parity_campaign):
+    return CampaignRunner(workers=1).run(parity_campaign)
+
+
+@pytest.fixture(scope="module")
+def parallel(parity_campaign):
+    return CampaignRunner(workers=2).run(parity_campaign)
+
+
+@pytest.mark.slow
+class TestParallelParity:
+    def test_no_failures(self, sequential, parallel):
+        assert not sequential.failures()
+        assert not parallel.failures()
+
+    def test_summaries_byte_identical(self, sequential, parallel):
+        seq = json.dumps([s.to_dict() for s in sequential.summaries])
+        par = json.dumps([s.to_dict() for s in parallel.summaries])
+        assert seq == par
+
+    def test_jsonl_run_lines_byte_identical(
+        self, sequential, parallel, tmp_path
+    ):
+        # The header records worker count and wall time (which differ by
+        # construction); every run line must match byte for byte.
+        seq_path = tmp_path / "seq.jsonl"
+        par_path = tmp_path / "par.jsonl"
+        sequential.save_jsonl(seq_path)
+        parallel.save_jsonl(par_path)
+        seq_runs = seq_path.read_text().splitlines()[1:]
+        par_runs = par_path.read_text().splitlines()[1:]
+        assert seq_runs == par_runs
+
+    def test_grid_fully_covered(self, parallel, parity_campaign):
+        cells = {
+            (s.scenario, s.seed, s.fpr) for s in parallel.summaries
+        }
+        assert len(parallel.summaries) == parity_campaign.size
+        assert ("cut_out", 0, 30.0) in cells
+        assert ("cut_in", 1, 30.0) in cells

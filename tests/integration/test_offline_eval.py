@@ -3,8 +3,11 @@
 import pytest
 
 from repro import OfflineEvaluator, build_scenario
+from repro.dynamics.state import VehicleState
 from repro.errors import EstimationError
+from repro.geometry.vec import Vec2
 from repro.perception.sensor import ANALYZED_CAMERAS
+from repro.sim.trace import ScenarioTrace, TraceStep
 
 
 @pytest.fixture(scope="module")
@@ -94,6 +97,48 @@ class TestEvaluatorOptions:
     def test_rejects_bad_stride(self):
         with pytest.raises(EstimationError):
             OfflineEvaluator(stride=0.0)
+
+
+def _synthetic_trace(times) -> ScenarioTrace:
+    steps = [
+        TraceStep(
+            time=t,
+            ego=VehicleState(Vec2(10.0 * t, 0.0), 0.0, 10.0, 0.0),
+            actors={"lead": VehicleState(Vec2(60.0 + 5.0 * t, 0.0), 0.0, 5.0, 0.0)},
+        )
+        for t in times
+    ]
+    return ScenarioTrace(scenario="synthetic", dt=0.1, steps=steps, nominal_fpr=30.0)
+
+
+class TestTickGrid:
+    """Tick times come from start + i * stride, not float accumulation."""
+
+    def test_stride_not_dividing_duration(self):
+        # 1.0 s trace, 0.3 s stride: ticks at 0, 0.3, 0.6, 0.9 only.
+        trace = _synthetic_trace([0.0, 0.5, 1.0])
+        series = OfflineEvaluator(stride=0.3).evaluate(trace)
+        assert series.times() == pytest.approx([0.0, 0.3, 0.6, 0.9])
+
+    def test_no_tick_past_trace_end(self):
+        # A trace ending just below a stride multiple must not get an
+        # extra tick at the multiple — ``t0 += stride`` accumulation
+        # used to walk past the recorded end.
+        end = 0.9999999999
+        trace = _synthetic_trace([0.0, 0.5, end])
+        series = OfflineEvaluator(stride=0.05).evaluate(trace)
+        assert len(series.ticks) == 20
+        assert series.times()[-1] <= end
+
+    def test_exact_grid_on_long_trace(self):
+        # Accumulated stride drifts after hundreds of additions; the
+        # closed-form grid stays exact and keeps the final tick.
+        times = [i * 0.01 for i in range(3501)]  # 35 s at 10 ms
+        trace = _synthetic_trace(times)
+        series = OfflineEvaluator(stride=0.05).evaluate(trace)
+        assert len(series.ticks) == 701
+        for i, t in enumerate(series.times()):
+            assert t == i * 0.05  # exact, not approx
 
 
 class TestCutOutShape:

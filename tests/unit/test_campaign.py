@@ -1,0 +1,275 @@
+"""Campaign spec, result store and aggregation (no simulations here)."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    Campaign,
+    CampaignResult,
+    ParamVariant,
+    RunSummary,
+    campaign_table1,
+    full_catalog_campaign,
+    render_campaign_table,
+    summarize_failures,
+)
+from repro.core.parameters import ZhuyiParams
+from repro.errors import ConfigurationError, TraceError
+
+
+def summary(
+    index: int,
+    scenario: str = "cut_in",
+    seed: int = 0,
+    fpr: float = 30.0,
+    collided: bool = False,
+    max_fpr: float = 2.0,
+    error: str | None = None,
+) -> RunSummary:
+    if collided or error:
+        return RunSummary(
+            index=index,
+            scenario=scenario,
+            seed=seed,
+            fpr=fpr,
+            variant="default",
+            collided=collided,
+            collision_time=5.0 if collided else None,
+            error=error,
+        )
+    return RunSummary(
+        index=index,
+        scenario=scenario,
+        seed=seed,
+        fpr=fpr,
+        variant="default",
+        collided=False,
+        max_fpr=max_fpr,
+        max_total_fpr=max_fpr + 2.0,
+        fraction_of_provision=(max_fpr + 2.0) / 90.0,
+        camera_max_fpr={"front_120": max_fpr, "left": 1.0, "right": 1.0},
+        ticks=100,
+        duration=30.0,
+    )
+
+
+class TestCampaignSpec:
+    def test_grid_size_and_order(self):
+        campaign = Campaign(
+            scenarios=("cut_out", "cut_in"),
+            seeds=(0, 1),
+            fprs=(5.0, 30.0),
+        )
+        specs = campaign.runs()
+        assert campaign.size == len(specs) == 8
+        assert [spec.index for spec in specs] == list(range(8))
+        # scenario-major, then seed, then fpr.
+        assert (specs[0].scenario, specs[0].seed, specs[0].fpr) == (
+            "cut_out", 0, 5.0,
+        )
+        assert (specs[1].scenario, specs[1].seed, specs[1].fpr) == (
+            "cut_out", 0, 30.0,
+        )
+        assert specs[-1].scenario == "cut_in"
+
+    def test_variant_expansion(self):
+        strict = ZhuyiParams(c1=0.8, c2=0.8)
+        campaign = Campaign(
+            scenarios=("cut_in",),
+            variants=(ParamVariant("default"), ParamVariant("strict", strict)),
+        )
+        specs = campaign.runs()
+        assert [spec.variant for spec in specs] == ["default", "strict"]
+        assert specs[0].resolved_params() == ZhuyiParams()
+        assert specs[1].resolved_params() == strict
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("warp",))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=())
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), seeds=())
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), fprs=())
+
+    def test_duplicate_variant_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(
+                scenarios=("cut_in",),
+                variants=(ParamVariant("a"), ParamVariant("a")),
+            )
+
+    def test_duplicate_grid_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in", "cut_in"))
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), seeds=(0, 0))
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), fprs=(30.0, 30.0))
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), stride=0.0)
+
+    def test_full_catalog_covers_registry(self):
+        campaign = full_catalog_campaign()
+        assert "cut_out" in campaign.scenarios
+        assert "vehicle_following" in campaign.scenarios
+
+    def test_grid_dict_round_trip(self):
+        campaign = Campaign(
+            scenarios=("cut_out", "cut_in"),
+            seeds=(0, 3),
+            fprs=(5.0, 30.0),
+            variants=(ParamVariant("strict", ZhuyiParams(c1=0.8)),),
+            stride=0.1,
+        )
+        assert Campaign.from_dict(campaign.to_dict()) == campaign
+
+
+class TestResultStore:
+    def campaign(self) -> Campaign:
+        return Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(30.0,))
+
+    def test_summaries_sorted_by_index(self):
+        result = CampaignResult(
+            self.campaign(), [summary(1, seed=1), summary(0, seed=0)]
+        )
+        assert [s.index for s in result.summaries] == [0, 1]
+
+    def test_failure_and_collision_queries(self):
+        result = CampaignResult(
+            self.campaign(),
+            [
+                summary(0, seed=0, collided=True),
+                summary(1, seed=1, error="SimulationError: boom"),
+            ],
+        )
+        assert len(result.collisions()) == 1
+        assert len(result.failures()) == 1
+        assert not result.failures()[0].ok
+        assert "boom" in summarize_failures(result)
+
+    def test_scenario_rollups_skip_bad_runs(self):
+        result = CampaignResult(
+            self.campaign(),
+            [
+                summary(0, seed=0, max_fpr=4.0),
+                summary(1, seed=1, collided=True),
+            ],
+        )
+        assert result.scenario_max_fpr("cut_in") == pytest.approx(4.0)
+        assert result.scenario_max_fraction("cut_in") == pytest.approx(6.0 / 90.0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = CampaignResult(
+            self.campaign(),
+            [summary(0, seed=0), summary(1, seed=1, collided=True)],
+            workers=2,
+            elapsed=1.25,
+        )
+        result.save_jsonl(path)
+        loaded = CampaignResult.load_jsonl(path)
+        assert loaded.campaign == result.campaign
+        assert loaded.workers == 2
+        assert loaded.elapsed == pytest.approx(1.25)
+        assert [s.to_dict() for s in loaded.summaries] == [
+            s.to_dict() for s in result.summaries
+        ]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(empty)
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text(json.dumps({"kind": "run"}) + "\n")
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(headerless)
+        notjson = tmp_path / "notjson.jsonl"
+        notjson.write_text("{nope\n")
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(notjson)
+
+
+class TestAggregation:
+    def campaign(self) -> Campaign:
+        return Campaign(
+            scenarios=("cut_out", "cut_in"), seeds=(0, 1), fprs=(2.0, 30.0)
+        )
+
+    def result(self) -> CampaignResult:
+        return CampaignResult(
+            self.campaign(),
+            [
+                # cut_out: collides at 2 FPR on one seed, clean at 30.
+                summary(0, "cut_out", seed=0, fpr=2.0, collided=True),
+                summary(1, "cut_out", seed=0, fpr=30.0, max_fpr=6.0),
+                summary(2, "cut_out", seed=1, fpr=2.0, max_fpr=5.0),
+                summary(3, "cut_out", seed=1, fpr=30.0, max_fpr=8.0),
+                # cut_in: clean everywhere.
+                summary(4, "cut_in", seed=0, fpr=2.0, max_fpr=1.5),
+                summary(5, "cut_in", seed=0, fpr=30.0, max_fpr=2.0),
+                summary(6, "cut_in", seed=1, fpr=2.0, max_fpr=1.5),
+                summary(7, "cut_in", seed=1, fpr=30.0, max_fpr=2.5),
+            ],
+        )
+
+    def test_rows_follow_campaign_order(self):
+        rows = campaign_table1(self.result())
+        assert [row.scenario for row in rows] == ["cut_out", "cut_in"]
+
+    def test_collided_setting_is_na(self):
+        rows = {row.scenario: row for row in campaign_table1(self.result())}
+        assert rows["cut_out"].mean_estimates[2.0] is None
+        assert rows["cut_out"].mean_estimates[30.0] == pytest.approx(7.0)
+
+    def test_mrf_from_outcomes(self):
+        rows = {row.scenario: row for row in campaign_table1(self.result())}
+        assert rows["cut_out"].mrf.label == "30"
+        assert rows["cut_in"].mrf.label == "<2"
+
+    def test_render_contains_all_scenarios(self):
+        text = render_campaign_table(self.result())
+        assert "cut_out" in text and "cut_in" in text
+        assert "N/A" in text
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            campaign_table1(self.result(), variant="nope")
+
+    def test_fully_failed_rate_carries_no_mrf_evidence(self):
+        # Every run at 2 FPR errored: that rate is neither safe nor
+        # colliding, and must not become the MRF verdict.
+        result = CampaignResult(
+            Campaign(scenarios=("cut_in",), seeds=(0,), fprs=(2.0, 30.0)),
+            [
+                summary(0, "cut_in", seed=0, fpr=2.0, error="Error: boom"),
+                summary(1, "cut_in", seed=0, fpr=30.0, max_fpr=2.0),
+            ],
+        )
+        row = campaign_table1(result)[0]
+        assert 2.0 not in row.mrf.safe_fprs
+        assert 2.0 not in row.mrf.collision_fprs
+        assert row.mrf.mrf == 30.0
+
+
+class TestSweepVariantRoundTrip:
+    def test_jsonl_with_custom_sweep_scenario(self, tmp_path):
+        from repro.scenarios.catalog import ensure_scenario
+
+        # A non-default sweep speed saved to JSONL must validate on
+        # reload even though reload re-runs Campaign validation.
+        assert ensure_scenario("cut_out_37mph")
+        campaign = Campaign(scenarios=("cut_out_37mph",))
+        path = tmp_path / "sweep.jsonl"
+        CampaignResult(
+            campaign, [summary(0, "cut_out_37mph")]
+        ).save_jsonl(path)
+        loaded = CampaignResult.load_jsonl(path)
+        assert loaded.campaign.scenarios == ("cut_out_37mph",)

@@ -27,6 +27,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scenarios == []
+        assert args.seeds == 1
+        assert args.fprs == "30"
+        assert args.workers == 1
+        assert args.stride == 0.05
+        assert args.out is None
+        assert not args.expand_speeds
+
+    def test_campaign_grid_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "cut_out", "cut_in", "--seeds", "4",
+             "--fprs", "5,30", "--workers", "2", "--expand-speeds"]
+        )
+        assert args.scenarios == ["cut_out", "cut_in"]
+        assert args.seeds == 4
+        assert args.fprs == "5,30"
+        assert args.workers == 2
+        assert args.expand_speeds
+
 
 class TestCommands:
     def test_scenarios_lists_all(self, capsys):
@@ -57,3 +78,33 @@ class TestCommands:
         assert main(["mrf", "vehicle_following", "--grid", "1,2"]) == 0
         out = capsys.readouterr().out
         assert "minimum required FPR: <1" in out
+
+
+class TestCampaignCommand:
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["campaign", "warp"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_fpr_list_exits_nonzero(self, capsys):
+        assert main(["campaign", "cut_in", "--fprs", "30,abc"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_campaign_jsonl_round_trip(self, tmp_path, capsys):
+        from repro.batch import CampaignResult
+
+        path = tmp_path / "campaign.jsonl"
+        code = main(
+            ["campaign", "cut_in", "--stride", "0.5", "--out", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 runs in" in out
+        assert f"campaign written to {path}" in out
+
+        result = CampaignResult.load_jsonl(path)
+        assert len(result) == 1
+        summary = result.summaries[0]
+        assert summary.scenario == "cut_in"
+        assert summary.ok and not summary.collided
+        assert summary.max_fpr >= 1.0

@@ -1,0 +1,92 @@
+"""The speed-sweep catalog expander."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    DEFAULT_SWEEP_SPEEDS,
+    SCENARIO_NAMES,
+    SCENARIOS,
+    build_scenario,
+    speed_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_names() -> list[str]:
+    return speed_sweep()
+
+
+class TestExpansion:
+    def test_names_unique(self, sweep_names):
+        assert len(sweep_names) == len(set(sweep_names))
+        assert len(sweep_names) == 2 * len(DEFAULT_SWEEP_SPEEDS)
+
+    def test_names_registered(self, sweep_names):
+        for name in sweep_names:
+            assert name in SCENARIOS
+
+    def test_idempotent(self, sweep_names):
+        before = len(SCENARIOS)
+        assert speed_sweep() == sweep_names
+        assert len(SCENARIOS) == before
+
+    def test_does_not_shadow_table1_names(self, sweep_names):
+        assert not set(sweep_names) & set(SCENARIO_NAMES)
+
+    def test_specs_buildable(self, sweep_names):
+        for name in sweep_names:
+            built = build_scenario(name, seed=3)
+            state = built.ego_initial_state()
+            assert state.speed == pytest.approx(built.ego_speed)
+            actors = built.build_actors()
+            assert actors, name
+            ids = [actor.actor_id for actor in actors]
+            assert len(ids) == len(set(ids))
+
+    def test_speed_encoded_in_spec(self, sweep_names):
+        assert SCENARIOS["cut_out_50mph"].ego_speed_mph == 50.0
+        assert SCENARIOS["cut_in_20mph"].ego_speed_mph == 20.0
+
+    def test_same_seed_same_choreography(self, sweep_names):
+        first = build_scenario("cut_out_60mph", seed=5).build_actors()
+        second = build_scenario("cut_out_60mph", seed=5).build_actors()
+        assert [a.station for a in first] == [a.station for a in second]
+
+
+class TestEnsureScenario:
+    """Sweep names carry their own recipe and re-derive on demand.
+
+    This is what keeps spawn-start-method campaign workers and fresh
+    processes reloading a campaign JSONL working: their registries have
+    never seen the parent's ``speed_sweep()`` call.
+    """
+
+    def test_derives_unregistered_custom_speed(self):
+        from repro.scenarios.catalog import ensure_scenario
+
+        # 23.5 mph is in no default sweep, so no other test registered it.
+        assert "cut_out_23.5mph" not in SCENARIOS
+        assert ensure_scenario("cut_out_23.5mph")
+        assert SCENARIOS["cut_out_23.5mph"].ego_speed_mph == 23.5
+
+    def test_build_scenario_accepts_underived_variant(self):
+        built = build_scenario("cut_in_33mph", seed=0)
+        assert built.spec.ego_speed_mph == 33.0
+
+    def test_rejects_non_sweep_names(self):
+        from repro.scenarios.catalog import ensure_scenario
+
+        assert not ensure_scenario("warp")
+        assert not ensure_scenario("cut_out_mph")
+        assert not ensure_scenario("teleport_30mph")
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speed_sweep(families=("teleport",))
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speed_sweep(speeds_mph=(0.0,))
