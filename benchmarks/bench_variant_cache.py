@@ -1,0 +1,94 @@
+"""Cross-variant trace cache — N-variant campaigns at ~1-simulation cost.
+
+A campaign sweeping N ``ZhuyiParams`` variants over the same
+(scenario, seed, fpr) cells used to simulate every cell N times, once
+per variant. The closed loop never reads the Zhuyi constants, so the
+runner now simulates each cell once, presamples its trajectories once,
+and re-evaluates the cached trace per variant.
+
+This benchmark runs the same 4-variant grid both ways — the cached
+cell path (``CampaignRunner``) and the old per-run path
+(``execute_run`` per spec) — asserts the summaries are byte-identical,
+and records the speedup. Unlike process-level parallelism the cache
+owes nothing to core count, so the >= 2x target is asserted on every
+host, including 1-core containers.
+"""
+
+import json
+
+from benchmarks.conftest import emit
+from repro.batch import Campaign, CampaignRunner, ParamVariant, execute_run
+from repro.core.parameters import ZhuyiParams
+
+#: The >= target for a 4-variant grid (acceptance: well under N x).
+SPEEDUP_TARGET = 2.0
+
+VARIANTS = (
+    ParamVariant("default"),
+    ParamVariant("strict", ZhuyiParams(c1=0.8, c2=0.8)),
+    ParamVariant("loose", ZhuyiParams(c1=1.0, c2=1.0)),
+    ParamVariant("soft_brake", ZhuyiParams(c3=4.0)),
+)
+
+
+def _campaign() -> Campaign:
+    # Coarse stride: at fine strides the offline evaluation rivals the
+    # simulation and dilutes the cached-simulation win; campaign sweeps
+    # over many variants run coarse first and refine interesting cells.
+    return Campaign(
+        scenarios=("cut_out", "cut_in", "vehicle_following"),
+        seeds=(0,),
+        fprs=(30.0,),
+        variants=VARIANTS,
+        stride=0.5,
+    )
+
+
+def _compare():
+    import time
+
+    campaign = _campaign()
+
+    started = time.perf_counter()
+    cached = CampaignRunner(workers=1).run(campaign)
+    cached_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    uncached = [execute_run(spec) for spec in campaign.runs()]
+    uncached_elapsed = time.perf_counter() - started
+
+    speedup = uncached_elapsed / cached_elapsed
+    cells = campaign.size // len(VARIANTS)
+    lines = [
+        f"grid: {cells} (scenario, seed, fpr) cell(s) x "
+        f"{len(VARIANTS)} variants = {campaign.size} runs",
+        f"per-run (1 sim per run):    {uncached_elapsed:8.2f} s",
+        f"cached  (1 sim per cell):   {cached_elapsed:8.2f} s",
+        f"speedup:                    {speedup:8.2f}x "
+        f"(target >= {SPEEDUP_TARGET:.1f}x for {len(VARIANTS)} variants)",
+    ]
+    return cached, uncached, speedup, "\n".join(lines)
+
+
+def test_variant_cache(benchmark, artifact_dir):
+    cached, uncached, speedup, report = benchmark.pedantic(
+        _compare, rounds=1, iterations=1
+    )
+    emit(artifact_dir, "variant_cache", report)
+
+    # The cache must change nothing but the clock.
+    assert json.dumps([s.to_dict() for s in cached.summaries]) == json.dumps(
+        [s.to_dict() for s in uncached]
+    )
+    assert not cached.failures()
+
+    # And the variants must genuinely differ (the cache isn't
+    # collapsing them into one evaluation).
+    by_variant = {
+        (s.scenario, s.variant): s.max_fpr for s in cached.summaries
+    }
+    assert by_variant[("cut_out", "default")] != by_variant[
+        ("cut_out", "strict")
+    ]
+
+    assert speedup >= SPEEDUP_TARGET, f"only {speedup:.2f}x"

@@ -4,12 +4,13 @@ The paper's statistical claims rest on sweeping many scenarios, jitter
 seeds and fixed FPR settings; this package turns that from a hand-written
 loop into a first-class subsystem:
 
-* :mod:`repro.batch.campaign` — the grid spec and its deterministic
-  expansion into per-run specs.
+* :mod:`repro.batch.campaign` — the grid spec, its deterministic
+  expansion into per-run specs, and cell-stable sharding.
 * :mod:`repro.batch.runner` — sequential or process-parallel execution
-  with per-run failure capture.
-* :mod:`repro.batch.results` — per-run summaries, JSONL persistence
-  and reload.
+  with per-run failure capture, cross-variant trace caching, streaming
+  JSONL output and resume.
+* :mod:`repro.batch.results` — per-run summaries, streaming JSONL
+  persistence (schema 2), reload and shard merging.
 * :mod:`repro.batch.aggregate` — Table 1 rows straight from a stored
   campaign, no re-simulation.
 
@@ -18,9 +19,15 @@ Quickstart::
     from repro.batch import Campaign, CampaignRunner, render_campaign_table
 
     campaign = Campaign(scenarios=("cut_out", "cut_in"), seeds=(0, 1))
-    result = CampaignRunner(workers=4).run(campaign)
-    result.save_jsonl("campaign.jsonl")
+    runner = CampaignRunner(workers=4)
+    result = runner.run(campaign, out="campaign.jsonl")  # streamed
+    # ... kill it mid-flight, then later:
+    result = runner.resume("campaign.jsonl")             # runs the rest
     print(render_campaign_table(result))
+
+See docs/CAMPAIGNS.md for the JSONL schema and the resume / shard /
+merge workflows, and docs/ARCHITECTURE.md for where this package sits
+in the pipeline.
 """
 
 from repro.batch.campaign import (
@@ -30,8 +37,13 @@ from repro.batch.campaign import (
     RunSpec,
     full_catalog_campaign,
 )
-from repro.batch.runner import CampaignRunner, execute_run
-from repro.batch.results import SCHEMA_VERSION, CampaignResult, RunSummary
+from repro.batch.runner import CampaignRunner, execute_cell, execute_run
+from repro.batch.results import (
+    SCHEMA_VERSION,
+    CampaignResult,
+    CampaignWriter,
+    RunSummary,
+)
 from repro.batch.aggregate import (
     campaign_table1,
     render_campaign_table,
@@ -45,8 +57,10 @@ __all__ = [
     "DEFAULT_VARIANT",
     "full_catalog_campaign",
     "CampaignRunner",
+    "execute_cell",
     "execute_run",
     "CampaignResult",
+    "CampaignWriter",
     "RunSummary",
     "SCHEMA_VERSION",
     "campaign_table1",

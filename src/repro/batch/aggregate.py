@@ -25,7 +25,27 @@ from repro.system.mrf import MRFResult
 def campaign_table1(
     result: CampaignResult, variant: str | None = None
 ) -> list[Table1Row]:
-    """One Table 1 row per campaign scenario, from stored summaries."""
+    """One Table 1 row per campaign scenario, from stored summaries.
+
+    Pure aggregation: no simulation is launched, so the rows are a
+    deterministic function of the summaries alone — a merged shard
+    result yields exactly the rows of the monolithic campaign, and a
+    reloaded JSONL file yields the rows of the in-memory result it was
+    saved from.
+
+    Args:
+        result: a completed (or partial) campaign result; failed runs
+            contribute nothing, collided runs contribute the paper's
+            "N/A" convention.
+        variant: which parameter variant's runs to aggregate; defaults
+            to the campaign's first variant.
+
+    Returns:
+        Rows in the campaign's scenario order.
+
+    Raises:
+        ConfigurationError: ``variant`` is not in the campaign grid.
+    """
     campaign = result.campaign
     variant = _resolve_variant(campaign, variant)
     return [
@@ -37,7 +57,15 @@ def campaign_table1(
 def render_campaign_table(
     result: CampaignResult, variant: str | None = None
 ) -> str:
-    """The campaign's Table 1 as printable text."""
+    """The campaign's Table 1 as printable text.
+
+    Args:
+        result: the campaign to render.
+        variant: parameter variant to aggregate (default: the first).
+
+    Returns:
+        The table as aligned plain text, one row per scenario.
+    """
     campaign = result.campaign
     rows = campaign_table1(result, variant)
     config = Table1Config(

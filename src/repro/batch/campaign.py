@@ -65,6 +65,13 @@ class RunSpec:
 class Campaign:
     """A scenario x seed x FPR (x parameter-variant) evaluation grid.
 
+    Determinism guarantees: :meth:`runs` expands the grid in a fixed
+    order (scenario-major, then seed, fpr, variant) and stamps each run
+    with its index, so two processes given equal campaigns — including
+    one reconstructed from a JSONL header via :meth:`from_dict` — agree
+    on every run's identity. :meth:`shard` partitions that same
+    expansion, which is what makes shard files mergeable.
+
     Attributes:
         scenarios: catalog names (validated against the registry,
             including any ``speed_sweep`` expansions already applied).
@@ -128,8 +135,14 @@ class Campaign:
         )
 
     def runs(self) -> list[RunSpec]:
-        """The grid expanded in deterministic (scenario, seed, fpr,
-        variant) order, each run stamped with its index."""
+        """Expand the grid into per-run specs.
+
+        Returns:
+            One :class:`RunSpec` per grid cell in deterministic
+            (scenario, seed, fpr, variant) order, each stamped with its
+            index — the identity used by streaming files, resume,
+            sharding and merge.
+        """
         specs: list[RunSpec] = []
         for scenario in self.scenarios:
             for seed in self.seeds:
@@ -149,6 +162,53 @@ class Campaign:
                             )
                         )
         return specs
+
+    def shard(self, index: int, count: int) -> list[RunSpec]:
+        """Deterministically partition the run grid into ``count`` parts.
+
+        The grid is split by (scenario, seed, fpr) **cell**: cell ``j``
+        (in grid order) goes to shard ``j % count``, and a shard owns
+        *all* parameter variants of its cells. The stride spreads
+        scenarios and seeds evenly over shards (no shard gets all the
+        expensive scenarios), while keeping variants together preserves
+        the cross-variant trace cache — each shard still simulates its
+        cells once and evaluates every variant from the cached trace.
+
+        Determinism guarantees: the partition is a pure function of the
+        grid — the union of all shards is exactly :meth:`runs`, shards
+        never overlap, and each run keeps its full-grid index — which
+        is what lets
+        :meth:`CampaignResult.merge <repro.batch.results.CampaignResult.merge>`
+        stitch shard files back into the monolithic result.
+
+        Args:
+            index: which shard to take, ``0 <= index < count``.
+            count: total number of shards; at most the number of
+                (scenario, seed, fpr) cells, so no shard is empty.
+
+        Returns:
+            The shard's runs, ascending by full-grid index.
+        """
+        cells = self.size // len(self.variants)
+        if count < 1:
+            raise ConfigurationError(
+                f"shard count must be at least 1, got {count}"
+            )
+        if count > cells:
+            raise ConfigurationError(
+                f"cannot split {cells} (scenario, seed, fpr) cells "
+                f"into {count} shards"
+            )
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        variants = len(self.variants)
+        return [
+            spec
+            for spec in self.runs()
+            if (spec.index // variants) % count == index
+        ]
 
     def to_dict(self) -> dict:
         """JSON-ready grid description (the JSONL header payload)."""

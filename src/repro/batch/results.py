@@ -8,24 +8,33 @@ the run spec, so they compare byte-identical between sequential and
 parallel executions; wall-clock timings live next to them in the
 :class:`CampaignResult`, never inside them.
 
-The on-disk format is JSONL: a header line (``kind: campaign``) with
-the grid and schema version, then one ``kind: run`` line per summary in
-run-index order. JSONL appends cheaply, streams without loading the
-whole file and diffs line-by-line in code review.
+The on-disk format is JSONL (schema 2): a header line (``kind:
+campaign``) with the grid, schema version and optional shard tag, then
+one ``kind: run`` line per summary in run-index order — appended by
+:class:`CampaignWriter` *as each run finishes*, so a killed campaign
+keeps everything it completed — and a ``kind: completed`` footer with
+the execution metadata, written only when the whole grid ran. A file
+without the footer is a resumable partial; ``repro campaign --resume``
+executes exactly the missing indices. Schema 1 files (header carries
+``workers``/``elapsed``, no footer) still load. See docs/CAMPAIGNS.md
+for the field-by-field schema comparison.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import IO, Mapping, Sequence
 
-from repro.batch.campaign import Campaign
-from repro.errors import TraceError
+from repro.batch.campaign import Campaign, RunSpec
+from repro.errors import ConfigurationError, TraceError
 
 #: Bumped when a line's field set changes incompatibly.
-SCHEMA_VERSION = 1
+#: 1: single header line carrying workers/elapsed, runs written at end.
+#: 2: bare header, streamed run lines, ``completed`` footer, shard tag.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -111,7 +120,17 @@ class RunSummary:
 
 
 class CampaignResult:
-    """All summaries of one campaign, plus execution metadata."""
+    """All summaries of one campaign (or one shard of it).
+
+    Attributes:
+        campaign: the grid the summaries belong to.
+        summaries: per-run summaries, sorted by grid index.
+        workers: worker count the runs executed with (1 when unknown,
+            e.g. a partial file with no footer yet).
+        elapsed: wall-clock seconds (0.0 when unknown).
+        shard: ``(index, count)`` when this result holds one
+            :meth:`Campaign.shard` of the grid, else ``None``.
+    """
 
     def __init__(
         self,
@@ -119,14 +138,72 @@ class CampaignResult:
         summaries: Sequence[RunSummary],
         workers: int = 1,
         elapsed: float = 0.0,
+        shard: tuple[int, int] | None = None,
     ):
         self.campaign = campaign
         self.summaries = sorted(summaries, key=lambda s: s.index)
         self.workers = workers
         self.elapsed = elapsed
+        self.shard = shard
+        #: Set by :meth:`load_jsonl`: the file's schema version,
+        #: whether it carried a ``completed`` footer, and whether its
+        #: tail was torn (no trailing newline / dropped final line).
+        #: ``None`` for results that never touched disk. Resume uses
+        #: these to pick between appending in place and an atomic
+        #: canonical rewrite.
+        self.source_schema: int | None = None
+        self.source_footer: bool | None = None
+        self.source_torn: bool | None = None
 
     def __len__(self) -> int:
         return len(self.summaries)
+
+    # ------------------------------------------------------------------
+    # coverage
+    # ------------------------------------------------------------------
+
+    def expected_runs(self) -> list[RunSpec]:
+        """The runs this result is supposed to cover.
+
+        The full grid normally; the shard's slice when :attr:`shard`
+        is set. Determinism guarantee: this is a pure function of the
+        campaign spec, so a reloaded partial file computes exactly the
+        remainder an uninterrupted run would have executed.
+        """
+        if self.shard is None:
+            return self.campaign.runs()
+        return self.campaign.shard(*self.shard)
+
+    def run_indices(self) -> set[int]:
+        """Grid indices with a recorded summary."""
+        return {summary.index for summary in self.summaries}
+
+    def missing_runs(self) -> list[RunSpec]:
+        """Expected runs with no summary yet (ascending grid index)."""
+        present = self.run_indices()
+        return [
+            spec for spec in self.expected_runs() if spec.index not in present
+        ]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every expected run has a summary."""
+        return not self.missing_runs()
+
+    def resume_cache(self) -> dict[int, RunSummary]:
+        """The summaries a resume may reuse, keyed by grid index.
+
+        Everything except ``WorkerError`` failures: those record a
+        worker process dying (OOM kill, crash), an environment accident
+        rather than a function of the run spec, so resume re-executes
+        them. Deterministic failures (the run itself raising) keep
+        their summaries — re-running them would reproduce the error.
+        """
+        return {
+            summary.index: summary
+            for summary in self.summaries
+            if not (summary.error or "").startswith("WorkerError")
+        }
 
     # ------------------------------------------------------------------
     # queries
@@ -176,47 +253,69 @@ class CampaignResult:
     # ------------------------------------------------------------------
 
     def save_jsonl(self, path: str | Path) -> None:
-        """Write the header line plus one line per run summary."""
-        lines = [
-            json.dumps(
-                {
-                    "kind": "campaign",
-                    "schema": SCHEMA_VERSION,
-                    "workers": self.workers,
-                    "elapsed": self.elapsed,
-                    "grid": self.campaign.to_dict(),
-                }
-            )
-        ]
-        lines.extend(
-            json.dumps({"kind": "run", **summary.to_dict()})
-            for summary in self.summaries
-        )
-        Path(path).write_text("\n".join(lines) + "\n")
+        """Write the result as one schema-2 JSONL file.
+
+        Header, then every summary in grid-index order, then — only
+        when the result covers its whole expected grid — the
+        ``completed`` footer. Writing an incomplete result therefore
+        produces a file that ``--resume`` recognizes as partial.
+        """
+        with CampaignWriter.create(path, self.campaign, shard=self.shard) as w:
+            for summary in self.summaries:
+                w.write(summary)
+            if self.is_complete:
+                w.finish(workers=self.workers, elapsed=self.elapsed)
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "CampaignResult":
-        """Reload a campaign written by :meth:`save_jsonl`."""
-        raw_lines = [
-            line
-            for line in Path(path).read_text().splitlines()
-            if line.strip()
-        ]
+        """Reload a campaign JSONL file (schema 1 or 2).
+
+        A schema-2 file with no ``completed`` footer — a campaign that
+        was killed mid-flight — loads fine: the summaries present are
+        kept and :meth:`missing_runs` names the remainder. Execution
+        metadata defaults to ``workers=1, elapsed=0.0`` until the
+        footer exists. A torn *final* line (a kill landed mid-write,
+        leaving no trailing newline) is dropped — that run simply
+        counts as missing; malformed JSON anywhere else, including a
+        newline-terminated final line, is still an error.
+
+        Raises:
+            TraceError: empty file, malformed JSON before the final
+                line, missing header, or an unsupported schema version.
+        """
+        text = Path(path).read_text()
+        # Every record is written as one "line\n" write, so a clean
+        # file always ends in a newline; its absence marks a tail torn
+        # by a kill mid-write (resume then rewrites instead of
+        # appending onto the damaged line).
+        torn = bool(text) and not text.endswith("\n")
+        raw_lines = [line for line in text.splitlines() if line.strip()]
         if not raw_lines:
             raise TraceError(f"empty campaign file: {path}")
-        try:
-            records = [json.loads(line) for line in raw_lines]
-        except json.JSONDecodeError as exc:
-            raise TraceError(f"invalid campaign JSONL in {path}: {exc}") from exc
+        records = []
+        for number, line in enumerate(raw_lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                # Only a final line missing its newline is a torn kill
+                # tail; a malformed but newline-terminated line (the
+                # writer emits line+newline in one write) is corruption
+                # and stays fatal.
+                if torn and number == len(raw_lines) - 1 and number > 0:
+                    break
+                raise TraceError(
+                    f"invalid campaign JSONL in {path}: {exc}"
+                ) from exc
         header = records[0]
         if header.get("kind") != "campaign":
             raise TraceError(
                 f"campaign file {path} does not start with a campaign header"
             )
-        if header.get("schema") != SCHEMA_VERSION:
+        schema = header.get("schema")
+        if schema not in (1, SCHEMA_VERSION):
             raise TraceError(
-                f"campaign schema {header.get('schema')!r} unsupported "
-                f"(expected {SCHEMA_VERSION})"
+                f"campaign schema {schema!r} unsupported "
+                f"(expected 1 or {SCHEMA_VERSION})"
             )
         campaign = Campaign.from_dict(header["grid"])
         summaries = [
@@ -224,9 +323,179 @@ class CampaignResult:
             for record in records[1:]
             if record.get("kind") == "run"
         ]
-        return cls(
+        shard = None
+        if header.get("shard") is not None:
+            shard = (
+                int(header["shard"]["index"]),
+                int(header["shard"]["count"]),
+            )
+        workers = int(header.get("workers", 1))
+        elapsed = float(header.get("elapsed", 0.0))
+        footers = [r for r in records[1:] if r.get("kind") == "completed"]
+        if footers:
+            workers = int(footers[-1].get("workers", workers))
+            elapsed = float(footers[-1].get("elapsed", elapsed))
+        result = cls(
             campaign=campaign,
             summaries=summaries,
-            workers=int(header.get("workers", 1)),
-            elapsed=float(header.get("elapsed", 0.0)),
+            workers=workers,
+            elapsed=elapsed,
+            shard=shard,
         )
+        result.source_schema = schema
+        result.source_footer = bool(footers)
+        result.source_torn = torn
+        return result
+
+    # ------------------------------------------------------------------
+    # shard recombination
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, parts: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Recombine shard results into one monolithic result.
+
+        Because a shard keeps each run's full-grid index, merging is a
+        pure reindex-free union: the merged result aggregates (Table 1
+        rows, MRF verdicts) exactly as if the whole grid had run on one
+        machine.
+
+        Args:
+            parts: shard results of the *same* campaign grid. Order
+                does not matter.
+
+        Returns:
+            One result over the union of the parts' summaries, with
+            ``elapsed`` summed (total compute) and ``workers`` the
+            maximum across parts; ``shard`` is cleared.
+
+        Raises:
+            ConfigurationError: no parts, grid mismatch between parts,
+                overlapping run indices, or an index outside the grid.
+        """
+        if not parts:
+            raise ConfigurationError("nothing to merge: no campaign parts")
+        campaign = parts[0].campaign
+        for part in parts[1:]:
+            if part.campaign != campaign:
+                raise ConfigurationError(
+                    "cannot merge campaign parts with different grids"
+                )
+        seen: dict[int, RunSummary] = {}
+        for part in parts:
+            for summary in part.summaries:
+                if summary.index in seen:
+                    raise ConfigurationError(
+                        f"overlapping run index {summary.index} "
+                        f"({summary.scenario} seed={summary.seed} "
+                        f"fpr={summary.fpr:g} [{summary.variant}]) "
+                        "across merged parts"
+                    )
+                if not 0 <= summary.index < campaign.size:
+                    raise ConfigurationError(
+                        f"run index {summary.index} outside the "
+                        f"{campaign.size}-run grid"
+                    )
+                seen[summary.index] = summary
+        return cls(
+            campaign=campaign,
+            summaries=list(seen.values()),
+            workers=max(part.workers for part in parts),
+            elapsed=sum(part.elapsed for part in parts),
+            shard=None,
+        )
+
+
+class CampaignWriter:
+    """Streams a campaign result to JSONL as runs complete.
+
+    The write protocol is what makes campaigns kill-safe: the header
+    goes out before the first run, every summary line is flushed the
+    moment it is written, and the ``completed`` footer exists only
+    after :meth:`finish` — so a file without a footer is by definition
+    a resumable partial, and a crash can lose at most the line being
+    written. Use as a context manager; an exception inside the block
+    closes the file *without* the footer.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        handle: IO[str],
+        target: Path | None = None,
+    ):
+        self._path = Path(path)
+        self._target = self._path if target is None else target
+        self._handle = handle
+        self._finished = False
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        campaign: Campaign,
+        shard: tuple[int, int] | None = None,
+        atomic: bool = False,
+    ) -> "CampaignWriter":
+        """Start a fresh file: truncate and write the schema-2 header.
+
+        ``atomic=True`` stages the output in ``<path>.tmp`` and renames
+        it over ``path`` only after :meth:`finish` — so rewriting an
+        existing partial (resume's canonical-rewrite path) can never
+        destroy it: a crash mid-rewrite leaves the original untouched
+        and discards the temp file on close.
+        """
+        header: dict = {
+            "kind": "campaign",
+            "schema": SCHEMA_VERSION,
+            "grid": campaign.to_dict(),
+        }
+        if shard is not None:
+            header["shard"] = {"index": shard[0], "count": shard[1]}
+        final = Path(path)
+        target = (
+            final.with_name(final.name + ".tmp") if atomic else final
+        )
+        writer = cls(final, target.open("w"), target=target)
+        writer._emit(header)
+        return writer
+
+    @classmethod
+    def append_to(cls, path: str | Path) -> "CampaignWriter":
+        """Continue a partial file (header already present) in place."""
+        return cls(path, Path(path).open("a"))
+
+    def write(self, summary: RunSummary) -> None:
+        """Append one run line and flush it to disk."""
+        self._emit({"kind": "run", **summary.to_dict()})
+
+    def finish(self, workers: int, elapsed: float) -> None:
+        """Append the ``completed`` footer — the campaign ran fully."""
+        self._emit(
+            {
+                "kind": "completed",
+                "workers": workers,
+                "elapsed": elapsed,
+            }
+        )
+        self._finished = True
+
+    def close(self) -> None:
+        """Close the file; atomic writers commit or roll back here."""
+        if not self._handle.closed:
+            self._handle.close()
+        if self._target != self._path:
+            if self._finished:
+                os.replace(self._target, self._path)
+            else:
+                self._target.unlink(missing_ok=True)
+
+    def _emit(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def __enter__(self) -> "CampaignWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

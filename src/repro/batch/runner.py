@@ -3,11 +3,24 @@
 Each run is a pure function of its :class:`RunSpec` — the scenario
 choreography is seeded by the spec's seed, the perception noise by a
 fixed offset of it — so execution order and worker count cannot change
-any summary. The runner exploits that: ``workers=1`` is a plain loop,
-``workers>1`` submits every spec to a ``ProcessPoolExecutor`` and
-reassembles the summaries in run-index order. A run that raises is
-captured as a failed :class:`RunSummary` (``error`` set) instead of
-aborting the campaign; a worker crash surfaces the same way.
+any summary. The runner exploits that three ways:
+
+* ``workers=1`` is a plain loop; ``workers>1`` submits work to a
+  ``ProcessPoolExecutor`` and reassembles summaries in run-index order.
+* Runs sharing a (scenario, seed, fpr) **cell** differ only in their
+  ``ZhuyiParams`` variant, which the closed-loop simulation never
+  reads; the cell's trace is simulated once and re-evaluated per
+  variant (:func:`execute_cell`), turning an N-variant campaign into
+  ~1 simulation + N cheap offline evaluations.
+* With ``out=`` the runner streams each summary to JSONL the moment it
+  completes (via :class:`repro.batch.results.CampaignWriter`), so a
+  killed campaign keeps its finished runs and :meth:`CampaignRunner.resume`
+  executes only the remainder — producing a file identical to an
+  uninterrupted run's, footer wall-clock aside.
+
+A run that raises is captured as a failed :class:`RunSummary`
+(``error`` set) instead of aborting the campaign; a worker crash
+surfaces the same way.
 """
 
 from __future__ import annotations
@@ -16,58 +29,19 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.batch.campaign import Campaign, RunSpec
-from repro.batch.results import CampaignResult, RunSummary
-from repro.core.evaluator import OfflineEvaluator
+from repro.batch.results import CampaignResult, CampaignWriter, RunSummary
+from repro.core.evaluator import OfflineEvaluator, presample_trace
 from repro.errors import ConfigurationError
 
 #: Called after each completed run with (done, total, summary).
 ProgressHook = Callable[[int, int, RunSummary], None]
 
 
-def execute_run(spec: RunSpec) -> RunSummary:
-    """Run one grid cell end to end: closed loop, then offline Zhuyi.
-
-    Never raises — failures are folded into the summary so a single bad
-    cell cannot take down a thousand-run campaign.
-    """
-    try:
-        return _execute_run(spec)
-    except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
-        return RunSummary(
-            index=spec.index,
-            scenario=spec.scenario,
-            seed=spec.seed,
-            fpr=spec.fpr,
-            variant=spec.variant,
-            collided=False,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-
-
-def _execute_run(spec: RunSpec) -> RunSummary:
-    from repro.scenarios.catalog import build_scenario
-
-    built = build_scenario(spec.scenario, seed=spec.seed)
-    trace = built.run(fpr=spec.fpr)
-    if trace.has_collision:
-        # The paper's convention: collided runs report N/A, no estimate.
-        return RunSummary(
-            index=spec.index,
-            scenario=spec.scenario,
-            seed=spec.seed,
-            fpr=spec.fpr,
-            variant=spec.variant,
-            collided=True,
-            collision_time=trace.first_collision_time,
-            duration=trace.duration,
-        )
-    evaluator = OfflineEvaluator(
-        params=spec.resolved_params(), road=built.road, stride=spec.stride
-    )
-    series = evaluator.evaluate(trace)
+def _failure_summary(spec: RunSpec, error: str) -> RunSummary:
     return RunSummary(
         index=spec.index,
         scenario=spec.scenario,
@@ -75,26 +49,186 @@ def _execute_run(spec: RunSpec) -> RunSummary:
         fpr=spec.fpr,
         variant=spec.variant,
         collided=False,
-        max_fpr=series.max_fpr(),
-        max_total_fpr=series.max_total_fpr(spec.cameras),
-        fraction_of_provision=series.fraction_of_provision(
-            spec.provisioned_fpr, spec.cameras
-        ),
-        camera_max_fpr={
-            camera: series.max_fpr(camera) for camera in spec.cameras
-        },
-        ticks=len(series.ticks),
-        duration=trace.duration,
+        error=error,
     )
+
+
+def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
+    """Run one (scenario, seed, fpr) cell for every requested variant.
+
+    The closed-loop simulation depends only on the cell coordinates —
+    ``ZhuyiParams`` variants enter nothing but the offline evaluator,
+    which is a pure function of (trace, params). So the cell simulates
+    its trace once, presamples the trajectories once (also
+    param-independent) and evaluates per variant. With a single variant
+    this is exactly the old one-run-one-simulation path; with N
+    variants it is the cross-variant trace cache.
+
+    Args:
+        specs: the cell's runs — same scenario, seed and fpr, one per
+            variant, in grid order.
+
+    Returns:
+        One summary per spec, in the given order. Never raises: a
+        simulation failure is folded into every spec's summary, an
+        evaluation failure only into the failing variant's.
+    """
+    if not specs:
+        return []
+    cell = (specs[0].scenario, specs[0].seed, specs[0].fpr)
+    for spec in specs:
+        if (spec.scenario, spec.seed, spec.fpr) != cell:
+            raise ConfigurationError(
+                "execute_cell needs specs from a single "
+                f"(scenario, seed, fpr) cell, got {cell} and "
+                f"({spec.scenario}, {spec.seed}, {spec.fpr})"
+            )
+
+    from repro.scenarios.catalog import build_scenario
+
+    try:
+        built = build_scenario(cell[0], seed=cell[1])
+        trace = built.run(fpr=cell[2])
+    except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
+        error = f"{type(exc).__name__}: {exc}"
+        return [_failure_summary(spec, error) for spec in specs]
+
+    if trace.has_collision:
+        # The paper's convention: collided runs report N/A, no estimate.
+        return [
+            RunSummary(
+                index=spec.index,
+                scenario=spec.scenario,
+                seed=spec.seed,
+                fpr=spec.fpr,
+                variant=spec.variant,
+                collided=True,
+                collision_time=trace.first_collision_time,
+                duration=trace.duration,
+            )
+            for spec in specs
+        ]
+
+    summaries = []
+    samples = None  # strides are campaign-level: one sampling per cell
+    for spec in specs:
+        try:
+            if samples is None:
+                samples = presample_trace(trace, spec.stride)
+            evaluator = OfflineEvaluator(
+                params=spec.resolved_params(),
+                road=built.road,
+                stride=spec.stride,
+            )
+            series = evaluator.evaluate(trace, samples=samples)
+            summaries.append(
+                RunSummary(
+                    index=spec.index,
+                    scenario=spec.scenario,
+                    seed=spec.seed,
+                    fpr=spec.fpr,
+                    variant=spec.variant,
+                    collided=False,
+                    max_fpr=series.max_fpr(),
+                    max_total_fpr=series.max_total_fpr(spec.cameras),
+                    fraction_of_provision=series.fraction_of_provision(
+                        spec.provisioned_fpr, spec.cameras
+                    ),
+                    camera_max_fpr={
+                        camera: series.max_fpr(camera)
+                        for camera in spec.cameras
+                    },
+                    ticks=len(series.ticks),
+                    duration=trace.duration,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - per-variant failure capture
+            summaries.append(
+                _failure_summary(spec, f"{type(exc).__name__}: {exc}")
+            )
+    return summaries
+
+
+def execute_run(spec: RunSpec) -> RunSummary:
+    """Run one grid cell end to end: closed loop, then offline Zhuyi.
+
+    A one-spec :func:`execute_cell`. Never raises — failures are folded
+    into the summary so a single bad cell cannot take down a
+    thousand-run campaign. The summary is a pure function of the spec:
+    re-executing it, on any machine with any worker count, reproduces
+    it byte for byte.
+
+    Args:
+        spec: the fully-determined run to execute.
+
+    Returns:
+        The run's :class:`RunSummary` (``error`` set on failure).
+    """
+    return execute_cell([spec])[0]
+
+
+def _group_cells(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
+    """Group consecutive specs sharing a (scenario, seed, fpr) cell.
+
+    Grid order puts variants innermost, so all of a cell's variants are
+    adjacent; grouping preserves overall run order.
+    """
+    cells: list[list[RunSpec]] = []
+    for spec in specs:
+        key = (spec.scenario, spec.seed, spec.fpr)
+        if cells and (
+            cells[-1][0].scenario,
+            cells[-1][0].seed,
+            cells[-1][0].fpr,
+        ) == key:
+            cells[-1].append(spec)
+        else:
+            cells.append([spec])
+    return cells
+
+
+class _OrderedSink:
+    """Streams summaries to a writer in a fixed index order.
+
+    Parallel cells complete out of order; the sink buffers completions
+    until every earlier index in the sequence has been written, keeping
+    the on-disk line order deterministic (and hence resumable files
+    byte-comparable to uninterrupted ones).
+    """
+
+    def __init__(
+        self, sequence: Sequence[int], writer: CampaignWriter | None
+    ):
+        self._sequence = list(sequence)
+        self._writer = writer
+        self._pos = 0
+        self._buffer: dict[int, RunSummary] = {}
+
+    def push(self, summary: RunSummary) -> None:
+        if self._writer is None:
+            return
+        self._buffer[summary.index] = summary
+        while (
+            self._pos < len(self._sequence)
+            and self._sequence[self._pos] in self._buffer
+        ):
+            self._writer.write(self._buffer.pop(self._sequence[self._pos]))
+            self._pos += 1
 
 
 @dataclass
 class CampaignRunner:
     """Executes a campaign grid with a configurable worker count.
 
+    Determinism guarantees: summaries are pure functions of their run
+    specs, so for a fixed grid the summaries (and the JSONL run lines)
+    are byte-identical across worker counts, across machines, across
+    shard/merge splits, and across kill/resume cycles. Only wall-clock
+    metadata (the footer's ``elapsed``) varies.
+
     Attributes:
         workers: 1 runs in-process; N > 1 fans out over N processes.
-        max_pending: cap on simultaneously submitted runs (bounds the
+        max_pending: cap on simultaneously submitted cells (bounds the
             executor's memory on very large grids).
     """
 
@@ -110,63 +244,209 @@ class CampaignRunner:
             raise ConfigurationError("max_pending must be at least 1")
 
     def run(
-        self, campaign: Campaign, progress: ProgressHook | None = None
+        self,
+        campaign: Campaign,
+        progress: ProgressHook | None = None,
+        *,
+        out: str | Path | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> CampaignResult:
-        """Execute every run of the grid and collect the summaries."""
-        specs = campaign.runs()
-        started = time.perf_counter()
-        if self.workers == 1:
-            summaries = self._run_sequential(specs, progress)
+        """Execute a campaign grid (or one shard of it).
+
+        Args:
+            campaign: the grid to run.
+            progress: called after each completed run with
+                ``(done, total, summary)``.
+            out: JSONL path. When given, the header is written before
+                the first run and each summary is appended (flushed) as
+                it completes, so a killed campaign keeps its finished
+                runs; the ``completed`` footer lands only at the end.
+            shard: ``(index, count)`` to execute only that
+                :meth:`Campaign.shard` of the grid.
+
+        Returns:
+            The (shard-)result with all summaries, sorted by index.
+        """
+        specs = campaign.runs() if shard is None else campaign.shard(*shard)
+        writer = (
+            None
+            if out is None
+            else CampaignWriter.create(out, campaign, shard=shard)
+        )
+        return self._execute(
+            campaign, specs, cached={}, writer=writer,
+            shard=shard, progress=progress,
+        )
+
+    def resume(
+        self,
+        path: str | Path,
+        progress: ProgressHook | None = None,
+        *,
+        partial: CampaignResult | None = None,
+    ) -> CampaignResult:
+        """Finish a partial campaign JSONL file in place.
+
+        Reloads the file, keeps every summary already present (they are
+        never re-executed — determinism makes re-running them pointless),
+        executes exactly the missing grid indices and streams them to
+        the same file. When the existing summaries are a clean schema-2
+        prefix of the expected run order (the normal kill case) the
+        file is appended to; schema-1 or out-of-order partials are
+        rewritten in canonical schema-2 order via an atomic
+        temp-file-and-rename, so a crash mid-rewrite never destroys the
+        original. Either way the finished file matches an uninterrupted
+        run's, footer wall-clock aside. Resuming an already-complete
+        canonical file is a no-op.
+
+        ``WorkerError`` failures — a worker process dying, an
+        environment accident rather than a property of the run — are
+        *not* kept: their cells re-execute (see
+        :meth:`CampaignResult.resume_cache`). Deterministic failures
+        keep their summaries.
+
+        Args:
+            path: a schema-1 or schema-2 campaign JSONL file.
+            progress: called per newly executed run with
+                ``(done, remaining_total, summary)``.
+            partial: the already-loaded contents of ``path``, to skip
+                re-reading the file (the CLI loads it for its banner).
+
+        Returns:
+            The completed result (the file's summaries plus the
+            freshly executed remainder).
+        """
+        from repro.batch.results import SCHEMA_VERSION
+
+        if partial is None:
+            partial = CampaignResult.load_jsonl(path)
+        canonical = (
+            partial.source_schema == SCHEMA_VERSION
+            and not partial.source_torn
+        )
+        cached = partial.resume_cache()
+        retrying = len(cached) < len(partial.summaries)
+        if (
+            partial.is_complete
+            and canonical
+            and partial.source_footer
+            and not retrying
+        ):
+            return partial
+        expected = partial.expected_runs()
+        prefix = {spec.index for spec in expected[: len(cached)]}
+        appendable = (
+            canonical
+            and not partial.source_footer
+            and not retrying  # stale WorkerError lines need purging
+            and prefix == set(cached)
+        )
+        if appendable:
+            # The normal kill case: the file is a clean schema-2 prefix
+            # of the expected order — continue it in place. (A complete
+            # but footer-less file lands here too: zero runs execute
+            # and only the footer is appended.)
+            writer = CampaignWriter.append_to(path)
         else:
-            summaries = self._run_parallel(specs, progress)
-        elapsed = time.perf_counter() - started
+            # Schema-1, torn-tail, out-of-order, or otherwise
+            # non-canonical partials are rewritten in schema-2 order —
+            # atomically, so a crash mid-rewrite cannot destroy the
+            # completed runs the original file holds.
+            writer = CampaignWriter.create(
+                path, partial.campaign, shard=partial.shard, atomic=True
+            )
+        return self._execute(
+            partial.campaign,
+            expected,
+            cached=cached,
+            writer=writer,
+            shard=partial.shard,
+            progress=progress,
+            rewrite=not appendable,
+        )
+
+    def _execute(
+        self,
+        campaign: Campaign,
+        specs: Sequence[RunSpec],
+        cached: dict[int, RunSummary],
+        writer: CampaignWriter | None,
+        shard: tuple[int, int] | None,
+        progress: ProgressHook | None,
+        rewrite: bool = False,
+    ) -> CampaignResult:
+        todo = [spec for spec in specs if spec.index not in cached]
+        sequence = (
+            [spec.index for spec in specs]
+            if rewrite
+            else [spec.index for spec in todo]
+        )
+        sink = _OrderedSink(sequence, writer)
+        started = time.perf_counter()
+        try:
+            if rewrite:
+                for summary in cached.values():
+                    sink.push(summary)
+            if self.workers == 1:
+                fresh = self._run_sequential(todo, progress, sink)
+            else:
+                fresh = self._run_parallel(todo, progress, sink)
+            elapsed = time.perf_counter() - started
+            if writer is not None:
+                writer.finish(workers=self.workers, elapsed=elapsed)
+        finally:
+            if writer is not None:
+                writer.close()
         return CampaignResult(
             campaign=campaign,
-            summaries=summaries,
+            summaries=list(cached.values()) + fresh,
             workers=self.workers,
             elapsed=elapsed,
+            shard=shard,
         )
 
     def _run_sequential(
-        self, specs: list[RunSpec], progress: ProgressHook | None
+        self,
+        specs: list[RunSpec],
+        progress: ProgressHook | None,
+        sink: _OrderedSink,
     ) -> list[RunSummary]:
-        summaries = []
-        for spec in specs:
-            summary = execute_run(spec)
-            summaries.append(summary)
-            if progress is not None:
-                progress(len(summaries), len(specs), summary)
+        summaries: list[RunSummary] = []
+        for cell in _group_cells(specs):
+            for summary in execute_cell(cell):
+                summaries.append(summary)
+                sink.push(summary)
+                if progress is not None:
+                    progress(len(summaries), len(specs), summary)
         return summaries
 
     def _run_parallel(
-        self, specs: list[RunSpec], progress: ProgressHook | None
+        self,
+        specs: list[RunSpec],
+        progress: ProgressHook | None,
+        sink: _OrderedSink,
     ) -> list[RunSummary]:
         summaries: list[RunSummary] = []
-        queue = list(reversed(specs))
-        pending = {}
+        queue = list(reversed(_group_cells(specs)))
+        pending: dict = {}
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             while queue or pending:
                 while queue and len(pending) < self.max_pending:
-                    spec = queue.pop()
-                    pending[pool.submit(execute_run, spec)] = spec
+                    cell = queue.pop()
+                    pending[pool.submit(execute_cell, cell)] = cell
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    spec = pending.pop(future)
-                    summaries.append(self._collect(future, spec))
-                    if progress is not None:
-                        progress(len(summaries), len(specs), summaries[-1])
+                    cell = pending.pop(future)
+                    for summary in self._collect(future, cell):
+                        summaries.append(summary)
+                        sink.push(summary)
+                        if progress is not None:
+                            progress(len(summaries), len(specs), summary)
         return summaries
 
-    def _collect(self, future, spec: RunSpec) -> RunSummary:
+    def _collect(self, future, cell: list[RunSpec]) -> list[RunSummary]:
         try:
             return future.result()
         except Exception:  # noqa: BLE001 - e.g. a worker killed mid-run
-            return RunSummary(
-                index=spec.index,
-                scenario=spec.scenario,
-                seed=spec.seed,
-                fpr=spec.fpr,
-                variant=spec.variant,
-                collided=False,
-                error="WorkerError: " + traceback.format_exc(limit=1).strip(),
-            )
+            error = "WorkerError: " + traceback.format_exc(limit=1).strip()
+            return [_failure_summary(spec, error) for spec in cell]

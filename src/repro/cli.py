@@ -5,8 +5,12 @@ Commands:
 * ``run <scenario>`` — one closed-loop run + offline Zhuyi evaluation.
 * ``mrf <scenario>`` — minimum-required-FPR search.
 * ``sweep [gap]`` — Figure 8 style sensitivity heatmap.
-* ``campaign [scenarios ...]`` — batch scenario x seed x FPR sweep.
+* ``campaign [scenarios ...]`` — batch scenario x seed x FPR sweep,
+  with streaming ``--out``, ``--resume`` and ``--shard I/N``.
+* ``campaign-merge <parts ...>`` — recombine shard JSONL files.
 * ``scenarios`` — list the catalog.
+
+See docs/CAMPAIGNS.md for campaign workflows and exit codes.
 """
 
 from __future__ import annotations
@@ -84,37 +88,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.batch import (
-        Campaign,
-        CampaignRunner,
-        render_campaign_table,
-        summarize_failures,
-    )
-    from repro.scenarios.catalog import SCENARIOS, speed_sweep
-
-    if args.expand_speeds:
-        added = speed_sweep()
-        print(f"speed sweep: {len(added)} variant scenario(s) registered")
-    scenarios = tuple(args.scenarios) if args.scenarios else tuple(SCENARIOS)
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``I/N`` (e.g. ``2/8``) into a (shard index, count) pair."""
     try:
-        campaign = Campaign(
-            scenarios=scenarios,
-            seeds=tuple(range(args.seeds)),
-            fprs=tuple(float(x) for x in args.fprs.split(",")),
-            stride=args.stride,
-        )
-        runner = CampaignRunner(workers=args.workers)
-    except (ConfigurationError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        index, count = text.split("/", 1)
+        return int(index), int(count)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"--shard wants I/N (e.g. 2/8), got {text!r}"
+        ) from exc
 
-    print(
-        f"Campaign: {len(campaign.scenarios)} scenario(s) x "
-        f"{len(campaign.seeds)} seed(s) x {len(campaign.fprs)} FPR(s) = "
-        f"{campaign.size} runs with {args.workers} worker(s) ..."
-    )
 
+def _campaign_progress(args: argparse.Namespace):
     def progress(done: int, total: int, summary) -> None:
         if args.quiet:
             return
@@ -128,21 +113,166 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"fpr={summary.fpr:g}: {outcome}"
         )
 
-    result = runner.run(campaign, progress)
-    print(render_campaign_table(result))
+    return progress
+
+
+def _print_campaign_result(
+    result, render, summarize_failures, executed: int | None = None
+) -> int:
+    """Print the table and summary line; returns the exit code.
+
+    ``executed`` is how many runs this invocation actually ran (resume
+    reuses cached summaries, so the wall clock only covers the fresh
+    ones); defaults to all of them.
+    """
+    print(render(result))
+    if executed is None:
+        executed = len(result)
+    note = "" if executed == len(result) else f" ({executed} executed)"
     print(
-        f"{len(result)} runs in {result.elapsed:.1f} s "
-        f"({result.elapsed / max(len(result), 1):.2f} s/run, "
+        f"{len(result)} runs{note} in {result.elapsed:.1f} s "
+        f"({result.elapsed / max(executed, 1):.2f} s/run, "
         f"{result.workers} worker(s)); "
         f"{len(result.collisions())} collision(s)"
     )
     failures = summarize_failures(result)
     if failures:
         print(failures, file=sys.stderr)
-    if args.out:
-        result.save_jsonl(args.out)
-        print(f"campaign written to {args.out}")
     return 1 if result.failures() else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.batch import (
+        Campaign,
+        CampaignResult,
+        CampaignRunner,
+        render_campaign_table,
+        summarize_failures,
+    )
+    from repro.errors import TraceError
+    from repro.scenarios.catalog import SCENARIOS, speed_sweep
+
+    if args.expand_speeds:
+        added = speed_sweep()
+        print(f"speed sweep: {len(added)} variant scenario(s) registered")
+
+    if args.resume:
+        parser_defaults = build_parser().parse_args(["campaign"])
+        grid_flags_given = (
+            args.seeds != parser_defaults.seeds
+            or args.fprs != parser_defaults.fprs
+            or args.stride != parser_defaults.stride
+        )
+        if args.scenarios or args.shard or args.out or grid_flags_given:
+            print(
+                "error: --resume takes the whole grid (scenarios, "
+                "seeds, FPRs, stride, shard) and the output path from "
+                "the existing file; drop those arguments",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            runner = CampaignRunner(workers=args.workers)
+            partial = CampaignResult.load_jsonl(args.resume)
+            reusable = len(partial.resume_cache())
+            todo = len(partial.expected_runs()) - reusable
+            print(
+                f"Resuming {args.resume}: {reusable} of "
+                f"{len(partial.expected_runs())} runs already recorded, "
+                f"{todo} to go with {args.workers} worker(s) ..."
+            )
+            result = runner.resume(
+                args.resume, _campaign_progress(args), partial=partial
+            )
+        except (ConfigurationError, TraceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        code = _print_campaign_result(
+            result, render_campaign_table, summarize_failures, executed=todo
+        )
+        print(f"campaign written to {args.resume}")
+        return code
+
+    scenarios = tuple(args.scenarios) if args.scenarios else tuple(SCENARIOS)
+    try:
+        shard = _parse_shard(args.shard) if args.shard else None
+        campaign = Campaign(
+            scenarios=scenarios,
+            seeds=tuple(range(args.seeds)),
+            fprs=tuple(float(x) for x in args.fprs.split(",")),
+            stride=args.stride,
+        )
+        # Validates the shard index/count before any run executes.
+        total = (
+            campaign.size if shard is None else len(campaign.shard(*shard))
+        )
+        runner = CampaignRunner(workers=args.workers)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    shard_note = "" if shard is None else f" (shard {shard[0]}/{shard[1]})"
+    print(
+        f"Campaign: {len(campaign.scenarios)} scenario(s) x "
+        f"{len(campaign.seeds)} seed(s) x {len(campaign.fprs)} FPR(s) = "
+        f"{campaign.size} runs{shard_note}, {total} to execute "
+        f"with {args.workers} worker(s) ..."
+    )
+
+    try:
+        result = runner.run(
+            campaign, _campaign_progress(args), out=args.out, shard=shard
+        )
+    except OSError as exc:
+        if args.out is None:
+            raise  # not an output-file problem; don't misattribute it
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    code = _print_campaign_result(
+        result, render_campaign_table, summarize_failures
+    )
+    if args.out:
+        print(f"campaign written to {args.out}")
+    return code
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.batch import (
+        CampaignResult,
+        render_campaign_table,
+        summarize_failures,
+    )
+    from repro.errors import TraceError
+
+    try:
+        parts = [CampaignResult.load_jsonl(path) for path in args.parts]
+        merged = CampaignResult.merge(parts)
+    except (ConfigurationError, TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Merged {len(parts)} part(s): {len(merged)} of "
+        f"{merged.campaign.size} runs present"
+    )
+    code = _print_campaign_result(
+        merged, render_campaign_table, summarize_failures
+    )
+    if not merged.is_complete:
+        missing = [spec.index for spec in merged.missing_runs()]
+        print(
+            f"incomplete merge: {len(missing)} run(s) missing "
+            f"(indices {missing[:10]}{'...' if len(missing) > 10 else ''})",
+            file=sys.stderr,
+        )
+        code = max(code, 1)
+    if args.out:
+        try:
+            merged.save_jsonl(args.out)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"merged campaign written to {args.out}")
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,7 +323,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--stride", type=float, default=0.05, help="evaluation stride (s)"
     )
     campaign.add_argument(
-        "--out", default=None, metavar="PATH", help="write results as JSONL"
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="stream results to a JSONL file as runs finish",
+    )
+    campaign.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="finish a partial campaign JSONL in place (grid comes "
+        "from the file; incompatible with scenario/--shard/--out)",
+    )
+    campaign.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only shard I of N (e.g. 2/8); merge parts later "
+        "with campaign-merge",
     )
     campaign.add_argument(
         "--expand-speeds",
@@ -202,6 +349,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
+    merge = sub.add_parser(
+        "campaign-merge",
+        help="merge campaign shard JSONL parts into one result",
+    )
+    merge.add_argument(
+        "parts", nargs="+", metavar="PART", help="shard JSONL files"
+    )
+    merge.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the merged result as JSONL",
     )
 
     return parser
@@ -215,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "mrf": _cmd_mrf,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "campaign-merge": _cmd_campaign_merge,
     }
     return handlers[args.command](args)
 

@@ -38,7 +38,13 @@ from repro.core.aggregation import (
     PercentileAggregator,
 )
 from repro.core.fpr import CameraEstimate, fpr_from_latency, estimate_camera_fprs
-from repro.core.evaluator import OfflineEvaluator, EvaluationSeries, EvaluationTick
+from repro.core.evaluator import (
+    EvaluationSeries,
+    EvaluationTick,
+    OfflineEvaluator,
+    TraceSamples,
+    presample_trace,
+)
 from repro.core.online import OnlineEstimator
 from repro.core.compute import ComputeDemandModel
 
@@ -66,6 +72,8 @@ __all__ = [
     "OfflineEvaluator",
     "EvaluationSeries",
     "EvaluationTick",
+    "TraceSamples",
+    "presample_trace",
     "OnlineEstimator",
     "ComputeDemandModel",
 ]

@@ -119,6 +119,72 @@ class EvaluationSeries:
         return self.max_total_fpr(cameras) / (provisioned_fpr * len(cameras))
 
 
+@dataclass(frozen=True)
+class TraceSamples:
+    """Stride-aligned trajectory samples of one trace.
+
+    Everything here is a pure function of (trace, stride) — the Zhuyi
+    constants never enter the sampling — so one :class:`TraceSamples`
+    can be shared across every ``ZhuyiParams`` variant evaluated on the
+    same trace (the batch campaign's cross-variant cache). Build with
+    :func:`presample_trace`; feed to :meth:`OfflineEvaluator.evaluate`
+    via its ``samples`` argument.
+
+    Attributes:
+        stride: evaluation period the samples were taken at (seconds).
+        times: the tick timestamps, ``start + i * stride``.
+        ego_states: ego state at each tick (one batched interpolation).
+        actor_states: per-actor states at each tick.
+        actor_trajectories: the full interpolated trajectories, still
+            needed by the threat assessor for future lookups.
+    """
+
+    stride: float
+    times: np.ndarray
+    ego_states: Sequence
+    actor_states: Mapping[str, Sequence]
+    actor_trajectories: Mapping[str, object]
+
+
+def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
+    """Sample every trajectory of a trace once at the evaluation stride.
+
+    Tick times are computed as ``start + i * stride`` rather than by
+    accumulating ``t0 += stride``: repeated float addition drifts, which
+    on long traces (or near-multiple durations) skips or duplicates the
+    final tick. Each vehicle is interpolated in one vectorized call
+    instead of a bisect-based ``state_at`` per tick.
+
+    Args:
+        trace: the recorded closed-loop run.
+        stride: evaluation period along the trace (seconds, positive).
+
+    Returns:
+        A :class:`TraceSamples` reusable by any parameter variant.
+    """
+    if stride <= 0.0:
+        raise EstimationError(f"stride must be positive, got {stride}")
+    ego_trajectory = trace.ego_trajectory()
+    actor_trajectories = {
+        actor_id: trace.actor_trajectory(actor_id)
+        for actor_id in trace.actor_ids()
+    }
+    start = trace.steps[0].time
+    end = trace.steps[-1].time
+    count = int(np.floor((end - start) / stride + 1e-9)) + 1
+    times = start + stride * np.arange(count)
+    return TraceSamples(
+        stride=stride,
+        times=times,
+        ego_states=ego_trajectory.sample_states(times),
+        actor_states={
+            actor_id: trajectory.sample_states(times)
+            for actor_id, trajectory in actor_trajectories.items()
+        },
+        actor_trajectories=actor_trajectories,
+    )
+
+
 @dataclass
 class OfflineEvaluator:
     """Runs the Zhuyi model over a recorded scenario trace.
@@ -148,12 +214,24 @@ class OfflineEvaluator:
             self.search = LatencySearch(params=self.params)
 
     def evaluate(
-        self, trace: ScenarioTrace, l0: float | None = None
+        self,
+        trace: ScenarioTrace,
+        l0: float | None = None,
+        samples: TraceSamples | None = None,
     ) -> EvaluationSeries:
         """Evaluate a full trace.
 
-        ``l0`` (the run's processing latency, entering ``alpha``) defaults
-        to one frame period of the trace's recorded FPR setting.
+        Args:
+            trace: the recorded closed-loop run.
+            l0: the run's processing latency (entering ``alpha``);
+                defaults to one frame period of the trace's recorded
+                FPR setting.
+            samples: pre-built :func:`presample_trace` output to reuse
+                (the cross-variant cache); its stride must match the
+                evaluator's. Omitted, the trace is sampled here.
+
+        Returns:
+            The per-camera FPR series over the trace.
         """
         if l0 is None:
             if trace.nominal_fpr is None:
@@ -162,30 +240,19 @@ class OfflineEvaluator:
                 )
             l0 = 1.0 / trace.nominal_fpr
 
+        if samples is None:
+            samples = presample_trace(trace, self.stride)
+        elif abs(samples.stride - self.stride) > 1e-12:
+            raise EstimationError(
+                f"presampled stride {samples.stride} does not match "
+                f"evaluator stride {self.stride}"
+            )
+
         assessor = ThreatAssessor(params=self.params, road=self.road)
-        ego_trajectory = trace.ego_trajectory()
-        actor_trajectories = {
-            actor_id: trace.actor_trajectory(actor_id)
-            for actor_id in trace.actor_ids()
-        }
-
-        # Tick times are computed as start + i * stride rather than by
-        # accumulating ``t0 += stride``: repeated float addition drifts,
-        # which on long traces (or near-multiple durations) skips or
-        # duplicates the final tick.
-        start = trace.steps[0].time
-        end = trace.steps[-1].time
-        count = int(np.floor((end - start) / self.stride + 1e-9)) + 1
-        times = start + self.stride * np.arange(count)
-
-        # Presample every trajectory once at the evaluation stride — one
-        # vectorized interpolation per vehicle instead of a bisect-based
-        # ``state_at`` per vehicle per tick (the batch campaign hot path).
-        ego_states = ego_trajectory.sample_states(times)
-        actor_states = {
-            actor_id: trajectory.sample_states(times)
-            for actor_id, trajectory in actor_trajectories.items()
-        }
+        times = samples.times
+        ego_states = samples.ego_states
+        actor_states = samples.actor_states
+        actor_trajectories = samples.actor_trajectories
 
         ticks = [
             self._evaluate_tick(
@@ -197,7 +264,7 @@ class OfflineEvaluator:
                 assessor,
                 l0,
             )
-            for i in range(count)
+            for i in range(len(times))
         ]
         return EvaluationSeries(
             scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0

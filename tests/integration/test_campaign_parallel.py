@@ -43,15 +43,18 @@ class TestParallelParity:
     def test_jsonl_run_lines_byte_identical(
         self, sequential, parallel, tmp_path
     ):
-        # The header records worker count and wall time (which differ by
-        # construction); every run line must match byte for byte.
+        # The footer records worker count and wall time (which differ by
+        # construction); the header and every run line must match byte
+        # for byte.
         seq_path = tmp_path / "seq.jsonl"
         par_path = tmp_path / "par.jsonl"
         sequential.save_jsonl(seq_path)
         parallel.save_jsonl(par_path)
-        seq_runs = seq_path.read_text().splitlines()[1:]
-        par_runs = par_path.read_text().splitlines()[1:]
-        assert seq_runs == par_runs
+        seq_lines = seq_path.read_text().splitlines()
+        par_lines = par_path.read_text().splitlines()
+        assert seq_lines[:-1] == par_lines[:-1]
+        assert json.loads(seq_lines[-1])["kind"] == "completed"
+        assert json.loads(par_lines[-1])["kind"] == "completed"
 
     def test_grid_fully_covered(self, parallel, parity_campaign):
         cells = {

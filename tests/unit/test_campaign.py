@@ -131,6 +131,122 @@ class TestCampaignSpec:
         assert Campaign.from_dict(campaign.to_dict()) == campaign
 
 
+class TestShardPartition:
+    def campaign(self) -> Campaign:
+        return Campaign(
+            scenarios=("cut_out", "cut_in"),
+            seeds=(0, 1),
+            fprs=(5.0, 30.0),
+            variants=(
+                ParamVariant("default"),
+                ParamVariant("strict", ZhuyiParams(c1=0.8)),
+            ),
+        )
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_union_of_shards_is_full_grid(self, count):
+        campaign = self.campaign()
+        indices = []
+        for index in range(count):
+            indices.extend(spec.index for spec in campaign.shard(index, count))
+        # Union covers every run, no overlaps, regardless of shard count.
+        assert sorted(indices) == [spec.index for spec in campaign.runs()]
+        assert len(indices) == len(set(indices))
+
+    def test_shards_keep_variants_together(self):
+        # All variants of a (scenario, seed, fpr) cell stay on one
+        # shard — the cross-variant trace cache survives sharding.
+        campaign = self.campaign()
+        for count in (2, 3):
+            for index in range(count):
+                cells: dict[tuple, int] = {}
+                for spec in campaign.shard(index, count):
+                    key = (spec.scenario, spec.seed, spec.fpr)
+                    cells[key] = cells.get(key, 0) + 1
+                assert all(n == len(campaign.variants) for n in cells.values())
+
+    def test_shard_specs_match_full_grid_specs(self):
+        campaign = self.campaign()
+        by_index = {spec.index: spec for spec in campaign.runs()}
+        for spec in campaign.shard(1, 3):
+            assert spec == by_index[spec.index]
+
+    def test_single_shard_is_whole_grid(self):
+        campaign = self.campaign()
+        assert campaign.shard(0, 1) == campaign.runs()
+
+    def test_shard_validation(self):
+        campaign = self.campaign()
+        with pytest.raises(ConfigurationError):
+            campaign.shard(0, 0)
+        with pytest.raises(ConfigurationError):
+            campaign.shard(2, 2 + campaign.size)  # more shards than cells
+        with pytest.raises(ConfigurationError):
+            campaign.shard(3, 3)
+        with pytest.raises(ConfigurationError):
+            campaign.shard(-1, 3)
+
+
+class TestMerge:
+    def campaign(self) -> Campaign:
+        return Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(30.0,))
+
+    def test_merge_unions_shard_summaries(self):
+        campaign = self.campaign()
+        part0 = CampaignResult(
+            campaign, [summary(0, seed=0)], workers=2, elapsed=1.0,
+            shard=(0, 2),
+        )
+        part1 = CampaignResult(
+            campaign, [summary(1, seed=1)], workers=4, elapsed=2.0,
+            shard=(1, 2),
+        )
+        merged = CampaignResult.merge([part1, part0])
+        assert [s.index for s in merged.summaries] == [0, 1]
+        assert merged.is_complete
+        assert merged.shard is None
+        assert merged.elapsed == pytest.approx(3.0)
+        assert merged.workers == 4
+
+    def test_merge_rejects_mismatched_grids(self):
+        other = Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(5.0,))
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge(
+                [
+                    CampaignResult(self.campaign(), [summary(0)]),
+                    CampaignResult(other, [summary(1, seed=1, fpr=5.0)]),
+                ]
+            )
+
+    def test_merge_rejects_overlapping_indices(self):
+        campaign = self.campaign()
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge(
+                [
+                    CampaignResult(campaign, [summary(0)]),
+                    CampaignResult(campaign, [summary(0)]),
+                ]
+            )
+
+    def test_merge_rejects_out_of_grid_index(self):
+        campaign = self.campaign()
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge(
+                [CampaignResult(campaign, [summary(99, seed=1)])]
+            )
+
+    def test_merge_rejects_nothing(self):
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge([])
+
+    def test_partial_merge_reports_missing(self):
+        merged = CampaignResult.merge(
+            [CampaignResult(self.campaign(), [summary(0)])]
+        )
+        assert not merged.is_complete
+        assert [spec.index for spec in merged.missing_runs()] == [1]
+
+
 class TestResultStore:
     def campaign(self) -> Campaign:
         return Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(30.0,))
@@ -195,6 +311,159 @@ class TestResultStore:
         notjson.write_text("{nope\n")
         with pytest.raises(TraceError):
             CampaignResult.load_jsonl(notjson)
+        badschema = tmp_path / "badschema.jsonl"
+        badschema.write_text(
+            json.dumps({"kind": "campaign", "schema": 99, "grid": {}}) + "\n"
+        )
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(badschema)
+
+    def test_complete_file_has_footer_with_metadata(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        CampaignResult(
+            self.campaign(),
+            [summary(0, seed=0), summary(1, seed=1)],
+            workers=3,
+            elapsed=2.5,
+        ).save_jsonl(path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["kind"] == "campaign"
+        assert records[0]["schema"] == 2
+        assert "workers" not in records[0]  # moved to the footer
+        assert records[-1] == {
+            "kind": "completed", "workers": 3, "elapsed": 2.5,
+        }
+
+    def test_partial_file_has_no_footer_and_reports_missing(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        CampaignResult(self.campaign(), [summary(0, seed=0)]).save_jsonl(path)
+        kinds = [
+            json.loads(line)["kind"]
+            for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["campaign", "run"]
+        loaded = CampaignResult.load_jsonl(path)
+        assert not loaded.is_complete
+        assert [spec.index for spec in loaded.missing_runs()] == [1]
+
+    def test_shard_tag_round_trip(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        CampaignResult(
+            self.campaign(), [summary(0, seed=0)], shard=(0, 2)
+        ).save_jsonl(path)
+        loaded = CampaignResult.load_jsonl(path)
+        assert loaded.shard == (0, 2)
+        # Shard 0 of 2 owns only run 0, so this file is complete.
+        assert loaded.is_complete
+
+    def test_schema1_file_still_loads(self, tmp_path):
+        # A PR-1 era file: workers/elapsed in the header, no footer.
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "kind": "campaign",
+                    "schema": 1,
+                    "workers": 2,
+                    "elapsed": 1.5,
+                    "grid": self.campaign().to_dict(),
+                }
+            ),
+            json.dumps({"kind": "run", **summary(0, seed=0).to_dict()}),
+            json.dumps({"kind": "run", **summary(1, seed=1).to_dict()}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        loaded = CampaignResult.load_jsonl(path)
+        assert loaded.workers == 2
+        assert loaded.elapsed == pytest.approx(1.5)
+        assert loaded.is_complete
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        # A SIGKILL can land mid-write; the torn trailing line must not
+        # poison the file — that run just counts as missing.
+        path = tmp_path / "torn.jsonl"
+        CampaignResult(
+            self.campaign(), [summary(0, seed=0), summary(1, seed=1)]
+        ).save_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+        loaded = CampaignResult.load_jsonl(path)
+        assert [s.index for s in loaded.summaries] == [0]
+        assert [spec.index for spec in loaded.missing_runs()] == [1]
+
+    def test_torn_header_or_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        CampaignResult(
+            self.campaign(), [summary(0, seed=0), summary(1, seed=1)]
+        ).save_jsonl(path)
+        lines = path.read_text().splitlines()
+        # Corrupt a *middle* line: that is damage, not a torn tail.
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(path)
+        # A torn header (single-line file) is unrecoverable too.
+        path.write_text('{"kind": "campa')
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(path)
+
+    def test_newline_terminated_corrupt_final_line_raises(self, tmp_path):
+        # The writer emits line+newline in one write, so a malformed
+        # final line that still ends in a newline is disk corruption
+        # or a bad edit — not a torn kill tail — and must be fatal.
+        path = tmp_path / "corrupt_tail.jsonl"
+        CampaignResult(
+            self.campaign(), [summary(0, seed=0), summary(1, seed=1)]
+        ).save_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            CampaignResult.load_jsonl(path)
+
+    def test_load_records_source_schema_and_footer(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = CampaignResult(
+            self.campaign(), [summary(0, seed=0), summary(1, seed=1)]
+        )
+        result.save_jsonl(path)
+        loaded = CampaignResult.load_jsonl(path)
+        assert loaded.source_schema == 2
+        assert loaded.source_footer is True
+        assert result.source_schema is None  # never touched disk
+
+    def test_atomic_writer_commits_only_on_finish(self, tmp_path):
+        from repro.batch import CampaignWriter
+
+        path = tmp_path / "campaign.jsonl"
+        path.write_text("precious original\n")
+        # Abandoned rewrite: original untouched, temp cleaned up.
+        with CampaignWriter.create(path, self.campaign(), atomic=True) as w:
+            w.write(summary(0, seed=0))
+        assert path.read_text() == "precious original\n"
+        assert not list(tmp_path.glob("*.tmp"))
+        # Finished rewrite: renamed over the original.
+        with CampaignWriter.create(path, self.campaign(), atomic=True) as w:
+            w.write(summary(0, seed=0))
+            w.write(summary(1, seed=1))
+            w.finish(workers=1, elapsed=0.5)
+        assert CampaignResult.load_jsonl(path).is_complete
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_writer_streams_each_line(self, tmp_path):
+        from repro.batch import CampaignWriter
+
+        path = tmp_path / "stream.jsonl"
+        with CampaignWriter.create(path, self.campaign()) as writer:
+            # Header is on disk before any run completes.
+            assert len(path.read_text().splitlines()) == 1
+            writer.write(summary(0, seed=0))
+            assert len(path.read_text().splitlines()) == 2
+        # Closed without finish(): no footer, loadable, resumable.
+        loaded = CampaignResult.load_jsonl(path)
+        assert len(loaded) == 1 and not loaded.is_complete
 
 
 class TestAggregation:

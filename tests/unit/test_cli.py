@@ -35,7 +35,27 @@ class TestParser:
         assert args.workers == 1
         assert args.stride == 0.05
         assert args.out is None
+        assert args.resume is None
+        assert args.shard is None
         assert not args.expand_speeds
+
+    def test_campaign_resume_and_shard_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--resume", "campaign.jsonl"]
+        )
+        assert args.resume == "campaign.jsonl"
+        args = build_parser().parse_args(["campaign", "--shard", "2/8"])
+        assert args.shard == "2/8"
+
+    def test_campaign_merge_parser(self):
+        args = build_parser().parse_args(
+            ["campaign-merge", "a.jsonl", "b.jsonl", "--out", "m.jsonl"]
+        )
+        assert args.command == "campaign-merge"
+        assert args.parts == ["a.jsonl", "b.jsonl"]
+        assert args.out == "m.jsonl"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign-merge"])  # needs parts
 
     def test_campaign_grid_flags(self):
         args = build_parser().parse_args(
@@ -89,6 +109,42 @@ class TestCampaignCommand:
         assert main(["campaign", "cut_in", "--fprs", "30,abc"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_malformed_shard_exits_nonzero(self, capsys):
+        assert main(["campaign", "cut_in", "--shard", "nope"]) == 2
+        assert "--shard wants I/N" in capsys.readouterr().err
+
+    def test_out_of_range_shard_exits_nonzero(self, capsys):
+        assert main(["campaign", "cut_in", "--shard", "5/5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_conflicts_exit_nonzero(self, capsys):
+        assert main(["campaign", "cut_in", "--resume", "x.jsonl"]) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert (
+            main(["campaign", "--resume", "x.jsonl", "--out", "y.jsonl"]) == 2
+        )
+
+    def test_resume_rejects_silently_ignored_grid_flags(self, capsys):
+        # seeds/fprs/stride also come from the file; accepting them
+        # silently would mislead about what actually ran.
+        for flags in (["--seeds", "4"], ["--fprs", "5,30"],
+                      ["--stride", "0.1"]):
+            assert main(["campaign", "--resume", "x.jsonl", *flags]) == 2
+            assert "--resume" in capsys.readouterr().err
+
+    def test_unwritable_out_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "c.jsonl"
+        code = main(
+            ["campaign", "cut_in", "--stride", "0.5", "--out", str(target)]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_resume_missing_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "missing.jsonl"
+        assert main(["campaign", "--resume", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
     @pytest.mark.slow
     def test_campaign_jsonl_round_trip(self, tmp_path, capsys):
         from repro.batch import CampaignResult
@@ -108,3 +164,94 @@ class TestCampaignCommand:
         assert summary.scenario == "cut_in"
         assert summary.ok and not summary.collided
         assert summary.max_fpr >= 1.0
+
+
+class TestCampaignMergeCommand:
+    def _result(self, campaign, summaries, shard=None):
+        from repro.batch import CampaignResult
+
+        return CampaignResult(campaign, summaries, shard=shard)
+
+    def _summary(self, campaign, index):
+        from repro.batch import RunSummary
+
+        spec = campaign.runs()[index]
+        return RunSummary(
+            index=spec.index,
+            scenario=spec.scenario,
+            seed=spec.seed,
+            fpr=spec.fpr,
+            variant=spec.variant,
+            collided=False,
+            max_fpr=2.0,
+            max_total_fpr=4.0,
+            fraction_of_provision=4.0 / 90.0,
+            ticks=10,
+            duration=5.0,
+        )
+
+    def _campaign(self):
+        from repro.batch import Campaign
+
+        return Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(30.0,))
+
+    def test_merge_round_trip(self, tmp_path, capsys):
+        from repro.batch import CampaignResult
+
+        campaign = self._campaign()
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"part{index}.jsonl"
+            self._result(
+                campaign, [self._summary(campaign, index)], shard=(index, 2)
+            ).save_jsonl(path)
+            paths.append(str(path))
+        out = tmp_path / "merged.jsonl"
+        assert main(["campaign-merge", *paths, "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "2 of 2 runs present" in text
+        merged = CampaignResult.load_jsonl(out)
+        assert merged.is_complete and merged.shard is None
+
+    def test_merge_grid_mismatch_exits_nonzero(self, tmp_path, capsys):
+        from repro.batch import Campaign
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        campaign = self._campaign()
+        other = Campaign(scenarios=("cut_in",), seeds=(0, 1), fprs=(5.0,))
+        self._result(campaign, [self._summary(campaign, 0)]).save_jsonl(a)
+        self._result(other, [self._summary(other, 1)]).save_jsonl(b)
+        assert main(["campaign-merge", str(a), str(b)]) == 2
+        assert "different grids" in capsys.readouterr().err
+
+    def test_merge_overlap_exits_nonzero(self, tmp_path, capsys):
+        campaign = self._campaign()
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self._result(campaign, [self._summary(campaign, 0)]).save_jsonl(a)
+        self._result(campaign, [self._summary(campaign, 0)]).save_jsonl(b)
+        assert main(["campaign-merge", str(a), str(b)]) == 2
+        assert "overlapping run index" in capsys.readouterr().err
+
+    def test_incomplete_merge_exits_one(self, tmp_path, capsys):
+        campaign = self._campaign()
+        a = tmp_path / "a.jsonl"
+        self._result(campaign, [self._summary(campaign, 0)]).save_jsonl(a)
+        assert main(["campaign-merge", str(a)]) == 1
+        assert "incomplete merge" in capsys.readouterr().err
+
+    def test_merge_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["campaign-merge", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_merge_unwritable_out_exits_nonzero(self, tmp_path, capsys):
+        campaign = self._campaign()
+        a = tmp_path / "a.jsonl"
+        self._result(
+            campaign,
+            [self._summary(campaign, 0), self._summary(campaign, 1)],
+        ).save_jsonl(a)
+        target = tmp_path / "no" / "dir" / "m.jsonl"
+        assert main(["campaign-merge", str(a), "--out", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err

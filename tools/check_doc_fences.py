@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Check that documentation code fences at least parse.
+
+Walks every ``*.md`` file under ``docs/`` plus the README, extracts
+fenced code blocks tagged ``python`` or ``bash``, and validates them:
+``python`` fences must byte-compile, ``bash`` fences must pass
+``bash -n``. This keeps copy-pasteable examples honest as the CLI and
+API evolve — a renamed flag in a doc example won't parse-fail, but a
+syntax error, an unclosed quote or a half-edited snippet will.
+
+Used two ways: as the CI docs smoke job (``python tools/check_doc_fences.py``)
+and imported by ``tests/unit/test_docs.py`` so tier-1 enforces the
+same thing locally.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fence languages we know how to validate; others are ignored.
+CHECKED_LANGUAGES = ("python", "bash")
+
+_FENCE = re.compile(
+    r"^```(?P<lang>[\w+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown files whose fences are checked."""
+    files = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def extract_fences(text: str) -> list[tuple[str, int, str]]:
+    """All fenced blocks as (language, start line, body) triples."""
+    fences = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        fences.append((match.group("lang"), line, match.group("body")))
+    return fences
+
+
+def check_fence(lang: str, body: str) -> str | None:
+    """Validate one fence body; returns an error message or ``None``."""
+    if lang == "python":
+        try:
+            compile(body, "<fence>", "exec")
+        except SyntaxError as exc:
+            return f"python fence does not compile: {exc}"
+        return None
+    if lang == "bash":
+        proc = subprocess.run(
+            ["bash", "-n"],
+            input=body,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            return f"bash -n failed: {proc.stderr.strip()}"
+        return None
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    """All fence errors in one markdown file."""
+    errors = []
+    checked = 0
+    for lang, line, body in extract_fences(path.read_text()):
+        if lang not in CHECKED_LANGUAGES:
+            continue
+        checked += 1
+        error = check_fence(lang, body)
+        if error:
+            errors.append(f"{path.relative_to(REPO_ROOT)}:{line}: {error}")
+    if not errors:
+        print(f"  {path.relative_to(REPO_ROOT)}: {checked} fence(s) ok")
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    print(f"checking {len(files)} documentation file(s):")
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
