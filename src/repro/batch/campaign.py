@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
+from repro.core.latency import BACKENDS
 from repro.core.parameters import ZhuyiParams
 from repro.errors import ConfigurationError
 from repro.perception.sensor import ANALYZED_CAMERAS
@@ -55,6 +56,7 @@ class RunSpec:
     stride: float
     provisioned_fpr: float
     cameras: tuple[str, ...]
+    backend: str = "batched"
 
     def resolved_params(self) -> ZhuyiParams:
         """The Zhuyi constants for this run."""
@@ -82,6 +84,9 @@ class Campaign:
         stride: offline evaluation stride (seconds).
         provisioned_fpr: per-camera provision for the fraction column.
         cameras: cameras entering the total-demand summaries.
+        backend: latency-solver backend every run evaluates with
+            (``"batched"`` array kernel or the ``"scalar"`` reference
+            loop — summaries are byte-identical either way).
     """
 
     scenarios: tuple[str, ...]
@@ -91,6 +96,7 @@ class Campaign:
     stride: float = 0.05
     provisioned_fpr: float = 30.0
     cameras: tuple[str, ...] = ANALYZED_CAMERAS
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         from repro.scenarios.catalog import SCENARIOS, ensure_scenario
@@ -123,6 +129,10 @@ class Campaign:
             raise ConfigurationError(f"stride must be positive, got {self.stride}")
         if self.provisioned_fpr <= 0.0:
             raise ConfigurationError("provisioned FPR must be positive")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
 
     @property
     def size(self) -> int:
@@ -159,6 +169,7 @@ class Campaign:
                                 stride=self.stride,
                                 provisioned_fpr=self.provisioned_fpr,
                                 cameras=tuple(self.cameras),
+                                backend=self.backend,
                             )
                         )
         return specs
@@ -230,6 +241,7 @@ class Campaign:
             "stride": self.stride,
             "provisioned_fpr": self.provisioned_fpr,
             "cameras": list(self.cameras),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -253,6 +265,10 @@ class Campaign:
             stride=float(data["stride"]),
             provisioned_fpr=float(data["provisioned_fpr"]),
             cameras=tuple(data["cameras"]),
+            # Headers written before the backend selector existed ran
+            # the only solver there was — the scalar loop's equal-output
+            # successor — so default to it.
+            backend=data.get("backend", "batched"),
         )
 
 

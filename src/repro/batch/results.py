@@ -190,19 +190,26 @@ class CampaignResult:
         """True when every expected run has a summary."""
         return not self.missing_runs()
 
-    def resume_cache(self) -> dict[int, RunSummary]:
+    def resume_cache(self, retry_failed: bool = False) -> dict[int, RunSummary]:
         """The summaries a resume may reuse, keyed by grid index.
 
         Everything except ``WorkerError`` failures: those record a
         worker process dying (OOM kill, crash), an environment accident
         rather than a function of the run spec, so resume re-executes
         them. Deterministic failures (the run itself raising) keep
-        their summaries — re-running them would reproduce the error.
+        their summaries — re-running them would reproduce the error —
+        unless ``retry_failed`` forces them back into the queue (the
+        escape hatch for failures that were environmental after all, or
+        that a code fix has since cured).
         """
         return {
             summary.index: summary
             for summary in self.summaries
-            if not (summary.error or "").startswith("WorkerError")
+            if summary.ok
+            or (
+                not retry_failed
+                and not (summary.error or "").startswith("WorkerError")
+            )
         }
 
     # ------------------------------------------------------------------

@@ -119,6 +119,7 @@ def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
                 params=spec.resolved_params(),
                 road=built.road,
                 stride=spec.stride,
+                backend=spec.backend,
             )
             series = evaluator.evaluate(trace, samples=samples)
             summaries.append(
@@ -284,6 +285,7 @@ class CampaignRunner:
         progress: ProgressHook | None = None,
         *,
         partial: CampaignResult | None = None,
+        retry_failed: bool = False,
     ) -> CampaignResult:
         """Finish a partial campaign JSONL file in place.
 
@@ -303,7 +305,7 @@ class CampaignRunner:
         environment accident rather than a property of the run — are
         *not* kept: their cells re-execute (see
         :meth:`CampaignResult.resume_cache`). Deterministic failures
-        keep their summaries.
+        keep their summaries unless ``retry_failed`` purges them too.
 
         Args:
             path: a schema-1 or schema-2 campaign JSONL file.
@@ -311,6 +313,11 @@ class CampaignRunner:
                 ``(done, remaining_total, summary)``.
             partial: the already-loaded contents of ``path``, to skip
                 re-reading the file (the CLI loads it for its banner).
+            retry_failed: also re-execute deterministic ``error``
+                summaries (``repro campaign --resume --retry-failed``) —
+                on top of the always-on ``WorkerError`` auto-retry.
+                Works on completed files too: the errored cells re-run
+                and the file is rewritten canonically.
 
         Returns:
             The completed result (the file's summaries plus the
@@ -324,7 +331,7 @@ class CampaignRunner:
             partial.source_schema == SCHEMA_VERSION
             and not partial.source_torn
         )
-        cached = partial.resume_cache()
+        cached = partial.resume_cache(retry_failed=retry_failed)
         retrying = len(cached) < len(partial.summaries)
         if (
             partial.is_complete

@@ -156,25 +156,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         added = speed_sweep()
         print(f"speed sweep: {len(added)} variant scenario(s) registered")
 
+    if args.retry_failed and not args.resume:
+        print(
+            "error: --retry-failed only makes sense with --resume "
+            "(a fresh campaign has no failures to retry)",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.resume:
         parser_defaults = build_parser().parse_args(["campaign"])
         grid_flags_given = (
             args.seeds != parser_defaults.seeds
             or args.fprs != parser_defaults.fprs
             or args.stride != parser_defaults.stride
+            or args.backend != parser_defaults.backend
         )
         if args.scenarios or args.shard or args.out or grid_flags_given:
             print(
                 "error: --resume takes the whole grid (scenarios, "
-                "seeds, FPRs, stride, shard) and the output path from "
-                "the existing file; drop those arguments",
+                "seeds, FPRs, stride, backend, shard) and the output "
+                "path from the existing file; drop those arguments",
                 file=sys.stderr,
             )
             return 2
         try:
             runner = CampaignRunner(workers=args.workers)
             partial = CampaignResult.load_jsonl(args.resume)
-            reusable = len(partial.resume_cache())
+            reusable = len(partial.resume_cache(retry_failed=args.retry_failed))
             todo = len(partial.expected_runs()) - reusable
             print(
                 f"Resuming {args.resume}: {reusable} of "
@@ -182,7 +191,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"{todo} to go with {args.workers} worker(s) ..."
             )
             result = runner.resume(
-                args.resume, _campaign_progress(args), partial=partial
+                args.resume,
+                _campaign_progress(args),
+                partial=partial,
+                retry_failed=args.retry_failed,
             )
         except (ConfigurationError, TraceError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -201,6 +213,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seeds=tuple(range(args.seeds)),
             fprs=tuple(float(x) for x in args.fprs.split(",")),
             stride=args.stride,
+            backend=args.backend,
         )
         # Validates the shard index/count before any run executes.
         total = (
@@ -329,11 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream results to a JSONL file as runs finish",
     )
     campaign.add_argument(
+        "--backend",
+        choices=["batched", "scalar"],
+        default="batched",
+        help="latency-solver backend: the batched array kernel "
+        "(default) or the scalar reference loop — identical results",
+    )
+    campaign.add_argument(
         "--resume",
         default=None,
         metavar="PATH",
         help="finish a partial campaign JSONL in place (grid comes "
         "from the file; incompatible with scenario/--shard/--out)",
+    )
+    campaign.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume: also re-execute deterministic 'error' "
+        "summaries (WorkerError crashes always re-execute)",
     )
     campaign.add_argument(
         "--shard",

@@ -8,6 +8,8 @@ This package implements Section 2 of the paper:
 * :mod:`repro.core.threat` — turning an actor's predicted motion into the
   longitudinal quantities ``s_n(t)`` and ``v_an(t)`` of Equations 1-2.
 * :mod:`repro.core.latency` — the tolerable-latency search (Equations 1-3).
+* :mod:`repro.core.engine` — the batched latency kernel (the whole
+  actors x latency-grid problem of a tick as one array program).
 * :mod:`repro.core.aggregation` — Equation 4 (multi-trajectory aggregation).
 * :mod:`repro.core.fpr` — Equation 5 (per-camera processing rate).
 * :mod:`repro.core.evaluator` — the pre-deployment offline evaluator.
@@ -16,20 +18,27 @@ This package implements Section 2 of the paper:
 """
 
 from repro.core.parameters import ZhuyiParams
-from repro.core.ego_profile import EgoMotion, braking_deceleration
+from repro.core.ego_profile import (
+    EgoMotion,
+    braking_deceleration,
+    ego_profile_arrays,
+)
 from repro.core.threat import (
     CorridorSpec,
     FixedGapThreat,
     LongitudinalThreat,
     ThreatAssessor,
     TrajectoryThreat,
+    sample_grid,
 )
 from repro.core.latency import (
+    BACKENDS,
     LatencyResult,
     LatencySearch,
     SearchStrategy,
     UNAVOIDABLE_LATENCY,
 )
+from repro.core.engine import LatencyEngine
 from repro.core.aggregation import (
     aggregate_latencies,
     Aggregator,
@@ -52,15 +61,19 @@ __all__ = [
     "ZhuyiParams",
     "EgoMotion",
     "braking_deceleration",
+    "ego_profile_arrays",
     "LongitudinalThreat",
     "FixedGapThreat",
     "TrajectoryThreat",
     "ThreatAssessor",
     "CorridorSpec",
+    "BACKENDS",
+    "LatencyEngine",
     "LatencyResult",
     "LatencySearch",
     "SearchStrategy",
     "UNAVOIDABLE_LATENCY",
+    "sample_grid",
     "Aggregator",
     "MaxAggregator",
     "MeanAggregator",

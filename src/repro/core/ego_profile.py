@@ -9,7 +9,10 @@ the reaction time ``t_r`` with acceleration unchanged) and ``d_e2``
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.parameters import ZhuyiParams
 from repro.dynamics.longitudinal import time_to_stop, travel
@@ -110,3 +113,83 @@ class EgoMotion:
         """
         _, v_tr = self.reaction_travel(reaction_time, speed_cap)
         return reaction_time + time_to_stop(v_tr, self.braking_decel)
+
+
+def ego_profile_arrays(
+    ego: EgoMotion,
+    reaction_time: float | np.ndarray,
+    times: np.ndarray,
+    speed_cap: float | None = None,
+    anchors: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(distance, speed)`` of the coast-then-brake profile.
+
+    The ego holds its current acceleration until ``reaction_time``
+    (speed clamped to ``[0, speed_cap]``) and hard-brakes at ``a_b``
+    after — the d_e1/d_e2 split of Equations 1-2 evaluated over a whole
+    time grid at once.
+
+    ``reaction_time`` may be a scalar (one latency candidate) or an
+    array broadcastable against ``times`` — e.g. an ``(L, 1)`` column of
+    candidate reaction times against a ``(T,)`` master grid yields
+    ``(L, T)`` profile arrays, the ego half of the batched latency
+    kernel. Both the scalar latency search and the batched engine call
+    this one routine, so their ego kinematics cannot drift.
+
+    ``anchors`` optionally supplies precomputed ``(d_e1, v_tr)``
+    reaction-travel values (broadcastable like ``reaction_time``) so a
+    caller evaluating several grids for the same reaction times pays
+    the scalar closed forms once.
+    """
+    times = np.asarray(times, dtype=float)
+    reaction = np.asarray(reaction_time, dtype=float)
+    cap = speed_cap
+    v0 = ego.speed
+    a0 = ego.accel
+    coast = np.minimum(times, reaction)
+
+    if a0 > 0.0:
+        limit = cap if cap is not None else math.inf
+        t_limit = (limit - v0) / a0 if limit > v0 else 0.0
+    elif a0 < 0.0:
+        limit = 0.0
+        t_limit = v0 / -a0
+    else:
+        limit = v0
+        t_limit = math.inf
+
+    capped = np.minimum(coast, t_limit)
+    coast_distance = v0 * capped + 0.5 * a0 * capped**2
+    if math.isfinite(t_limit):
+        coast_distance = coast_distance + limit * np.maximum(
+            0.0, coast - t_limit
+        )
+    coast_speed = np.clip(
+        v0 + a0 * coast,
+        0.0,
+        cap if cap is not None else math.inf,
+    )
+
+    # Braking phase (only for times past the reaction window). The
+    # d_e1/v_tr anchors go through the same scalar closed form as the
+    # reference search so each candidate's row is bit-identical to a
+    # scalar evaluation at that reaction time.
+    if anchors is not None:
+        d_e1, v_tr = anchors
+    elif reaction.ndim == 0:
+        d_e1, v_tr = ego.reaction_travel(float(reaction), cap)
+    else:
+        pairs = [
+            ego.reaction_travel(float(r), cap) for r in reaction.ravel()
+        ]
+        d_e1 = np.array([p[0] for p in pairs]).reshape(reaction.shape)
+        v_tr = np.array([p[1] for p in pairs]).reshape(reaction.shape)
+    a_b = ego.braking_decel
+    tau = np.maximum(0.0, times - reaction)
+    v_brake = np.maximum(0.0, v_tr - a_b * tau)
+    d_brake = d_e1 + (v_tr**2 - v_brake**2) / (2.0 * a_b)
+
+    braking = times > reaction
+    distance = np.where(braking, d_brake, coast_distance)
+    speed = np.where(braking, v_brake, coast_speed)
+    return distance, speed

@@ -1,0 +1,619 @@
+"""Batched tolerable-latency kernel — the whole latency grid at once.
+
+The scalar reference (:class:`repro.core.latency.LatencySearch`, EXACT
+strategy) answers "is candidate latency ``l`` safe?" one ``(actor,
+candidate)`` pair at a time: for each of the ``L`` grid latencies it
+builds a fresh ``t_n`` scan grid, re-derives the ego's coast/brake
+profile, re-samples the threat and scans for a feasible check time.
+Offline evaluation multiplies that by every actor at every trace tick —
+the dominant interpreter overhead of a campaign.
+
+This module replaces the inner loops with one array program per tick:
+
+* Latency candidates only shift the reaction time ``t_r``, so the whole
+  family of ego distance/speed profiles is a single broadcasted
+  ``(L, T)`` computation over a shared master time grid
+  (:func:`repro.core.ego_profile.ego_profile_arrays`).
+* Each actor's threat is sampled once over that master grid (plus the
+  ``L`` reaction instants) instead of once per candidate
+  (:func:`repro.core.threat.sample_grid`).
+* Eq 1/2 feasibility, the strict-prefix mask and the per-candidate scan
+  windows evaluate simultaneously as ``(A, L, T)`` boolean arrays for
+  all actors of a tick; the largest feasible latency falls out of a
+  single argmax per actor.
+
+Exact-parity contract: results are **bit-identical** to the scalar
+EXACT search — ``latency``, ``check_time`` *and* the ``iterations``
+count feeding the Section 4.2 compute model. Three details make that
+subtle, and each is reproduced here rather than approximated:
+
+* The scalar scan grid for candidate ``l`` is
+  ``arange(0, horizon_l + tn_step, tn_step)``; with a shared step each
+  candidate's grid is a bit-exact *prefix* of the master grid, so one
+  master ``arange`` plus per-candidate prefix lengths replays every
+  scalar grid exactly.
+* The search domain opens at ``t_n = t_r``, which need not be a grid
+  multiple; the scalar search inserts it via ``union1d``. The kernel
+  evaluates the ``t_r`` sample separately and merges its index
+  arithmetic (insertion position, duplicate-on-grid detection) so scan
+  positions — and therefore ``iterations`` — match the merged array's.
+* The strict semantics kill every candidate ``t_n`` at or after the
+  first distance violation anywhere in the scanned prefix; in index
+  form that is "feasible iff the first candidate index precedes the
+  first violation index", computed per (actor, candidate) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ego_profile import EgoMotion, ego_profile_arrays
+from repro.core.latency import _EPS, LatencyResult
+from repro.core.parameters import ZhuyiParams
+from repro.core.threat import LongitudinalThreat, sample_grid
+
+#: Sentinel index: "no such position on the merged scan grid". Half the
+#: int64 range so the +1 merge shifts can never overflow it.
+_NO_INDEX = np.iinfo(np.int64).max // 2
+
+
+def _first_true(mask: np.ndarray) -> np.ndarray:
+    """Index of the first True along the last axis (``_NO_INDEX`` if none)."""
+    return np.where(mask.any(axis=-1), mask.argmax(axis=-1), _NO_INDEX)
+
+
+def _reaction_anchors(
+    ego: EgoMotion, reactions: np.ndarray, cap: float | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(d_e1, v_tr)`` per candidate, via the scalar closed forms."""
+    pairs = [ego.reaction_travel(float(r), cap) for r in reactions]
+    return (
+        np.array([p[0] for p in pairs]),
+        np.array([p[1] for p in pairs]),
+    )
+
+
+@dataclass(frozen=True)
+class _TickGrid:
+    """Per-(ego, l0) precomputation shared by every actor of a tick.
+
+    Everything here depends only on the ego state and the current
+    processing latency — never on an actor — so one grid serves a whole
+    tick's actor batch. Only the cheap scalar bookkeeping is eager; the
+    ``(L, T)`` ego profile family is materialized per candidate slice
+    inside :meth:`LatencyEngine._solve_slice`, so a tick whose actors
+    all resolve at ``l_max`` never pays for the other L-1 rows.
+    """
+
+    latencies: np.ndarray  #: (L,) candidate latencies, descending
+    reactions: np.ndarray  #: (L,) reaction time t_r per candidate
+    times: np.ndarray  #: (T,) master scan grid (candidate grids are prefixes)
+    lengths: np.ndarray  #: (L,) per-candidate prefix length on the master grid
+    insert_at: np.ndarray  #: (L,) sorted position of t_r within the prefix
+    inserted: np.ndarray  #: (L,) bool: t_r occupies its own merged slot
+    sizes: np.ndarray  #: (L,) merged scan size (length + inserted)
+
+
+@dataclass(frozen=True)
+class TraceGrid:
+    """Trace-level candidate/time bookkeeping for every tick at once.
+
+    The latency candidates and their reaction times depend only on the
+    Zhuyi constants and ``l0`` — never on the ego — so they are shared
+    by the whole trace; the per-tick quantities (scan horizons, prefix
+    lengths, ``t_r`` insertions) vectorize over ticks. ``times`` is one
+    trace-wide master grid: every tick's scan grid is a bit-exact
+    prefix of it, so per-tick arrays never need rebuilding.
+    """
+
+    latencies: np.ndarray  #: (L,) candidate latencies, descending
+    reactions: np.ndarray  #: (L,) reaction time t_r per candidate
+    times: np.ndarray  #: (T,) trace-wide master scan grid
+    insert_at: np.ndarray  #: (L,) sorted position of t_r on the master grid
+    lengths: np.ndarray  #: (N, L) per-tick candidate prefix lengths
+    inserted: np.ndarray  #: (N, L) bool: t_r occupies its own merged slot
+    sizes: np.ndarray  #: (N, L) merged scan size (length + inserted)
+
+    def tick(self, n: int) -> _TickGrid:
+        """The single-tick view — drives the per-tick wave machinery."""
+        return _TickGrid(
+            latencies=self.latencies,
+            reactions=self.reactions,
+            times=self.times,
+            lengths=self.lengths[n],
+            insert_at=self.insert_at,
+            inserted=self.inserted[n],
+            sizes=self.sizes[n],
+        )
+
+
+@dataclass
+class LatencyEngine:
+    """Batched per-tick tolerable-latency solver.
+
+    Drop-in equivalent of the scalar EXACT :class:`LatencySearch` —
+    same :class:`LatencyResult`, bit-identical values — evaluated as
+    one vectorized program over the full latency grid, and over every
+    actor of a tick at once via :meth:`solve_batch`.
+
+    Attributes:
+        params: the Zhuyi constants.
+        strict: require the distance constraint on the whole scanned
+            prefix up to ``t_n`` (the scalar search's default).
+    """
+
+    params: ZhuyiParams = field(default_factory=ZhuyiParams)
+    strict: bool = True
+
+    def solve(
+        self, ego: EgoMotion, threat: LongitudinalThreat, l0: float
+    ) -> LatencyResult:
+        """One actor — :meth:`solve_batch` of a singleton."""
+        return self.solve_batch(ego, [threat], l0)[0]
+
+    def solve_batch(
+        self,
+        ego: EgoMotion,
+        threats: Sequence[LongitudinalThreat],
+        l0: float,
+    ) -> list[LatencyResult]:
+        """Solve every actor of a tick against the full latency grid.
+
+        Args:
+            ego: the ego's longitudinal state at the tick.
+            threats: one threat view per actor (any mix of threat
+                types); the ego-side arrays are computed once and
+                shared.
+            l0: current processing latency (enters ``alpha``).
+
+        Returns:
+            One :class:`LatencyResult` per threat, in input order.
+        """
+        if not threats:
+            return []
+        grid = self._tick_grid(ego, l0)
+
+        # One flattened sample per actor covers both the master grid
+        # and the L reaction instants.
+        all_times = np.concatenate([grid.times, grid.reactions])
+        sampled = [sample_grid(threat, all_times) for threat in threats]
+        gaps = np.stack([g for g, _ in sampled])  # (A, T + L)
+        aspeeds = np.stack([s for _, s in sampled])
+        return self._solve_tick(grid, ego, gaps, aspeeds)
+
+    @staticmethod
+    def _waves(n_latencies: int) -> list[tuple[int, int]]:
+        """Doubling partition of the candidate grid: (0,1), (1,3), ...
+
+        The descending grid is solved lazily in these waves: the l_max
+        candidate alone first — most actors of a tick are benign and
+        resolve right there, and eagerly evaluating the other L-1
+        candidates for them would cost more than the scalar search's
+        early exit — then geometrically growing slices for the
+        survivors. The waves partition the grid (no row evaluates
+        twice), so an actor whose answer sits at depth k pays at most
+        ~2k rows and an unavoidable collision pays exactly L, while the
+        scalar loop grinds k (or L) full scans one at a time.
+        """
+        waves = []
+        lo, width = 0, 1
+        while lo < n_latencies:
+            waves.append((lo, min(lo + width, n_latencies)))
+            lo += width
+            width *= 2
+        return waves
+
+    def _solve_tick(
+        self,
+        grid: _TickGrid,
+        ego: EgoMotion,
+        gaps: np.ndarray,
+        aspeeds: np.ndarray,
+    ) -> list[LatencyResult]:
+        """Wave loop over one tick's actor rows (arrays ``(R, T + L)``).
+
+        Iterations accumulate every merged grid scanned before the hit,
+        exactly like the scalar loop.
+        """
+        n_times = grid.times.size
+        gaps_m, gaps_r = gaps[:, :n_times], gaps[:, n_times:]
+        va_m, va_r = aspeeds[:, :n_times], aspeeds[:, n_times:]
+        miss_prefix = np.concatenate([[0], np.cumsum(grid.sizes)])
+        results: list[LatencyResult | None] = [None] * gaps.shape[0]
+        active = np.arange(gaps.shape[0])
+        for lo, hi in self._waves(grid.latencies.size):
+            if active.size == 0:
+                break
+            found, hit, check_times, scanned = self._solve_slice(
+                grid,
+                lo,
+                hi,
+                ego,
+                gaps_m[active],
+                va_m[active],
+                gaps_r[active, lo:hi],
+                va_r[active, lo:hi],
+            )
+            for k in np.flatnonzero(found):
+                row = int(active[k])
+                h = lo + int(hit[k])
+                results[row] = LatencyResult(
+                    latency=float(grid.latencies[h]),
+                    check_time=float(check_times[k]),
+                    iterations=int(miss_prefix[h] + scanned[k]),
+                )
+            active = active[~found]
+        for row in active:
+            results[int(row)] = LatencyResult(
+                latency=None,
+                check_time=None,
+                iterations=int(miss_prefix[-1]),
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # trace-level batching (the "ticks" axis)
+    # ------------------------------------------------------------------
+
+    def trace_grid(
+        self, ego_motions: Sequence[EgoMotion], l0: float
+    ) -> TraceGrid:
+        """Candidate/time bookkeeping for every tick of a trace at once.
+
+        The reactions are tick-independent; the per-tick horizons (and
+        the prefix lengths / ``t_r`` insertions they induce) vectorize
+        over ticks with the same closed forms the scalar path evaluates
+        one call at a time, so :meth:`TraceGrid.tick` views are
+        bit-identical to per-tick :meth:`_tick_grid` builds.
+        """
+        params = self.params
+        cap = params.ego_speed_cap
+        step = params.tn_step
+        latency_list = params.latency_grid()
+        reactions = np.array(
+            [
+                latency + params.confirmation_delay(latency, l0)
+                for latency in latency_list
+            ]
+        )
+
+        if cap is None:
+            # stop_time_after(r) = r + v_tr / a_b, with v_tr evaluated
+            # by the very same branches travel() takes in the uncapped
+            # case — including deciding "stopped during the reaction
+            # window" by the time-to-zero division, so even knife-edge
+            # ticks land on the same side as the scalar call.
+            v0 = np.array([ego.speed for ego in ego_motions])
+            a0 = np.array([ego.accel for ego in ego_motions])
+            a_b = np.array([ego.braking_decel for ego in ego_motions])
+            decelerating = a0 < 0.0
+            with np.errstate(over="ignore"):
+                # The division overflows to inf for subnormal
+                # decelerations; inf means "never stops in-window",
+                # exactly what the scalar branch concludes.
+                time_to_zero = np.where(
+                    decelerating, v0 / np.where(decelerating, -a0, 1.0), np.inf
+                )
+            stopped = time_to_zero[:, None] <= reactions[None, :]
+            v_tr = np.where(
+                stopped, 0.0, v0[:, None] + a0[:, None] * reactions[None, :]
+            )
+            stops = reactions[None, :] + v_tr / a_b[:, None]
+            horizons = stops + params.horizon_margin
+        else:
+            # A speed cap brings travel()'s cap branches into play; the
+            # capped closed form matches them except within one ulp of
+            # the cap-crossing time, so stay on the scalar calls.
+            horizons = np.array(
+                [
+                    [
+                        ego.stop_time_after(float(r), cap)
+                        + params.horizon_margin
+                        for r in reactions
+                    ]
+                    for ego in ego_motions
+                ]
+            )
+
+        lengths = np.ceil((horizons + step) / step).astype(np.int64)
+        times = np.arange(0.0, float(horizons.max()) + step, step)
+        insert_at = np.searchsorted(times, reactions)
+        on_grid = times[np.minimum(insert_at, times.size - 1)] == reactions
+        inserted = (reactions[None, :] <= horizons) & ~on_grid[None, :]
+        return TraceGrid(
+            latencies=np.array(latency_list),
+            reactions=reactions,
+            times=times,
+            insert_at=insert_at.astype(np.int64),
+            lengths=lengths,
+            inserted=inserted,
+            sizes=lengths + inserted,
+        )
+
+    def solve_rows(
+        self,
+        grid: TraceGrid,
+        tick_indices: np.ndarray,
+        ego_motions: Sequence[EgoMotion],
+        gaps: np.ndarray,
+        aspeeds: np.ndarray,
+    ) -> list[LatencyResult]:
+        """Solve a batch of (tick, actor) rows spanning many ticks.
+
+        Each row pairs a tick index with that actor's threat samples
+        over ``concatenate([grid.times, grid.reactions])`` (shape
+        ``(R, T + L)``). The l_max candidate — where most rows of most
+        workloads resolve — is evaluated for every row in one
+        cross-tick array program; only the survivors fall back to the
+        per-tick wave machinery, sharing the already-sampled rows.
+
+        Args:
+            grid: the :meth:`trace_grid` for these ticks.
+            tick_indices: (R,) tick index of each row.
+            ego_motions: per-tick ego states (trace-aligned).
+            gaps / aspeeds: (R, T + L) threat samples per row.
+
+        Returns:
+            One :class:`LatencyResult` per row, in input order.
+        """
+        tick_indices = np.asarray(tick_indices)
+        n_rows = tick_indices.size
+        if n_rows == 0:
+            return []
+        n_times = grid.times.size
+        # Per-tick cumulative merged scan sizes — the iterations charged
+        # for missing every candidate before a hit.
+        miss_prefix = np.concatenate(
+            [
+                np.zeros((grid.sizes.shape[0], 1), dtype=np.int64),
+                np.cumsum(grid.sizes, axis=1),
+            ],
+            axis=1,
+        )
+
+        results: list[LatencyResult | None] = [None] * n_rows
+        active = np.arange(n_rows)
+        for lo, hi in self._waves(grid.latencies.size):
+            if active.size == 0:
+                break
+            # Cap each kernel call's boolean workspace; survivor counts
+            # shrink wave over wave, so chunking only ever triggers on
+            # pathological all-unavoidable batches.
+            chunk = max(1, int(8_000_000 / ((hi - lo) * n_times)))
+            still: list[np.ndarray] = []
+            for begin in range(0, active.size, chunk):
+                rows = active[begin : begin + chunk]
+                found, hit, check_times, scanned = self._solve_rows_slice(
+                    grid,
+                    lo,
+                    hi,
+                    tick_indices[rows],
+                    ego_motions,
+                    gaps[rows, :n_times],
+                    aspeeds[rows, :n_times],
+                    gaps[rows, n_times + lo : n_times + hi],
+                    aspeeds[rows, n_times + lo : n_times + hi],
+                )
+                for k in np.flatnonzero(found):
+                    row = int(rows[k])
+                    h = lo + int(hit[k])
+                    results[row] = LatencyResult(
+                        latency=float(grid.latencies[h]),
+                        check_time=float(check_times[k]),
+                        iterations=int(
+                            miss_prefix[tick_indices[row], h] + scanned[k]
+                        ),
+                    )
+                still.append(rows[~found])
+            active = np.concatenate(still) if still else active[:0]
+        for row in active:
+            results[int(row)] = LatencyResult(
+                latency=None,
+                check_time=None,
+                iterations=int(miss_prefix[tick_indices[row], -1]),
+            )
+        return results
+
+    def _solve_rows_slice(
+        self,
+        grid: TraceGrid,
+        lo: int,
+        hi: int,
+        tick_idx: np.ndarray,
+        ego_motions: Sequence[EgoMotion],
+        gaps_m: np.ndarray,
+        va_m: np.ndarray,
+        gaps_r: np.ndarray,
+        va_r: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Candidates ``[lo, hi)`` for rows spanning many ticks.
+
+        The cross-tick generalization of :meth:`_solve_slice`: ego
+        profile slices are built once per distinct tick and gathered to
+        rows, the feasibility program runs as one ``(R, S, T)`` batch,
+        and the ``t_r``-insertion bookkeeping indexes per (row,
+        candidate). Same returns as :meth:`_solve_slice`.
+        """
+        c1, c2 = self.params.c1, self.params.c2
+        cap = self.params.ego_speed_cap
+        n_times = grid.times.size
+        n_slice = hi - lo
+        reactions = grid.reactions[lo:hi]
+
+        unique_ticks, row_pos = np.unique(tick_idx, return_inverse=True)
+        dist = np.empty((unique_ticks.size, n_slice, n_times))
+        speed = np.empty((unique_ticks.size, n_slice, n_times))
+        dist_r = np.empty((unique_ticks.size, n_slice))
+        speed_r = np.empty((unique_ticks.size, n_slice))
+        for i, n in enumerate(unique_ticks):
+            ego = ego_motions[int(n)]
+            anchors = _reaction_anchors(ego, reactions, cap)
+            dist[i], speed[i] = ego_profile_arrays(
+                ego,
+                reactions[:, None],
+                grid.times,
+                cap,
+                anchors=(anchors[0][:, None], anchors[1][:, None]),
+            )
+            dist_r[i], speed_r[i] = ego_profile_arrays(
+                ego, reactions, reactions, cap, anchors=anchors
+            )
+
+        d_ok = dist[row_pos] <= c1 * gaps_m[:, None, :] + _EPS
+        v_ok = speed[row_pos] <= c2 * va_m[:, None, :] + _EPS
+        window = grid.times[None, None, :] >= reactions[None, :, None] - _EPS
+        valid = (
+            np.arange(n_times)[None, None, :]
+            < grid.lengths[tick_idx, lo:hi][:, :, None]
+        )
+        candidate = d_ok & v_ok & window & valid
+        d_bad = ~d_ok & valid
+
+        ins = grid.inserted[tick_idx, lo:hi]  # (R, S)
+        pos = grid.insert_at[None, lo:hi]
+        fv_m = _first_true(d_bad)  # (R, S)
+        cf_m = _first_true(candidate)
+        first_violation = np.where(
+            fv_m != _NO_INDEX, fv_m + (ins & (fv_m >= pos)), _NO_INDEX
+        )
+        first_candidate = np.where(
+            cf_m != _NO_INDEX, cf_m + (ins & (cf_m >= pos)), _NO_INDEX
+        )
+        d_ok_r = dist_r[row_pos] <= c1 * gaps_r + _EPS
+        v_ok_r = speed_r[row_pos] <= c2 * va_r + _EPS
+        first_violation = np.minimum(
+            first_violation, np.where(ins & ~d_ok_r, pos, _NO_INDEX)
+        )
+        first_candidate = np.minimum(
+            first_candidate, np.where(ins & d_ok_r & v_ok_r, pos, _NO_INDEX)
+        )
+
+        feasible = first_candidate < _NO_INDEX
+        if self.strict:
+            feasible &= first_candidate < first_violation
+
+        found = feasible.any(axis=-1)
+        hit = feasible.argmax(axis=-1)
+        rows = np.arange(feasible.shape[0])
+        best = first_candidate[rows, hit]
+        ins_h = ins[rows, hit]
+        pos_h = grid.insert_at[lo + hit]
+        from_reaction = ins_h & (best == pos_h)
+        master_index = best - (ins_h & (best > pos_h))
+        check_times = np.where(
+            from_reaction,
+            grid.reactions[lo + hit],
+            grid.times[np.minimum(master_index, n_times - 1)],
+        )
+        return found, hit, check_times, best + 1
+
+    def _solve_slice(
+        self,
+        grid: _TickGrid,
+        lo: int,
+        hi: int,
+        ego: EgoMotion,
+        gaps_m: np.ndarray,
+        va_m: np.ndarray,
+        gaps_r: np.ndarray,
+        va_r: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Feasibility of candidates ``[lo, hi)`` for a batch of actors.
+
+        Returns per-actor arrays ``(found, hit, check_time, scanned)``:
+        whether some candidate in the slice is feasible, the first
+        feasible slice-local candidate index, its check time, and how
+        many merged grid points that candidate's scan consumed.
+        """
+        c1, c2 = self.params.c1, self.params.c2
+        cap = self.params.ego_speed_cap
+        n_times = grid.times.size
+
+        # The slice's ego profile family, materialized on demand; the
+        # scalar reaction-travel anchors are computed once and shared
+        # between the grid rows and the t_r point evaluation.
+        reactions = grid.reactions[lo:hi]
+        anchors = _reaction_anchors(ego, reactions, cap)
+        ego_distance, ego_speed = ego_profile_arrays(
+            ego,
+            reactions[:, None],
+            grid.times,
+            cap,
+            anchors=(anchors[0][:, None], anchors[1][:, None]),
+        )
+        ego_distance_r, ego_speed_r = ego_profile_arrays(
+            ego, reactions, reactions, cap, anchors=anchors
+        )
+        window = grid.times[None, :] >= reactions[:, None] - _EPS
+        valid = (
+            np.arange(n_times)[None, :] < grid.lengths[lo:hi, None]
+        )
+
+        # Eq 1/2 feasibility for every (actor, candidate, instant).
+        d_ok = ego_distance[None] <= c1 * gaps_m[:, None, :] + _EPS
+        v_ok = ego_speed[None] <= c2 * va_m[:, None, :] + _EPS
+        candidate = d_ok & v_ok & window[None] & valid[None]
+        d_bad = ~d_ok & valid[None]
+
+        # First indices on the master grid, then mapped onto the merged
+        # (t_r-inserted) grid the scalar search scans.
+        ins = grid.inserted[None, lo:hi]
+        pos = grid.insert_at[None, lo:hi]
+        fv_m = _first_true(d_bad)  # (A, hi - lo)
+        cf_m = _first_true(candidate)
+        first_violation = np.where(
+            fv_m != _NO_INDEX, fv_m + (ins & (fv_m >= pos)), _NO_INDEX
+        )
+        first_candidate = np.where(
+            cf_m != _NO_INDEX, cf_m + (ins & (cf_m >= pos)), _NO_INDEX
+        )
+
+        # The t_r sample itself (t_n = t_r is always inside the window).
+        d_ok_r = ego_distance_r[None] <= c1 * gaps_r + _EPS
+        v_ok_r = ego_speed_r[None] <= c2 * va_r + _EPS
+        first_violation = np.minimum(
+            first_violation, np.where(ins & ~d_ok_r, pos, _NO_INDEX)
+        )
+        first_candidate = np.minimum(
+            first_candidate, np.where(ins & d_ok_r & v_ok_r, pos, _NO_INDEX)
+        )
+
+        feasible = first_candidate < _NO_INDEX
+        if self.strict:
+            # Strict prefix: every merged index at or past the first
+            # distance violation is masked out, so only a candidate
+            # strictly before it survives.
+            feasible &= first_candidate < first_violation
+
+        found = feasible.any(axis=-1)
+        hit = feasible.argmax(axis=-1)
+        rows = np.arange(feasible.shape[0])
+        best = first_candidate[rows, hit]
+
+        # Check times: merged index ``pos`` is the inserted t_r when an
+        # insertion happened (master indices then map around it).
+        ins_h = grid.inserted[lo + hit]
+        pos_h = grid.insert_at[lo + hit]
+        from_reaction = ins_h & (best == pos_h)
+        master_index = best - (ins_h & (best > pos_h))
+        check_times = np.where(
+            from_reaction,
+            grid.reactions[lo + hit],
+            grid.times[np.minimum(master_index, n_times - 1)],
+        )
+        return found, hit, check_times, best + 1
+
+    # ------------------------------------------------------------------
+    # per-tick precomputation
+    # ------------------------------------------------------------------
+
+    def _tick_grid(self, ego: EgoMotion, l0: float) -> _TickGrid:
+        """One tick's candidate/time bookkeeping.
+
+        A single-tick :meth:`trace_grid` — one derivation of the
+        parity-critical grid arithmetic, not two that could drift.
+        """
+        return self.trace_grid([ego], l0).tick(0)

@@ -20,8 +20,9 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.ego_profile import EgoMotion
+from repro.core.engine import LatencyEngine
 from repro.core.fpr import CameraEstimate, estimate_camera_fprs
-from repro.core.latency import LatencyResult, LatencySearch
+from repro.core.latency import BACKENDS, LatencySearch, SearchStrategy
 from repro.core.parameters import ZhuyiParams
 from repro.core.threat import ThreatAssessor
 from repro.errors import EstimationError
@@ -199,6 +200,12 @@ class OfflineEvaluator:
             evaluates at every simulation step; 50 ms is the coarsest
             stride that still catches the shortest binding windows in
             the catalog scenarios.
+        backend: ``"batched"`` (default) solves each tick's whole actor
+            batch through the :class:`repro.core.engine.LatencyEngine`
+            array kernel; ``"scalar"`` runs the per-actor reference
+            loop. Results are bit-identical; only the clock differs. A
+            PAPER-strategy ``search`` always runs scalar (Eq 3 stepping
+            is sequential by construction).
     """
 
     params: ZhuyiParams = field(default_factory=ZhuyiParams)
@@ -206,12 +213,25 @@ class OfflineEvaluator:
     search: LatencySearch | None = None
     road: Road | None = None
     stride: float = 0.05
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.stride <= 0.0:
             raise EstimationError(f"stride must be positive, got {self.stride}")
+        if self.backend not in BACKENDS:
+            raise EstimationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
         if self.search is None:
             self.search = LatencySearch(params=self.params)
+        self._engine = None
+        if (
+            self.backend == "batched"
+            and self.search.strategy is SearchStrategy.EXACT
+        ):
+            self._engine = LatencyEngine(
+                params=self.search.params, strict=self.search.strict
+            )
 
     def evaluate(
         self,
@@ -254,15 +274,46 @@ class OfflineEvaluator:
         actor_states = samples.actor_states
         actor_trajectories = samples.actor_trajectories
 
+        # The collision gate for every (actor, tick) pair, one batched
+        # pass per actor instead of a per-tick Python loop (verdicts
+        # identical — see ThreatAssessor.could_collide_trace).
+        gate_tables = {
+            actor_id: assessor.could_collide_trace(
+                ego_states,
+                trace.ego_spec,
+                trajectory,
+                trace.actor_spec(actor_id),
+                times,
+            )
+            for actor_id, trajectory in actor_trajectories.items()
+        }
+
+        # The batched backend solves the whole actors x latency-grid x
+        # ticks problem through the trace-level kernel; per-tick latency
+        # dictionaries come back precomputed. (The no-road +
+        # lateral-gating combination needs per-tick ego frames for the
+        # corridor and keeps the per-tick path.)
+        latency_tables = None
+        if self._engine is not None and (
+            self.road is not None or not self.params.gate_lateral
+        ):
+            latency_tables = self._solve_trace_latencies(
+                trace, samples, assessor, gate_tables, l0
+            )
+
         ticks = [
             self._evaluate_tick(
                 float(times[i]),
                 ego_states[i],
                 {actor_id: states[i] for actor_id, states in actor_states.items()},
+                {actor_id: table[i] for actor_id, table in gate_tables.items()},
                 trace,
                 actor_trajectories,
                 assessor,
                 l0,
+                precomputed=(
+                    None if latency_tables is None else latency_tables[i]
+                ),
             )
             for i in range(len(times))
         ]
@@ -270,38 +321,141 @@ class OfflineEvaluator:
             scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
         )
 
+    def _solve_trace_latencies(
+        self,
+        trace: ScenarioTrace,
+        samples: TraceSamples,
+        assessor: ThreatAssessor,
+        gate_tables,
+        l0: float,
+    ) -> list[dict[str, float | None]]:
+        """Per-tick actor latencies via the trace-level batched kernel.
+
+        Ticks are processed in blocks (bounding the sampled-row arrays'
+        memory): per block, every gated (actor, tick) pair becomes one
+        row — its threat quantities sampled in one batched pass per
+        actor (:meth:`ThreatAssessor.sample_threats_trace`) — and the
+        engine solves all rows through
+        :meth:`repro.core.engine.LatencyEngine.solve_rows`. Values are
+        bit-identical to the per-tick path; see those methods for the
+        parity arguments.
+        """
+        times = samples.times
+        ego_states = samples.ego_states
+        ego_motions = [
+            EgoMotion.from_state(state.speed, state.accel, self.params)
+            for state in ego_states
+        ]
+        grid = self._engine.trace_grid(ego_motions, l0)
+        rel_times = np.concatenate([grid.times, grid.reactions])
+        tables: list[dict[str, float | None]] = [
+            {} for _ in range(len(times))
+        ]
+        # Block size targets ~2M row-elements per kernel call: big
+        # enough to amortize per-call overhead, small enough that the
+        # row arrays stay cache-resident instead of going memory-bound.
+        n_actors = max(len(samples.actor_trajectories), 1)
+        block = max(1, int(2_000_000 / (rel_times.size * n_actors)))
+        for start in range(0, len(times), block):
+            stop = min(start + block, len(times))
+            tick_chunks: list[np.ndarray] = []
+            row_actors: list[str] = []
+            gap_chunks: list[np.ndarray] = []
+            speed_chunks: list[np.ndarray] = []
+            for actor_id, trajectory in samples.actor_trajectories.items():
+                gated = start + np.flatnonzero(
+                    gate_tables[actor_id][start:stop]
+                )
+                if gated.size == 0:
+                    continue
+                gaps, speeds = assessor.sample_threats_trace(
+                    [ego_states[i] for i in gated],
+                    trace.ego_spec,
+                    trajectory,
+                    trace.actor_spec(actor_id),
+                    times[gated],
+                    rel_times,
+                )
+                tick_chunks.append(gated)
+                row_actors.extend([actor_id] * gated.size)
+                gap_chunks.append(gaps)
+                speed_chunks.append(speeds)
+            if not tick_chunks:
+                continue
+            results = self._engine.solve_rows(
+                grid,
+                np.concatenate(tick_chunks),
+                ego_motions,
+                np.vstack(gap_chunks),
+                np.vstack(speed_chunks),
+            )
+            for tick, actor_id, result in zip(
+                np.concatenate(tick_chunks), row_actors, results
+            ):
+                tables[int(tick)][actor_id] = result.latency
+        # Row order above is actor-major; per-tick dictionaries must
+        # list actors in trajectory order like the per-tick path does.
+        order = list(samples.actor_trajectories)
+        return [
+            {
+                actor_id: table[actor_id]
+                for actor_id in order
+                if actor_id in table
+            }
+            for table in tables
+        ]
+
     def _evaluate_tick(
         self,
         t0: float,
         ego_state,
         actor_states_now,
+        gates,
         trace: ScenarioTrace,
         actor_trajectories,
         assessor: ThreatAssessor,
         l0: float,
+        precomputed: dict[str, float | None] | None = None,
     ) -> EvaluationTick:
-        ego_motion = EgoMotion.from_state(
-            ego_state.speed, ego_state.accel, self.params
-        )
+        actor_positions = {
+            actor_id: actor_states_now[actor_id].position
+            for actor_id in actor_trajectories
+        }
+        if precomputed is not None:
+            actor_latencies = precomputed
+        else:
+            ego_motion = EgoMotion.from_state(
+                ego_state.speed, ego_state.accel, self.params
+            )
+            threats = {}
+            for actor_id, trajectory in actor_trajectories.items():
+                if not gates[actor_id]:
+                    continue
+                threats[actor_id] = assessor.build_threat(
+                    ego_state,
+                    trace.ego_spec,
+                    trajectory,
+                    trace.actor_spec(actor_id),
+                    t0=t0,
+                )
 
-        actor_latencies: dict[str, float | None] = {}
-        actor_positions = {}
-        for actor_id, trajectory in actor_trajectories.items():
-            actor_positions[actor_id] = actor_states_now[actor_id].position
-            threat = assessor.assess(
-                ego_state,
-                trace.ego_spec,
-                trajectory,
-                trace.actor_spec(actor_id),
-                t0=t0,
-            )
-            if threat is None:
-                continue
-            result: LatencyResult = self.search.tolerable_latency(
-                ego_motion, threat, l0
-            )
-            # Offline: |T| = 1, so Equation 4 reduces to the single value.
-            actor_latencies[actor_id] = result.latency
+            # Offline: |T| = 1, so Equation 4 reduces to the single
+            # value.
+            if self._engine is not None:
+                results = self._engine.solve_batch(
+                    ego_motion, list(threats.values()), l0
+                )
+                actor_latencies: dict[str, float | None] = {
+                    actor_id: result.latency
+                    for actor_id, result in zip(threats, results)
+                }
+            else:
+                actor_latencies = {
+                    actor_id: self.search.tolerable_latency(
+                        ego_motion, threat, l0
+                    ).latency
+                    for actor_id, threat in threats.items()
+                }
 
         visibility = self.rig.visible_actors(ego_state, actor_positions)
         estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)

@@ -39,15 +39,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ego_profile import EgoMotion
+from repro.core.ego_profile import EgoMotion, ego_profile_arrays
 from repro.core.parameters import ZhuyiParams
-from repro.core.threat import LongitudinalThreat
+from repro.core.threat import LongitudinalThreat, sample_grid
+from repro.errors import ConfigurationError
 
 #: Latency value used in aggregations for unavoidable-collision verdicts.
 UNAVOIDABLE_LATENCY = 0.0
 
 #: Numerical slack on the constraint comparisons.
 _EPS = 1e-9
+
+#: Latency-solver backends: the scalar per-candidate reference loop, or
+#: the batched array program of :mod:`repro.core.engine` (bit-identical
+#: results, one vectorized kernel per latency grid).
+BACKENDS = ("scalar", "batched")
 
 
 class SearchStrategy(enum.Enum):
@@ -88,17 +94,37 @@ class LatencyResult:
 class LatencySearch:
     """Per-actor tolerable-latency solver.
 
+    A thin facade over two equivalent solvers: the scalar reference
+    loop below (one latency candidate at a time), and the batched array
+    kernel of :class:`repro.core.engine.LatencyEngine` (the whole grid
+    at once, bit-identical results). Tick-level consumers that batch
+    actors should call the engine directly; this facade serves
+    per-actor callers.
+
     Attributes:
         params: the Zhuyi constants.
         strategy: inner-search strategy (dense reference scan, or the
             paper's Eq 3 accelerated stepping).
         strict: EXACT strategy only — require the distance constraint on
             the whole prefix up to ``t_n`` (see the module docstring).
+        backend: ``"scalar"`` runs the reference loops; ``"batched"``
+            routes EXACT searches through the engine kernel. The PAPER
+            strategy is inherently sequential (each Eq 3 step depends on
+            the previous gap) and always runs scalar.
     """
 
     params: ZhuyiParams = field(default_factory=ZhuyiParams)
     strategy: SearchStrategy = SearchStrategy.EXACT
     strict: bool = True
+    backend: str = "scalar"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown latency backend {self.backend!r}; "
+                f"choose from {BACKENDS}"
+            )
+        self._engine = None
 
     def tolerable_latency(
         self,
@@ -111,6 +137,17 @@ class LatencySearch:
         ``l0`` is the processing latency the system currently runs at; it
         enters the confirmation delay ``alpha = K * (l - l0)``.
         """
+        if (
+            self.backend == "batched"
+            and self.strategy is SearchStrategy.EXACT
+        ):
+            if self._engine is None:
+                from repro.core.engine import LatencyEngine
+
+                self._engine = LatencyEngine(
+                    params=self.params, strict=self.strict
+                )
+            return self._engine.solve(ego, threat, l0)
         iterations = 0
         for latency in self.params.latency_grid():
             reaction_time = latency + self.params.confirmation_delay(latency, l0)
@@ -203,53 +240,6 @@ class LatencySearch:
             check_time = min(check_time + step, horizon)
         return None, evaluations
 
-    def _ego_profile(
-        self, ego: EgoMotion, reaction_time: float, times: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized ``(distance, speed)`` of the ego over ``times``.
-
-        The ego holds its current acceleration until ``reaction_time``
-        (speed clamped to ``[0, cap]``) and hard-brakes at ``a_b`` after.
-        """
-        cap = self.params.ego_speed_cap
-        v0 = ego.speed
-        a0 = ego.accel
-        coast = np.minimum(times, reaction_time)
-
-        if a0 > 0.0:
-            limit = cap if cap is not None else math.inf
-            t_limit = (limit - v0) / a0 if limit > v0 else 0.0
-        elif a0 < 0.0:
-            limit = 0.0
-            t_limit = v0 / -a0
-        else:
-            limit = v0
-            t_limit = math.inf
-
-        capped = np.minimum(coast, t_limit)
-        coast_distance = v0 * capped + 0.5 * a0 * capped**2
-        if math.isfinite(t_limit):
-            coast_distance = coast_distance + limit * np.maximum(
-                0.0, coast - t_limit
-            )
-        coast_speed = np.clip(
-            v0 + a0 * coast,
-            0.0,
-            cap if cap is not None else math.inf,
-        )
-
-        # Braking phase (only for times past the reaction window).
-        d_e1, v_tr = ego.reaction_travel(reaction_time, cap)
-        a_b = ego.braking_decel
-        tau = np.maximum(0.0, times - reaction_time)
-        v_brake = np.maximum(0.0, v_tr - a_b * tau)
-        d_brake = d_e1 + (v_tr**2 - v_brake**2) / (2.0 * a_b)
-
-        braking = times > reaction_time
-        distance = np.where(braking, d_brake, coast_distance)
-        speed = np.where(braking, v_brake, coast_speed)
-        return distance, speed
-
     def _exact_search(
         self,
         ego: EgoMotion,
@@ -278,8 +268,10 @@ class LatencySearch:
         if reaction_time <= horizon:
             times = np.union1d(times, [reaction_time])
 
-        distance, speed = self._ego_profile(ego, reaction_time, times)
-        gaps, actor_speeds = threat.sample(times)
+        distance, speed = ego_profile_arrays(
+            ego, reaction_time, times, self.params.ego_speed_cap
+        )
+        gaps, actor_speeds = sample_grid(threat, times)
 
         distance_ok = distance <= self.params.c1 * gaps + _EPS
         velocity_ok = speed <= self.params.c2 * actor_speeds + _EPS

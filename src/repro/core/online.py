@@ -19,9 +19,15 @@ import numpy as np
 
 from repro.core.aggregation import Aggregator, PercentileAggregator
 from repro.core.ego_profile import EgoMotion
+from repro.core.engine import LatencyEngine
 from repro.core.evaluator import EvaluationTick
 from repro.core.fpr import estimate_camera_fprs
-from repro.core.latency import LatencySearch, UNAVOIDABLE_LATENCY
+from repro.core.latency import (
+    BACKENDS,
+    LatencySearch,
+    SearchStrategy,
+    UNAVOIDABLE_LATENCY,
+)
 from repro.core.parameters import ZhuyiParams
 from repro.core.threat import LongitudinalThreat, ThreatAssessor
 from repro.dynamics.state import VehicleSpec, VehicleState
@@ -71,6 +77,10 @@ class OnlineEstimator:
             from every gap (metres); 0 disables the extension.
         assumed_actor_spec: physical spec attributed to perceived actors
             (the world model carries no extent information).
+        backend: ``"batched"`` (default) solves the tick's full batch —
+            every predicted future of every confirmed actor — in one
+            :class:`repro.core.engine.LatencyEngine` call; ``"scalar"``
+            loops the reference search. Bit-identical estimates.
     """
 
     params: ZhuyiParams
@@ -81,12 +91,25 @@ class OnlineEstimator:
     search: LatencySearch | None = None
     gap_margin: float = 0.0
     assumed_actor_spec: VehicleSpec = field(default_factory=VehicleSpec)
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.gap_margin < 0.0:
             raise EstimationError("gap margin must be non-negative")
+        if self.backend not in BACKENDS:
+            raise EstimationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
         if self.search is None:
             self.search = LatencySearch(params=self.params)
+        self._engine = None
+        if (
+            self.backend == "batched"
+            and self.search.strategy is SearchStrategy.EXACT
+        ):
+            self._engine = LatencyEngine(
+                params=self.search.params, strict=self.search.strict
+            )
 
     def estimate(
         self,
@@ -115,15 +138,52 @@ class OnlineEstimator:
             ego_state.speed, ego_state.accel, self.params
         )
 
-        actor_latencies: dict[str, float | None] = {}
+        # First pass: assess every predicted future of every confirmed
+        # actor, collecting the tick's full threat batch.
         actor_positions = {}
+        per_actor: list[tuple[str, list[tuple[float, object | None]]]] = []
         for perceived in world_model:
             actor_positions[perceived.actor_id] = perceived.position
-            is_threat, latency = self._actor_latency(
-                now, ego_state, ego_spec, ego_motion, perceived, assessor, l0
+            predictions = self.predictor.predict(
+                perceived, now, self.params.horizon
             )
+            entries: list[tuple[float, object | None]] = []
+            for prediction in predictions:
+                threat = assessor.assess(
+                    ego_state,
+                    ego_spec,
+                    prediction.trajectory,
+                    self.assumed_actor_spec,
+                    t0=now,
+                )
+                if threat is not None and self.gap_margin > 0.0:
+                    threat = _MarginThreat(
+                        inner=threat, margin=self.gap_margin
+                    )
+                entries.append((prediction.probability, threat))
+            per_actor.append((perceived.actor_id, entries))
+
+        # One kernel call covers the whole tick (all actors, all
+        # futures); the scalar backend loops in the same order.
+        batch = [
+            threat
+            for _, entries in per_actor
+            for _, threat in entries
+            if threat is not None
+        ]
+        if self._engine is not None:
+            solved = iter(self._engine.solve_batch(ego_motion, batch, l0))
+        else:
+            solved = iter(
+                self.search.tolerable_latency(ego_motion, threat, l0)
+                for threat in batch
+            )
+
+        actor_latencies: dict[str, float | None] = {}
+        for actor_id, entries in per_actor:
+            is_threat, latency = self._aggregate(entries, solved)
             if is_threat:
-                actor_latencies[perceived.actor_id] = latency
+                actor_latencies[actor_id] = latency
 
         visibility = self.rig.visible_actors(ego_state, actor_positions)
         estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)
@@ -135,45 +195,29 @@ class OnlineEstimator:
             ego_accel=ego_state.accel,
         )
 
-    def _actor_latency(
-        self,
-        now: float,
-        ego_state: VehicleState,
-        ego_spec: VehicleSpec,
-        ego_motion: EgoMotion,
-        perceived,
-        assessor: ThreatAssessor,
-        l0: float,
-    ) -> tuple[bool, float | None]:
+    def _aggregate(self, entries, solved) -> tuple[bool, float | None]:
         """``(is_threat, latency)`` — Eq 4 aggregate for one actor.
 
-        ``is_threat`` is False when every predicted future was gated out
-        (the actor cannot collide under any hypothesis).
+        ``entries`` pairs each predicted future's probability with its
+        threat view (``None`` when the future was gated out); ``solved``
+        yields the batch's :class:`LatencyResult` objects in the same
+        order the threats were collected. ``is_threat`` is False when
+        every future was gated out (the actor cannot collide under any
+        hypothesis).
         """
-        predictions = self.predictor.predict(perceived, now, self.params.horizon)
         latencies: list[float] = []
         probabilities: list[float] = []
         any_threat = False
-        for prediction in predictions:
-            threat = assessor.assess(
-                ego_state,
-                ego_spec,
-                prediction.trajectory,
-                self.assumed_actor_spec,
-                t0=now,
-            )
+        for probability, threat in entries:
             if threat is None:
                 # This future never collides: it contributes the most
                 # permissive latency rather than disappearing.
                 latencies.append(self.params.l_max)
-                probabilities.append(prediction.probability)
+                probabilities.append(probability)
                 continue
             any_threat = True
-            if self.gap_margin > 0.0:
-                threat = _MarginThreat(inner=threat, margin=self.gap_margin)
-            result = self.search.tolerable_latency(ego_motion, threat, l0)
-            latencies.append(result.latency_or_zero())
-            probabilities.append(prediction.probability)
+            latencies.append(next(solved).latency_or_zero())
+            probabilities.append(probability)
 
         if not any_threat:
             return False, None

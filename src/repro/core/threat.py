@@ -19,6 +19,7 @@ latency is ``l_max``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -53,6 +54,23 @@ class LongitudinalThreat(Protocol):
     def sample(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized ``(s_n, v_an)`` over an array of relative times."""
         ...
+
+
+def sample_grid(
+    threat: LongitudinalThreat, times: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(s_n, v_an)`` over a time grid of any shape.
+
+    Threats only promise 1-D :meth:`~LongitudinalThreat.sample`; this is
+    the batch sampling entry point shared by the scalar search and the
+    batched engine — one flattened interpolation per threat per call,
+    reshaped back to the query grid. Because the per-element arithmetic
+    is identical to a sequence of 1-D samples, both paths see
+    bit-identical threat quantities.
+    """
+    times = np.asarray(times, dtype=float)
+    gaps, speeds = threat.sample(times.ravel())
+    return gaps.reshape(times.shape), speeds.reshape(times.shape)
 
 
 @dataclass(frozen=True)
@@ -106,11 +124,9 @@ class CorridorSpec:
         """Lateral path offset of many world points (vectorized).
 
         Straight centerlines (and the no-road ego-heading fallback) use
-        pure array arithmetic; other centerline shapes fall back to
-        per-point projection.
+        pure array arithmetic; other centerline shapes batch through
+        :meth:`repro.road.track.Road.to_frenet_batch`.
         """
-        import math
-
         from repro.road.lane import StraightCenterline
 
         if self.road is None:
@@ -126,17 +142,20 @@ class CorridorSpec:
             sin_h = math.sin(centerline.heading)
             cos_h = math.cos(centerline.heading)
             return -sin_h * dx + cos_h * dy
-        return np.array(
-            [
-                self.road.to_frenet(Vec2(float(x), float(y))).d
-                for x, y in zip(xs, ys)
-            ]
-        )
+        _, lateral = self.road.to_frenet_batch(xs, ys)
+        return lateral
 
     def in_corridor(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Boolean mask of points inside the ego's corridor."""
         offsets = self.lateral_offsets(xs, ys)
         return np.abs(offsets - self.ego_lateral) <= self.overlap_width
+
+
+#: Resolution / span of the precomputed corridor mask (relative
+#: seconds). Shared by the per-tick threat and the trace-batched
+#: sampler so the two quantize lateral geometry identically.
+_MASK_STEP = 0.01
+_MASK_SPAN = 25.0
 
 
 class TrajectoryThreat:
@@ -171,7 +190,7 @@ class TrajectoryThreat:
         self._t0 = t0
         self._half_lengths = (ego_spec.length + actor_spec.length) / 2.0
         self._corridor = corridor
-        self._mask_step = 0.01
+        self._mask_step = _MASK_STEP
         self._mask: np.ndarray | None = None
 
     @property
@@ -197,10 +216,6 @@ class TrajectoryThreat:
             gaps = np.where(self._corridor_mask(times), gaps, np.inf)
         return gaps, speeds
 
-    #: Span of the precomputed corridor mask (relative seconds). Queries
-    #: beyond it clamp to the final mask value.
-    _MASK_SPAN = 25.0
-
     def _corridor_mask(self, times: np.ndarray) -> np.ndarray:
         """In-corridor mask at the queried times (cached master grid).
 
@@ -210,7 +225,7 @@ class TrajectoryThreat:
         curved roads where projection is per-point.
         """
         if self._mask is None:
-            grid = np.arange(0.0, self._MASK_SPAN, self._mask_step)
+            grid = np.arange(0.0, _MASK_SPAN, self._mask_step)
             xs, ys, _ = self._trajectory.sample_extrapolated(self._t0 + grid)
             self._mask = self._corridor.in_corridor(xs, ys)
         indices = np.clip(
@@ -259,6 +274,24 @@ class ThreatAssessor:
             ego_state, ego_spec, actor_trajectory, actor_spec, t0
         ):
             return None
+        return self.build_threat(
+            ego_state, ego_spec, actor_trajectory, actor_spec, t0
+        )
+
+    def build_threat(
+        self,
+        ego_state: VehicleState,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0: float = 0.0,
+    ) -> TrajectoryThreat:
+        """The actor's threat view, collision gate already decided.
+
+        Callers that precomputed the gate — e.g. the offline evaluator's
+        :meth:`could_collide_trace` table — build threats directly;
+        :meth:`assess` is the gate-then-build convenience.
+        """
         corridor = None
         if self.params.gate_lateral:
             _, ego_d = self._path_coordinates(ego_state, ego_state)
@@ -290,6 +323,19 @@ class ThreatAssessor:
         local = frame.to_local(state.position)
         return local.x, local.y
 
+    def _path_coordinates_batch(
+        self, xs: np.ndarray, ys: np.ndarray, ego_state: VehicleState
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_path_coordinates` over many world points."""
+        if self.road is not None:
+            return self.road.to_frenet_batch(xs, ys)
+        frame = ego_state.frame()
+        dx = xs - frame.origin.x
+        dy = ys - frame.origin.y
+        cos_h = math.cos(frame.heading)
+        sin_h = math.sin(frame.heading)
+        return cos_h * dx + sin_h * dy, -sin_h * dx + cos_h * dy
+
     def _could_collide(
         self,
         ego_state: VehicleState,
@@ -305,22 +351,193 @@ class ThreatAssessor:
         half_lengths = (ego_spec.length + actor_spec.length) / 2.0
         rear_bumper = ego_s - half_lengths
 
-        actor_now = actor_trajectory.extrapolated_state_at(t0)
-        actor_s_now, _ = self._path_coordinates(actor_now, ego_state)
-        if actor_s_now < rear_bumper:
-            return False
-
         horizon = min(
             self.params.horizon,
             max(actor_trajectory.end_time - t0, 0.0) + self.gate_step,
         )
+        # The gate instants accumulate like the reference scalar loop
+        # did (t += step, not a closed-form grid), then project in one
+        # batched interpolation + Frenet conversion: this gate runs for
+        # every actor at every tick, and per-instant Python projection
+        # was the evaluator's second-largest interpreter cost.
+        gate_times = []
         t = 0.0
         while t <= horizon + 1e-9:
-            actor = actor_trajectory.extrapolated_state_at(t0 + t)
-            actor_s, actor_d = self._path_coordinates(actor, ego_state)
-            laterally_overlapping = abs(actor_d - ego_d) <= overlap_width
-            fully_ahead = actor_s >= ego_s + half_lengths
-            if laterally_overlapping and fully_ahead:
-                return True
+            gate_times.append(t0 + t)
             t += self.gate_step
-        return False
+        xs, ys, _ = actor_trajectory.sample_extrapolated(np.array(gate_times))
+        stations, laterals = self._path_coordinates_batch(xs, ys, ego_state)
+
+        if stations[0] < rear_bumper:
+            return False
+        laterally_overlapping = np.abs(laterals - ego_d) <= overlap_width
+        fully_ahead = stations >= ego_s + half_lengths
+        return bool(np.any(laterally_overlapping & fully_ahead))
+
+    def could_collide_trace(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized collision gate over every tick of a trace.
+
+        One interpolation and one Frenet conversion answer
+        :meth:`assess`'s gate question for all estimation instants at
+        once — element-for-element the same arithmetic as the per-tick
+        gate, so the verdicts are identical; only the per-tick
+        interpreter overhead (the offline evaluator's second-largest
+        cost) disappears. With ``gate_lateral`` off this is all-True,
+        mirroring :meth:`assess`.
+
+        Args:
+            ego_states: the ego state at each tick (``t0s``-aligned).
+            ego_spec / actor_trajectory / actor_spec: as in
+                :meth:`assess`.
+            t0s: the estimation instants.
+
+        Returns:
+            Boolean array: whether the actor could collide at each tick.
+        """
+        t0s = np.asarray(t0s, dtype=float)
+        if not self.params.gate_lateral:
+            return np.ones(t0s.shape, dtype=bool)
+        ego_xs = np.array([state.position.x for state in ego_states])
+        ego_ys = np.array([state.position.y for state in ego_states])
+        # Per-tick ego path coordinates. With a road these are absolute
+        # Frenet coordinates; without one, each tick's gate works in
+        # that tick's ego heading frame — where the ego itself sits at
+        # the origin, exactly as the scalar fallback computes it.
+        if self.road is not None:
+            ego_s, ego_d = self.road.to_frenet_batch(ego_xs, ego_ys)
+        else:
+            ego_s = np.zeros(t0s.shape)
+            ego_d = np.zeros(t0s.shape)
+        overlap_width = (
+            (ego_spec.width + actor_spec.width) / 2.0 + self.params.lateral_margin
+        )
+        half_lengths = (ego_spec.length + actor_spec.length) / 2.0
+
+        horizons = np.minimum(
+            self.params.horizon,
+            np.maximum(actor_trajectory.end_time - t0s, 0.0) + self.gate_step,
+        )
+        # The accumulated gate instants (t += step), shared by every
+        # tick; each tick masks the prefix its horizon admits — the
+        # same values and the same stop condition as the scalar loop.
+        gate_rel = []
+        t = 0.0
+        while t <= float(horizons.max()) + 1e-9:
+            gate_rel.append(t)
+            t += self.gate_step
+        gate_rel = np.array(gate_rel)
+        in_horizon = gate_rel[None, :] <= horizons[:, None] + 1e-9
+
+        queries = t0s[:, None] + gate_rel[None, :]
+        xs, ys, _ = actor_trajectory.sample_extrapolated(queries)
+        if self.road is not None:
+            stations, laterals = self.road.to_frenet_batch(xs, ys)
+        else:
+            stations = np.empty(queries.shape)
+            laterals = np.empty(queries.shape)
+            for n, state in enumerate(ego_states):
+                stations[n], laterals[n] = self._path_coordinates_batch(
+                    xs[n], ys[n], state
+                )
+
+        overlapping = np.abs(laterals - ego_d[:, None]) <= overlap_width
+        ahead = stations >= (ego_s + half_lengths)[:, None]
+        could = np.any(overlapping & ahead & in_horizon, axis=1)
+        behind = stations[:, 0] < ego_s - half_lengths
+        return could & ~behind
+
+    def sample_threats_trace(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        actor_trajectory: StateTrajectory,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+        rel_times: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`TrajectoryThreat.sample` across many ticks.
+
+        One interpolation answers every (tick, instant) threat query an
+        evaluation pass needs for this actor — element-for-element the
+        same arithmetic as building a per-tick :class:`TrajectoryThreat`
+        and sampling it (including the 10 ms corridor-mask
+        quantization), so the values are identical and only the
+        per-tick interpreter overhead disappears. Requires road
+        geometry when lateral gating is on (the no-road corridor works
+        in per-tick ego frames; those callers keep the per-tick path).
+
+        Args:
+            ego_states: ego state at each queried tick.
+            ego_spec / actor_trajectory / actor_spec: as in
+                :meth:`assess`.
+            t0s: the queried estimation instants (``ego_states``-aligned).
+            rel_times: scan instants relative to each tick.
+
+        Returns:
+            ``(s_n, v_an)`` arrays of shape ``(len(t0s), len(rel_times))``.
+        """
+        t0s = np.asarray(t0s, dtype=float)
+        rel_times = np.asarray(rel_times, dtype=float)
+        if self.params.gate_lateral and self.road is None:
+            raise EstimationError(
+                "trace-batched threat sampling needs road geometry "
+                "when lateral gating is on"
+            )
+        half_lengths = (ego_spec.length + actor_spec.length) / 2.0
+        queries = t0s[:, None] + rel_times[None, :]
+        xs, ys, speeds = actor_trajectory.sample_extrapolated(queries)
+        ego_xs = np.array([state.position.x for state in ego_states])
+        ego_ys = np.array([state.position.y for state in ego_states])
+        distances = np.hypot(
+            xs - ego_xs[:, None], ys - ego_ys[:, None]
+        )
+        gaps = np.maximum(0.0, distances - half_lengths)
+        if self.params.gate_lateral:
+            # The corridor mask on the same 10 ms-quantized instants
+            # the per-tick threat samples, for all ticks at once.
+            grid = np.arange(0.0, _MASK_SPAN, _MASK_STEP)
+            indices = np.clip(
+                np.rint(rel_times / _MASK_STEP).astype(int),
+                0,
+                grid.size - 1,
+            )
+            mask_queries = t0s[:, None] + grid[indices][None, :]
+            mask_xs, mask_ys, _ = actor_trajectory.sample_extrapolated(
+                mask_queries
+            )
+            # The road branch of CorridorSpec.lateral_offsets ignores
+            # the per-tick frame fields; one spec serves every tick.
+            corridor = CorridorSpec(
+                road=self.road,
+                ego_frame_origin=ego_states[0],
+                ego_lateral=0.0,
+                overlap_width=0.0,
+            )
+            offsets = corridor.lateral_offsets(mask_xs, mask_ys)
+            # Per-tick ego laterals go through the *scalar* projection —
+            # the same call build_threat makes — because np.hypot and
+            # math.hypot can disagree in the last ulp on curved roads,
+            # and a corridor-edge tick must land on the same side in
+            # both backends.
+            ego_lateral = np.array(
+                [
+                    self.road.to_frenet(state.position).d
+                    for state in ego_states
+                ]
+            )
+            overlap_width = (
+                (ego_spec.width + actor_spec.width) / 2.0
+                + self.params.lateral_margin
+            )
+            in_corridor = (
+                np.abs(offsets - ego_lateral[:, None]) <= overlap_width
+            )
+            gaps = np.where(in_corridor, gaps, np.inf)
+        return gaps, speeds

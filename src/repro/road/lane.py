@@ -12,9 +12,17 @@ import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geometry.vec import Vec2
 from repro.units import wrap_angle
+
+
+def _wrap_angles(angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.units.wrap_angle` (same formula)."""
+    wrapped = np.fmod(angles + math.pi, 2.0 * math.pi)
+    return np.where(wrapped <= 0.0, wrapped + 2.0 * math.pi, wrapped) - math.pi
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,17 @@ class Centerline(Protocol):
         """Frenet coordinates of the closest centerline point."""
         ...
 
+    def to_frenet_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_frenet`: ``(s, d)`` arrays of many points.
+
+        The per-point projection is the interpreter hot spot of threat
+        gating and corridor masking; every centerline provides a pure
+        array version so those layers never loop in Python.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class StraightCenterline:
@@ -95,6 +114,14 @@ class StraightCenterline:
         tangent = Vec2.unit(self.heading)
         delta = point - self.start
         return FrenetPoint(s=delta.dot(tangent), d=delta.dot(tangent.perp()))
+
+    def to_frenet_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cos_h, sin_h = math.cos(self.heading), math.sin(self.heading)
+        dx = np.asarray(xs, dtype=float) - self.start.x
+        dy = np.asarray(ys, dtype=float) - self.start.y
+        return dx * cos_h + dy * sin_h, dx * -sin_h + dy * cos_h
 
 
 @dataclass(frozen=True)
@@ -170,6 +197,21 @@ class ArcCenterline:
             sweep = wrap_angle(self.start_angle - angle)
             d = distance - self.radius
         return FrenetPoint(s=sweep * self.radius, d=d)
+
+    def to_frenet_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        dx = np.asarray(xs, dtype=float) - self.center.x
+        dy = np.asarray(ys, dtype=float) - self.center.y
+        distance = np.hypot(dx, dy)
+        angle = np.arctan2(dy, dx)
+        if self.turn_left:
+            sweep = _wrap_angles(angle - self.start_angle)
+            d = self.radius - distance
+        else:
+            sweep = _wrap_angles(self.start_angle - angle)
+            d = distance - self.radius
+        return sweep * self.radius, d
 
 
 class CompositeCenterline:
@@ -256,3 +298,49 @@ class CompositeCenterline:
                 best = FrenetPoint(offset + clamped_s, local.d)
         assert best is not None
         return best
+
+    def to_frenet_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        best_cost = np.full(xs.shape, math.inf)
+        best_s = np.zeros(xs.shape)
+        best_d = np.zeros(xs.shape)
+        for segment, offset in zip(self._segments, self._offsets):
+            s, d = segment.to_frenet_batch(xs, ys)
+            clamped = np.clip(s, 0.0, segment.length)
+            on_x, on_y = _centerline_points(segment, clamped)
+            cost = np.hypot(xs - on_x, ys - on_y)
+            outside = (s < 0.0) | (s > segment.length)
+            cost = cost + np.where(outside, np.abs(s - clamped), 0.0)
+            take = cost < best_cost
+            best_cost = np.where(take, cost, best_cost)
+            best_s = np.where(take, offset + clamped, best_s)
+            best_d = np.where(take, d, best_d)
+        return best_s, best_d
+
+
+def _centerline_points(
+    segment: Centerline, stations: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``point_at`` over an array of stations."""
+    if isinstance(segment, StraightCenterline):
+        return (
+            segment.start.x + math.cos(segment.heading) * stations,
+            segment.start.y + math.sin(segment.heading) * stations,
+        )
+    if isinstance(segment, ArcCenterline):
+        sweep = stations / segment.radius
+        angles = segment.start_angle + (
+            sweep if segment.turn_left else -sweep
+        )
+        return (
+            segment.center.x + segment.radius * np.cos(angles),
+            segment.center.y + segment.radius * np.sin(angles),
+        )
+    points = [segment.point_at(float(s)) for s in np.ravel(stations)]
+    return (
+        np.array([p.x for p in points]).reshape(np.shape(stations)),
+        np.array([p.y for p in points]).reshape(np.shape(stations)),
+    )

@@ -81,6 +81,10 @@ class Road:
         """Frenet coordinates of a world point on this road."""
         return self.centerline.to_frenet(point)
 
+    def to_frenet_batch(self, xs, ys):
+        """Vectorized :meth:`to_frenet`: ``(s, d)`` arrays of many points."""
+        return self.centerline.to_frenet_batch(xs, ys)
+
     def on_road(self, point: Vec2, margin: float = 0.0) -> bool:
         """Whether a world point lies on the paved surface."""
         frenet = self.to_frenet(point)

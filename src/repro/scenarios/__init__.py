@@ -8,10 +8,12 @@ full closed loop and returns a trace.
 
 from repro.scenarios.base import BuiltScenario, ScenarioSpec, jittered
 from repro.scenarios.catalog import (
+    DEFAULT_DENSITY_COUNTS,
     DEFAULT_SWEEP_SPEEDS,
     SCENARIO_NAMES,
     SCENARIOS,
     build_scenario,
+    density_sweep,
     speed_sweep,
 )
 
@@ -21,7 +23,9 @@ __all__ = [
     "jittered",
     "SCENARIOS",
     "SCENARIO_NAMES",
+    "DEFAULT_DENSITY_COUNTS",
     "DEFAULT_SWEEP_SPEEDS",
     "build_scenario",
+    "density_sweep",
     "speed_sweep",
 ]

@@ -480,32 +480,74 @@ def _cut_in_variant_actors(
     )
 
 
+def _vehicle_following_variant_actors(
+    road: Road, rng: np.random.Generator, ego_speed_mph: float
+) -> list[Actor]:
+    """The vehicle-following choreography rescaled to an ego speed.
+
+    The 50 m lead gap of the 70 mph baseline shrinks proportionally
+    (floored so the low-speed variants still leave a following task),
+    with the baseline's brake onset, deceleration and jitters.
+    """
+    speed = mph_to_mps(ego_speed_mph)
+    ratio = ego_speed_mph / 70.0
+    return [
+        Actor(
+            actor_id="lead",
+            road=road,
+            behavior=SuddenBrake(
+                trigger=AtTime(time=jittered(rng, 4.0, 0.15)),
+                decel=jittered(rng, 3.0, 0.1),
+                cruise_speed=speed,
+            ),
+            lane=1,
+            station=_EGO_START
+            + jittered(rng, max(50.0 * ratio, 18.0), 0.04),
+            speed=speed,
+        )
+    ]
+
+
+#: Per-family ego-speed-variant builders and their Table 1 activity tags.
+_SWEEP_FAMILIES: dict = {
+    "cut_out": (
+        _cut_out_actors,
+        {"front": True, "right": True, "left": True},
+    ),
+    "cut_in": (
+        _cut_in_variant_actors,
+        {"front": True, "right": False, "left": False},
+    ),
+    "vehicle_following": (
+        _vehicle_following_variant_actors,
+        {"front": True, "right": False, "left": False},
+    ),
+}
+
+
 def speed_sweep(
     speeds_mph: tuple[float, ...] = DEFAULT_SWEEP_SPEEDS,
     families: tuple[str, ...] = ("cut_out", "cut_in"),
 ) -> list[str]:
-    """Register ego-speed variants of the cut-out / cut-in families.
+    """Register ego-speed variants of the sweepable families.
 
     Campaigns need a grid wider than the nine Table 1 rows; this derives
-    ``<family>_<speed>mph`` scenarios (e.g. ``cut_out_50mph``) whose
-    choreography rescales with the ego speed. Registration is
-    idempotent — already-registered variants are simply returned again —
-    so expanding the catalog twice (CLI plus a library caller, or a
-    campaign reload) is safe.
+    ``<family>_<speed>mph`` scenarios (e.g. ``cut_out_50mph``,
+    ``vehicle_following_40mph``) whose choreography rescales with the
+    ego speed. Registration is idempotent — already-registered variants
+    are simply returned again — so expanding the catalog twice (CLI
+    plus a library caller, or a campaign reload) is safe.
 
     Returns the variant names, in (family, speed) order.
     """
-    builders = {
-        "cut_out": _cut_out_actors,
-        "cut_in": _cut_in_variant_actors,
-    }
     names: list[str] = []
     for family in families:
-        if family not in builders:
+        if family not in _SWEEP_FAMILIES:
             raise ConfigurationError(
-                f"unknown sweep family {family!r}; choose from {sorted(builders)}"
+                f"unknown sweep family {family!r}; "
+                f"choose from {sorted(_SWEEP_FAMILIES)}"
             )
-        builder = builders[family]
+        builder, activity = _SWEEP_FAMILIES[family]
         for speed in speeds_mph:
             if speed <= 0.0:
                 raise ConfigurationError(
@@ -525,11 +567,7 @@ def speed_sweep(
                     ego_speed_mph=speed,
                     ego_lane=1,
                     ego_station=_EGO_START,
-                    activity={
-                        "front": True,
-                        "right": family == "cut_out",
-                        "left": family == "cut_out",
-                    },
+                    activity=dict(activity),
                     paper_mrf="-",
                     build_road=_straight_road,
                     build_actors=(
@@ -541,8 +579,156 @@ def speed_sweep(
     return names
 
 
+#: Actor counts the default density sweep derives variants at.
+DEFAULT_DENSITY_COUNTS: tuple[int, ...] = (2, 4, 8)
+
+#: Base scenarios the density sweep can crowd with background traffic:
+#: ``family -> (queue start gap, variant duration)``. The queue gap is
+#: tuned per family so the approach sweeps the latency grid's middle —
+#: a stopped actor binds between roughly 150 and 300 m at highway
+#: speeds, and from ~20 m at urban speed — while staying past the base
+#: event's reach (the vehicle-following lead brakes from 70 mph over
+#: ~390 m; a nearer queue would be rear-ended through no perception
+#: fault). Durations trim the post-stop tail, where a stationary ego
+#: makes every actor trivially feasible.
+_DENSITY_FAMILIES: dict = {
+    "cut_out": (90.0, 18.0),
+    "cut_in": (300.0, 22.0),
+    "vehicle_following": (430.0, 20.0),
+}
+
+
+def _background_actors(
+    road: Road,
+    rng: np.random.Generator,
+    count: int,
+    ego_speed: float,
+    ego_lane: int,
+    ego_station: float,
+    queue_offset: float,
+) -> list[Actor]:
+    """``count`` background vehicles crowding the scene.
+
+    Even indices form a stopped queue ahead in the ego's lane — a
+    traffic jam past the base choreography. Each queued vehicle is a
+    genuine in-corridor threat whose tolerable latency sits mid-grid
+    while the ego approaches at speed (a stopped actor's distance
+    budget never grows, unlike moving traffic, which resolves at
+    ``l_max``), so the latency search has real work at every tick:
+    these are the workloads the batched engine exists for. The queue
+    starts ``queue_offset`` metres out — far enough that the nominal
+    planner always stops in time. Odd indices cruise the adjacent lanes ahead and
+    behind, loading the lateral threat gate instead. All placement is
+    seeded jitter, so a density variant is as reproducible as its base
+    scenario.
+    """
+    side_lanes = [lane for lane in (0, 1, 2) if lane != ego_lane]
+    actors: list[Actor] = []
+    for i in range(count):
+        rank = i // 2
+        if i % 2 == 0:
+            lane = ego_lane
+            station = (
+                ego_station + queue_offset + jittered(rng, 30.0, 0.15) * rank
+            )
+            speed = 0.0
+        else:
+            lane = side_lanes[rank % len(side_lanes)]
+            offset = jittered(rng, 22.0 + 18.0 * rank, 0.15)
+            station = ego_station + (offset if rank % 2 == 0 else -offset)
+            # Deep platoons behind a near-road-start ego stay on the road.
+            station = max(station, 4.0)
+            speed = ego_speed * (0.85 + 0.1 * (rank % 3))
+        actors.append(
+            Actor(
+                actor_id=f"background_{i}",
+                road=road,
+                behavior=Cruise(target_speed=speed),
+                lane=lane,
+                station=station,
+                speed=speed,
+            )
+        )
+    return actors
+
+
+def density_sweep(
+    counts: tuple[int, ...] = DEFAULT_DENSITY_COUNTS,
+    families: tuple[str, ...] = tuple(_DENSITY_FAMILIES),
+) -> list[str]:
+    """Register crowded variants of the Table 1 base scenarios.
+
+    ``<family>_dense<N>`` (e.g. ``cut_in_dense4``) keeps the family's
+    base choreography and adds ``N`` background vehicles — the
+    multi-actor workloads the batched latency engine is built for: each
+    extra in-lane actor is another full latency-grid solve per tick.
+    Idempotent, like :func:`speed_sweep`.
+
+    Returns the variant names, in (family, count) order.
+    """
+    names: list[str] = []
+    for family in families:
+        if family not in _DENSITY_FAMILIES:
+            raise ConfigurationError(
+                f"unknown density family {family!r}; "
+                f"choose from {sorted(_DENSITY_FAMILIES)}"
+            )
+        base = SCENARIOS[family]
+        for count in counts:
+            if count < 1:
+                raise ConfigurationError(
+                    f"density counts must be positive, got {count}"
+                )
+            name = f"{family}_dense{count}"
+            names.append(name)
+            if name in SCENARIOS:
+                continue
+
+            def build(
+                road: Road,
+                rng: np.random.Generator,
+                _base: ScenarioSpec = base,
+                _count: int = count,
+                _offset: float = _DENSITY_FAMILIES[family][0],
+            ) -> list[Actor]:
+                actors = _base.build_actors(road, rng)
+                return actors + _background_actors(
+                    road,
+                    rng,
+                    _count,
+                    ego_speed=mph_to_mps(_base.ego_speed_mph),
+                    ego_lane=_base.ego_lane,
+                    ego_station=_base.ego_station,
+                    queue_offset=_offset,
+                )
+
+            _register(
+                ScenarioSpec(
+                    name=name,
+                    description=(
+                        f"{family.replace('_', '-')} with {count} "
+                        "background vehicle(s) (density-sweep variant)"
+                    ),
+                    ego_speed_mph=base.ego_speed_mph,
+                    ego_lane=base.ego_lane,
+                    ego_station=base.ego_station,
+                    activity={"front": True, "right": True, "left": True},
+                    paper_mrf="-",
+                    build_road=base.build_road,
+                    build_actors=build,
+                    duration=_DENSITY_FAMILIES[family][1],
+                )
+            )
+    return names
+
+
 #: Shape of a speed-sweep variant name, e.g. ``cut_out_50mph``.
-_SWEEP_NAME = re.compile(r"^(cut_out|cut_in)_(\d+(?:\.\d+)?)mph$")
+_SWEEP_NAME = re.compile(
+    r"^(cut_out|cut_in|vehicle_following)_(\d+(?:\.\d+)?)mph$"
+)
+
+#: Shape of a density-sweep variant name, e.g. ``cut_in_dense4``.
+_DENSITY_NAME = re.compile(r"^(cut_out|cut_in|vehicle_following)_dense(\d+)$")
 
 
 def ensure_scenario(name: str) -> bool:
@@ -550,18 +736,26 @@ def ensure_scenario(name: str) -> bool:
 
     The registry is process-local mutable state: a worker process under
     a ``spawn`` start method, or a fresh process reloading a campaign
-    JSONL, has not seen the parent's ``speed_sweep()`` call. Any name
-    matching the sweep pattern carries its own recipe, so it can be
-    re-derived here instead of failing. Returns whether the name is
-    registered afterwards.
+    JSONL, has not seen the parent's ``speed_sweep()`` /
+    :func:`density_sweep` call. Any name matching a sweep pattern
+    carries its own recipe, so it can be re-derived here instead of
+    failing. Returns whether the name is registered afterwards.
     """
     if name in SCENARIOS:
         return True
     match = _SWEEP_NAME.match(name)
-    if match is None:
-        return False
-    speed_sweep(speeds_mph=(float(match.group(2)),), families=(match.group(1),))
-    return name in SCENARIOS
+    if match is not None:
+        speed_sweep(
+            speeds_mph=(float(match.group(2)),), families=(match.group(1),)
+        )
+        return name in SCENARIOS
+    match = _DENSITY_NAME.match(name)
+    if match is not None:
+        density_sweep(
+            counts=(int(match.group(2)),), families=(match.group(1),)
+        )
+        return name in SCENARIOS
+    return False
 
 
 def build_scenario(name: str, seed: int = 0) -> BuiltScenario:

@@ -231,6 +231,85 @@ class TestKillAndResume:
             "SimulationError: boom"
         )
 
+    def test_retry_failed_reexecutes_deterministic_errors(
+        self, campaign, uninterrupted, tmp_path
+    ):
+        from repro.batch import RunSummary
+
+        full_path, full = uninterrupted
+        # A file whose index-0 summary is a deterministic error (say, a
+        # since-fixed bug) and whose index-1 summary is a WorkerError:
+        # plain resume re-runs only the WorkerError cell; --retry-failed
+        # forces both, converging to the clean uninterrupted file.
+        path = tmp_path / "mixed.jsonl"
+        spec0 = campaign.runs()[0]
+        failed = RunSummary(
+            index=0, scenario=spec0.scenario, seed=spec0.seed,
+            fpr=spec0.fpr, variant=spec0.variant, collided=False,
+            error="SimulationError: since-fixed bug",
+        )
+        crashed = RunSummary(
+            index=1, scenario=campaign.runs()[1].scenario,
+            seed=campaign.runs()[1].seed, fpr=campaign.runs()[1].fpr,
+            variant=campaign.runs()[1].variant, collided=False,
+            error="WorkerError: BrokenProcessPool",
+        )
+        CampaignResult(campaign, [failed, crashed]).save_jsonl(path)
+
+        executed: list[int] = []
+        resumed = CampaignRunner(workers=1).resume(
+            path,
+            lambda done, total, s: executed.append(s.index),
+            retry_failed=True,
+        )
+        assert sorted(executed) == [0, 1, 2, 3]
+        assert not resumed.failures()
+        # Byte-converged to the uninterrupted file, footer aside.
+        assert (
+            path.read_text().splitlines()[:-1]
+            == full_path.read_text().splitlines()[:-1]
+        )
+
+    def test_retry_failed_on_complete_footered_file(
+        self, campaign, uninterrupted, tmp_path
+    ):
+        import json as json_mod
+
+        from repro.batch import RunSummary
+
+        full_path, full = uninterrupted
+        # Complete file (footer present) whose index-2 summary errored:
+        # plain resume is a no-op; retry_failed re-runs just that cell.
+        path = tmp_path / "complete_with_error.jsonl"
+        lines = full_path.read_text().splitlines()
+        spec = campaign.runs()[2]
+        errored = {
+            "kind": "run",
+            **RunSummary(
+                index=2, scenario=spec.scenario, seed=spec.seed,
+                fpr=spec.fpr, variant=spec.variant, collided=False,
+                error="EstimationError: transient",
+            ).to_dict(),
+        }
+        lines[3] = json_mod.dumps(errored)  # header + runs 0..1, then 2
+        path.write_text("\n".join(lines) + "\n")
+
+        untouched = CampaignRunner(workers=1).resume(path, None)
+        assert [s.index for s in untouched.failures()] == [2]
+
+        executed: list[int] = []
+        resumed = CampaignRunner(workers=1).resume(
+            path,
+            lambda done, total, s: executed.append(s.index),
+            retry_failed=True,
+        )
+        assert executed == [2]
+        assert not resumed.failures()
+        assert (
+            path.read_text().splitlines()[:-1]
+            == full_path.read_text().splitlines()[:-1]
+        )
+
     def test_resume_of_complete_file_runs_nothing(self, uninterrupted):
         path, result = uninterrupted
         before = path.read_text()

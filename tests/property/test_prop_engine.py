@@ -1,0 +1,171 @@
+"""Property-based parity: batched engine vs the scalar EXACT search.
+
+The engine promises bit-identical results — latency, check time and
+the iterations count — for arbitrary ego states, threats and current
+latencies, including the subtle corners: unavoidable collisions, the
+``t_r``-window insertion (a reaction time falling between ``tn_step``
+multiples), and gaps so tight the feasible window is narrower than one
+scan step.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import LatencyEngine
+from repro.core.ego_profile import EgoMotion
+from repro.core.latency import LatencySearch
+from repro.core.parameters import ZhuyiParams
+from repro.core.threat import FixedGapThreat, TrajectoryThreat
+from repro.dynamics.state import (
+    StateTrajectory,
+    TimedState,
+    VehicleSpec,
+    VehicleState,
+)
+from repro.geometry.vec import Vec2
+
+PARAMS = ZhuyiParams()
+SPEC = VehicleSpec()
+
+ego_speed = st.floats(min_value=0.0, max_value=40.0)
+ego_accel = st.floats(min_value=-6.0, max_value=4.0)
+gap = st.floats(min_value=0.0, max_value=300.0)
+actor_speed = st.floats(min_value=0.0, max_value=40.0)
+l0 = st.floats(min_value=1.0 / 30.0, max_value=1.0)
+strict = st.booleans()
+
+relaxed = settings(max_examples=60, deadline=None)
+
+
+def assert_same(scalar, batched):
+    assert scalar.latency == batched.latency
+    assert scalar.check_time == batched.check_time
+    assert scalar.iterations == batched.iterations
+
+
+class TestFixedGapParity:
+    @relaxed
+    @given(ego_speed, ego_accel, gap, actor_speed, l0, strict)
+    def test_exact_parity(self, v, a, g, va, current, is_strict):
+        motion = EgoMotion.from_state(v, a, PARAMS)
+        threat = FixedGapThreat(g, va)
+        scalar = LatencySearch(params=PARAMS, strict=is_strict)
+        engine = LatencyEngine(params=PARAMS, strict=is_strict)
+        assert_same(
+            scalar.tolerable_latency(motion, threat, current),
+            engine.solve(motion, threat, current),
+        )
+
+    @relaxed
+    @given(
+        ego_speed,
+        st.floats(min_value=0.1, max_value=60.0),
+        actor_speed,
+        st.floats(min_value=0.01, max_value=0.05),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_tr_window_edges(self, v, g, va, step, k):
+        # Odd tn_steps and confirmation multipliers park t_r between
+        # grid points, where a sub-step feasible window can open
+        # exactly at t_r — the union1d insertion the kernel replays in
+        # index arithmetic.
+        params = ZhuyiParams(tn_step=step, k=k)
+        motion = EgoMotion.from_state(v, 0.0, params)
+        threat = FixedGapThreat(g, va)
+        assert_same(
+            LatencySearch(params=params).tolerable_latency(
+                motion, threat, 1.0 / 30.0
+            ),
+            LatencyEngine(params=params).solve(motion, threat, 1.0 / 30.0),
+        )
+
+    @relaxed
+    @given(ego_speed, actor_speed, l0)
+    def test_unavoidable_parity(self, v, va, current):
+        # Zero gap with a moving ego: infeasible all the way down.
+        motion = EgoMotion.from_state(v, 0.0, PARAMS)
+        threat = FixedGapThreat(0.0, va)
+        assert_same(
+            LatencySearch(params=PARAMS).tolerable_latency(
+                motion, threat, current
+            ),
+            LatencyEngine(params=PARAMS).solve(motion, threat, current),
+        )
+
+
+trajectory_points = st.lists(
+    st.tuples(
+        st.floats(min_value=-3.0, max_value=12.0),  # x displacement step
+        st.floats(min_value=-2.0, max_value=2.0),  # y
+        st.floats(min_value=0.0, max_value=30.0),  # speed
+    ),
+    min_size=2,
+    max_size=7,
+)
+
+
+class TestTrajectoryParity:
+    @relaxed
+    @given(ego_speed, ego_accel, st.floats(5.0, 120.0), trajectory_points, l0)
+    def test_trajectory_threat_parity(self, v, a, start_x, points, current):
+        samples = []
+        x = start_x
+        for index, (dx, y, speed) in enumerate(points):
+            x += dx
+            samples.append(
+                TimedState(
+                    1.3 * index,
+                    VehicleState(
+                        position=Vec2(x, y), heading=0.0, speed=speed, accel=0.0
+                    ),
+                )
+            )
+        trajectory = StateTrajectory(samples)
+        ego_state = VehicleState(
+            position=Vec2(0.0, 0.0), heading=0.0, speed=v, accel=a
+        )
+        motion = EgoMotion.from_state(v, a, PARAMS)
+        threat = TrajectoryThreat(ego_state, SPEC, trajectory, SPEC)
+        assert_same(
+            LatencySearch(params=PARAMS).tolerable_latency(
+                motion, threat, current
+            ),
+            LatencyEngine(params=PARAMS).solve(motion, threat, current),
+        )
+
+
+class TestRowsParity:
+    @relaxed
+    @given(
+        st.lists(st.tuples(ego_speed, ego_accel), min_size=1, max_size=4),
+        st.lists(st.tuples(gap, actor_speed), min_size=1, max_size=3),
+        l0,
+    )
+    def test_trace_rows_match_scalar(self, egos, threat_params, current):
+        # The trace-level row solver (the evaluator's hot path) against
+        # the scalar loop, across ticks with differing ego states.
+        motions = [EgoMotion.from_state(v, a, PARAMS) for v, a in egos]
+        threats = [FixedGapThreat(g, va) for g, va in threat_params]
+        engine = LatencyEngine(params=PARAMS)
+        grid = engine.trace_grid(motions, current)
+        rel_times = np.concatenate([grid.times, grid.reactions])
+        ticks, gaps, speeds = [], [], []
+        for tick in range(len(motions)):
+            for threat in threats:
+                g, s = threat.sample(rel_times)
+                ticks.append(tick)
+                gaps.append(g)
+                speeds.append(s)
+        rows = engine.solve_rows(
+            grid, np.array(ticks), motions, np.stack(gaps), np.stack(speeds)
+        )
+        scalar = LatencySearch(params=PARAMS)
+        k = 0
+        for tick in range(len(motions)):
+            for threat in threats:
+                assert_same(
+                    scalar.tolerable_latency(motions[tick], threat, current),
+                    rows[k],
+                )
+                k += 1

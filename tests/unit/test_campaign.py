@@ -542,3 +542,64 @@ class TestSweepVariantRoundTrip:
         ).save_jsonl(path)
         loaded = CampaignResult.load_jsonl(path)
         assert loaded.campaign.scenarios == ("cut_out_37mph",)
+
+
+class TestBackendSelector:
+    def test_default_backend_is_batched(self):
+        campaign = Campaign(scenarios=("cut_in",))
+        assert campaign.backend == "batched"
+        assert all(spec.backend == "batched" for spec in campaign.runs())
+
+    def test_scalar_backend_threads_into_specs(self):
+        campaign = Campaign(scenarios=("cut_in",), backend="scalar")
+        assert all(spec.backend == "scalar" for spec in campaign.runs())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(scenarios=("cut_in",), backend="gpu")
+
+    def test_backend_round_trips_through_dict(self):
+        campaign = Campaign(scenarios=("cut_in",), backend="scalar")
+        assert Campaign.from_dict(campaign.to_dict()) == campaign
+
+    def test_headers_without_backend_still_load(self):
+        # Pre-backend files carry no "backend" key.
+        data = Campaign(scenarios=("cut_in",)).to_dict()
+        del data["backend"]
+        assert Campaign.from_dict(data).backend == "batched"
+
+
+class TestRetryFailedCache:
+    def test_default_keeps_deterministic_failures(self):
+        campaign = Campaign(scenarios=("cut_in",), seeds=(0, 1, 2))
+        result = CampaignResult(
+            campaign,
+            [
+                summary(0),
+                summary(1, error="SimulationError: boom"),
+                summary(2, error="WorkerError: killed"),
+            ],
+        )
+        cache = result.resume_cache()
+        assert set(cache) == {0, 1}
+
+    def test_retry_failed_purges_all_errors(self):
+        campaign = Campaign(scenarios=("cut_in",), seeds=(0, 1, 2))
+        result = CampaignResult(
+            campaign,
+            [
+                summary(0),
+                summary(1, error="SimulationError: boom"),
+                summary(2, error="WorkerError: killed"),
+            ],
+        )
+        cache = result.resume_cache(retry_failed=True)
+        assert set(cache) == {0}
+
+    def test_retry_failed_keeps_collisions(self):
+        # A collision is a result, not a failure: never re-executed.
+        campaign = Campaign(scenarios=("cut_in",), seeds=(0, 1))
+        result = CampaignResult(
+            campaign, [summary(0, collided=True), summary(1)]
+        )
+        assert set(result.resume_cache(retry_failed=True)) == {0, 1}

@@ -39,6 +39,22 @@ class TestParser:
         assert args.shard is None
         assert not args.expand_speeds
 
+    def test_campaign_backend_flag(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.backend == "batched"
+        args = build_parser().parse_args(["campaign", "--backend", "scalar"])
+        assert args.backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "gpu"])
+
+    def test_campaign_retry_failed_flag(self):
+        args = build_parser().parse_args(["campaign"])
+        assert not args.retry_failed
+        args = build_parser().parse_args(
+            ["campaign", "--resume", "c.jsonl", "--retry-failed"]
+        )
+        assert args.retry_failed
+
     def test_campaign_resume_and_shard_flags(self):
         args = build_parser().parse_args(
             ["campaign", "--resume", "campaign.jsonl"]
@@ -132,6 +148,17 @@ class TestCampaignCommand:
             assert main(["campaign", "--resume", "x.jsonl", *flags]) == 2
             assert "--resume" in capsys.readouterr().err
 
+    def test_resume_rejects_backend_flag(self, capsys):
+        assert (
+            main(["campaign", "--resume", "x.jsonl", "--backend", "scalar"])
+            == 2
+        )
+        assert "--resume" in capsys.readouterr().err
+
+    def test_retry_failed_without_resume_exits_nonzero(self, capsys):
+        assert main(["campaign", "cut_in", "--retry-failed"]) == 2
+        assert "--retry-failed" in capsys.readouterr().err
+
     def test_unwritable_out_exits_nonzero(self, tmp_path, capsys):
         target = tmp_path / "no" / "such" / "dir" / "c.jsonl"
         code = main(
@@ -144,6 +171,51 @@ class TestCampaignCommand:
         path = tmp_path / "missing.jsonl"
         assert main(["campaign", "--resume", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_resume_retry_failed_interaction_with_worker_retry(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.batch import Campaign, CampaignResult, RunSummary
+
+        # A partial with one deterministic error (index 0) and one
+        # WorkerError (index 1). Plain --resume auto-retries only the
+        # WorkerError and keeps the deterministic failure (exit 1);
+        # --retry-failed forces that one too (exit 0).
+        campaign = Campaign(
+            scenarios=("cut_in", "vehicle_following"), stride=0.5
+        )
+        specs = campaign.runs()
+        records = [
+            RunSummary(
+                index=0, scenario=specs[0].scenario, seed=specs[0].seed,
+                fpr=specs[0].fpr, variant=specs[0].variant, collided=False,
+                error="SimulationError: since-fixed bug",
+            ),
+            RunSummary(
+                index=1, scenario=specs[1].scenario, seed=specs[1].seed,
+                fpr=specs[1].fpr, variant=specs[1].variant, collided=False,
+                error="WorkerError: BrokenProcessPool",
+            ),
+        ]
+        path = tmp_path / "partial.jsonl"
+        CampaignResult(campaign, records).save_jsonl(path)
+
+        assert main(["campaign", "--resume", str(path)]) == 1
+        out = capsys.readouterr()
+        assert "1 of 2 runs already recorded" in out.out  # WorkerError purged
+        reloaded = CampaignResult.load_jsonl(path)
+        assert [s.index for s in reloaded.failures()] == [0]
+        assert reloaded.summaries[1].ok  # the crashed cell re-ran
+
+        assert main(["campaign", "--resume", str(path), "--retry-failed"]) == 0
+        out = capsys.readouterr()
+        assert "0 of 2 runs already recorded" not in out.out
+        final = CampaignResult.load_jsonl(path)
+        assert not final.failures()
+        assert final.is_complete
 
     @pytest.mark.slow
     def test_campaign_jsonl_round_trip(self, tmp_path, capsys):

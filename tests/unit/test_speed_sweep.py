@@ -90,3 +90,103 @@ class TestValidation:
     def test_non_positive_speed_rejected(self):
         with pytest.raises(ConfigurationError):
             speed_sweep(speeds_mph=(0.0,))
+
+
+class TestVehicleFollowingFamily:
+    def test_family_registers(self):
+        names = speed_sweep(
+            speeds_mph=(30.0, 60.0), families=("vehicle_following",)
+        )
+        assert names == [
+            "vehicle_following_30mph",
+            "vehicle_following_60mph",
+        ]
+        for name in names:
+            assert name in SCENARIOS
+            assert SCENARIOS[name].activity == {
+                "front": True,
+                "right": False,
+                "left": False,
+            }
+
+    def test_variant_buildable_with_scaled_gap(self):
+        speed_sweep(speeds_mph=(30.0,), families=("vehicle_following",))
+        built = build_scenario("vehicle_following_30mph", seed=1)
+        actors = built.build_actors()
+        assert [a.actor_id for a in actors] == ["lead"]
+        # The 50 m baseline gap shrinks with the 30/70 speed ratio.
+        gap = actors[0].station - SCENARIOS["vehicle_following_30mph"].ego_station
+        assert 15.0 < gap < 30.0
+
+    def test_ensure_scenario_derives_it(self):
+        from repro.scenarios.catalog import ensure_scenario
+
+        assert "vehicle_following_23mph" not in SCENARIOS
+        assert ensure_scenario("vehicle_following_23mph")
+        assert SCENARIOS["vehicle_following_23mph"].ego_speed_mph == 23.0
+
+
+class TestDensitySweep:
+    def test_default_registration(self):
+        from repro.scenarios import DEFAULT_DENSITY_COUNTS, density_sweep
+
+        names = density_sweep()
+        assert len(names) == 3 * len(DEFAULT_DENSITY_COUNTS)
+        assert "cut_in_dense4" in names
+        for name in names:
+            assert name in SCENARIOS
+
+    def test_idempotent(self):
+        from repro.scenarios import density_sweep
+
+        first = density_sweep()
+        before = len(SCENARIOS)
+        assert density_sweep() == first
+        assert len(SCENARIOS) == before
+
+    def test_background_actor_count_and_determinism(self):
+        from repro.scenarios import density_sweep
+
+        density_sweep(counts=(6,), families=("cut_in",))
+        built = build_scenario("cut_in_dense6", seed=2)
+        actors = built.build_actors()
+        backgrounds = [
+            a for a in actors if a.actor_id.startswith("background_")
+        ]
+        assert len(backgrounds) == 6
+        ids = [a.actor_id for a in actors]
+        assert len(ids) == len(set(ids))
+        again = build_scenario("cut_in_dense6", seed=2).build_actors()
+        assert [a.station for a in actors] == [a.station for a in again]
+
+    def test_queue_is_stopped_and_in_ego_lane(self):
+        from repro.scenarios import density_sweep
+
+        density_sweep(counts=(4,), families=("vehicle_following",))
+        built = build_scenario("vehicle_following_dense4", seed=0)
+        spec = SCENARIOS["vehicle_following_dense4"]
+        queue = [
+            a
+            for a in built.build_actors()
+            if a.actor_id.startswith("background_") and a.speed == 0.0
+        ]
+        assert len(queue) == 2  # even indices of 4
+        for actor in queue:
+            assert actor.lane == spec.ego_lane
+            assert actor.station > spec.ego_station + 400.0
+
+    def test_ensure_scenario_derives_density_names(self):
+        from repro.scenarios.catalog import ensure_scenario
+
+        assert "cut_out_dense3" not in SCENARIOS
+        assert ensure_scenario("cut_out_dense3")
+        assert not ensure_scenario("cut_out_dense")
+        assert not ensure_scenario("warp_dense4")
+
+    def test_validation(self):
+        from repro.scenarios import density_sweep
+
+        with pytest.raises(ConfigurationError):
+            density_sweep(families=("teleport",))
+        with pytest.raises(ConfigurationError):
+            density_sweep(counts=(0,))

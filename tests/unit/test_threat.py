@@ -173,3 +173,118 @@ class TestThreatAssessorGating:
         assert self.assessor.assess(
             self.ego, self.spec, trajectory, self.spec
         ) is None
+
+
+class TestSampleGrid:
+    def test_shape_preserved(self):
+        from repro.core.threat import sample_grid
+
+        threat = FixedGapThreat(gap=12.0, actor_speed=3.0)
+        times = np.linspace(0.0, 4.0, 12).reshape(3, 4)
+        gaps, speeds = sample_grid(threat, times)
+        assert gaps.shape == (3, 4) and speeds.shape == (3, 4)
+        assert np.all(gaps == 12.0) and np.all(speeds == 3.0)
+
+    def test_matches_flat_sample(self):
+        from repro.core.threat import sample_grid
+
+        spec = VehicleSpec()
+        trajectory = straight_trajectory(30.0, 0.0, speed=8.0)
+        threat = TrajectoryThreat(vstate(0.0), spec, trajectory, spec)
+        times = np.linspace(0.0, 6.0, 10).reshape(2, 5)
+        gaps, speeds = sample_grid(threat, times)
+        flat_gaps, flat_speeds = threat.sample(times.ravel())
+        assert np.array_equal(gaps.ravel(), flat_gaps)
+        assert np.array_equal(speeds.ravel(), flat_speeds)
+
+
+class TestTraceGate:
+    """could_collide_trace == the per-tick gate, every tick."""
+
+    spec = VehicleSpec()
+
+    def _states(self, times):
+        return [vstate(20.0 * t, 0.0, speed=20.0) for t in times]
+
+    @pytest.mark.parametrize("lane_y", [0.0, 3.5])
+    def test_matches_per_tick_assess(self, lane_y):
+        from repro.road.track import three_lane_straight_road
+
+        road = three_lane_straight_road(length=1500.0)
+        assessor = ThreatAssessor(params=ZhuyiParams(), road=road)
+        trajectory = straight_trajectory(60.0, lane_y, speed=4.0, duration=20.0)
+        times = np.arange(0.0, 18.0, 0.4)
+        ego_states = self._states(times)
+        table = assessor.could_collide_trace(
+            ego_states, self.spec, trajectory, self.spec, times
+        )
+        for state, t0, verdict in zip(ego_states, times, table):
+            per_tick = (
+                assessor.assess(
+                    state, self.spec, trajectory, self.spec, t0=float(t0)
+                )
+                is not None
+            )
+            assert per_tick == bool(verdict), t0
+
+    def test_gate_disabled_all_true(self):
+        assessor = ThreatAssessor(params=ZhuyiParams(gate_lateral=False))
+        trajectory = straight_trajectory(60.0, 0.0, speed=4.0)
+        times = np.arange(0.0, 3.0, 0.5)
+        table = assessor.could_collide_trace(
+            self._states(times), self.spec, trajectory, self.spec, times
+        )
+        assert table.all()
+
+
+class TestTraceSampler:
+    """sample_threats_trace == per-tick TrajectoryThreat.sample, bit for bit."""
+
+    spec = VehicleSpec()
+
+    def test_matches_per_tick_threats(self):
+        from repro.road.track import three_lane_straight_road
+
+        road = three_lane_straight_road(length=1500.0)
+        assessor = ThreatAssessor(params=ZhuyiParams(), road=road)
+        # A cut-in-ish trajectory: starts in the next lane, merges.
+        samples = []
+        for t in np.arange(0.0, 15.25, 0.25):
+            y = max(0.0, 3.5 - 0.5 * t)
+            samples.append(TimedState(float(t), vstate(50.0 + 6.0 * t, y, 6.0)))
+        trajectory = StateTrajectory(samples)
+        t0s = np.arange(0.0, 12.0, 0.8)
+        ego_states = [vstate(5.0 * t, 0.0, speed=5.0) for t in t0s]
+        rel_times = np.arange(0.0, 9.0, 0.037)
+
+        gaps, speeds = assessor.sample_threats_trace(
+            ego_states, self.spec, trajectory, self.spec, t0s, rel_times
+        )
+        for n, (state, t0) in enumerate(zip(ego_states, t0s)):
+            threat = assessor.build_threat(
+                state, self.spec, trajectory, self.spec, t0=float(t0)
+            )
+            tick_gaps, tick_speeds = threat.sample(rel_times)
+            assert np.array_equal(gaps[n], tick_gaps), t0
+            assert np.array_equal(speeds[n], tick_speeds), t0
+
+    def test_requires_road_when_gated(self):
+        assessor = ThreatAssessor(params=ZhuyiParams(), road=None)
+        trajectory = straight_trajectory(30.0, 0.0, speed=5.0)
+        with pytest.raises(EstimationError):
+            assessor.sample_threats_trace(
+                [vstate(0.0)], self.spec, trajectory, self.spec,
+                np.array([0.0]), np.array([0.0, 0.1]),
+            )
+
+    def test_gate_disabled_skips_corridor(self):
+        assessor = ThreatAssessor(params=ZhuyiParams(gate_lateral=False))
+        trajectory = straight_trajectory(30.0, 0.0, speed=5.0)
+        t0s = np.array([0.0, 1.0])
+        rel = np.arange(0.0, 2.0, 0.5)
+        gaps, speeds = assessor.sample_threats_trace(
+            [vstate(0.0), vstate(5.0)], self.spec, trajectory, self.spec,
+            t0s, rel,
+        )
+        assert gaps.shape == (2, rel.size)
+        assert np.isfinite(gaps).all()
