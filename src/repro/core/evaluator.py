@@ -138,6 +138,10 @@ class TraceSamples:
         actor_states: per-actor states at each tick.
         actor_trajectories: the full interpolated trajectories, still
             needed by the threat assessor for future lookups.
+        actor_positions: per-actor ``(xs, ys)`` position arrays at each
+            tick — the same floats as ``actor_states`` positions, kept
+            in array form for the batched visibility tables. ``None``
+            on hand-built samples; the evaluator re-derives them.
     """
 
     stride: float
@@ -145,6 +149,7 @@ class TraceSamples:
     ego_states: Sequence
     actor_states: Mapping[str, Sequence]
     actor_trajectories: Mapping[str, object]
+    actor_positions: Mapping[str, tuple[np.ndarray, np.ndarray]] | None = None
 
 
 def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
@@ -174,15 +179,24 @@ def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
     end = trace.steps[-1].time
     count = int(np.floor((end - start) / stride + 1e-9)) + 1
     times = start + stride * np.arange(count)
+    # One interpolation pass per actor yields both the state objects
+    # and the position arrays (StateTrajectory.sample_ticks).
+    actor_ticks = {
+        actor_id: trajectory.sample_ticks(times)
+        for actor_id, trajectory in actor_trajectories.items()
+    }
     return TraceSamples(
         stride=stride,
         times=times,
         ego_states=ego_trajectory.sample_states(times),
         actor_states={
-            actor_id: trajectory.sample_states(times)
-            for actor_id, trajectory in actor_trajectories.items()
+            actor_id: states for actor_id, (states, _) in actor_ticks.items()
         },
         actor_trajectories=actor_trajectories,
+        actor_positions={
+            actor_id: positions
+            for actor_id, (_, positions) in actor_ticks.items()
+        },
     )
 
 
@@ -202,10 +216,14 @@ class OfflineEvaluator:
             the catalog scenarios.
         backend: ``"batched"`` (default) solves each tick's whole actor
             batch through the :class:`repro.core.engine.LatencyEngine`
-            array kernel; ``"scalar"`` runs the per-actor reference
-            loop. Results are bit-identical; only the clock differs. A
-            PAPER-strategy ``search`` always runs scalar (Eq 3 stepping
-            is sequential by construction).
+            array kernel and groups actors by camera FOV through the
+            trace-level Equation 5 visibility tables
+            (:meth:`repro.perception.sensor.CameraRig.visible_actors_trace`);
+            ``"scalar"`` runs the per-actor, per-tick reference loop.
+            Results are bit-identical; only the clock differs. A
+            PAPER-strategy ``search`` always solves latencies scalar
+            (Eq 3 stepping is sequential by construction), though the
+            visibility tables still batch.
     """
 
     params: ZhuyiParams = field(default_factory=ZhuyiParams)
@@ -254,11 +272,7 @@ class OfflineEvaluator:
             The per-camera FPR series over the trace.
         """
         if l0 is None:
-            if trace.nominal_fpr is None:
-                raise EstimationError(
-                    "trace has no nominal FPR; pass l0 explicitly"
-                )
-            l0 = 1.0 / trace.nominal_fpr
+            l0 = trace.default_l0()
 
         if samples is None:
             samples = presample_trace(trace, self.stride)
@@ -301,6 +315,24 @@ class OfflineEvaluator:
                 trace, samples, assessor, gate_tables, l0
             )
 
+        # Equation 5 FOV grouping for every tick in one array program —
+        # the trace-level visibility kernel (groupings bit-identical to
+        # the per-tick rig.visible_actors the scalar backend runs).
+        visibility_tables = None
+        if self.backend == "batched":
+            positions = samples.actor_positions
+            if positions is None:
+                positions = {
+                    actor_id: (
+                        np.array([state.position.x for state in states]),
+                        np.array([state.position.y for state in states]),
+                    )
+                    for actor_id, states in actor_states.items()
+                }
+            visibility_tables = self.rig.visible_actors_trace(
+                ego_states, positions
+            )
+
         ticks = [
             self._evaluate_tick(
                 float(times[i]),
@@ -313,6 +345,9 @@ class OfflineEvaluator:
                 l0,
                 precomputed=(
                     None if latency_tables is None else latency_tables[i]
+                ),
+                visibility=(
+                    None if visibility_tables is None else visibility_tables[i]
                 ),
             )
             for i in range(len(times))
@@ -416,6 +451,7 @@ class OfflineEvaluator:
         assessor: ThreatAssessor,
         l0: float,
         precomputed: dict[str, float | None] | None = None,
+        visibility: Mapping[str, Sequence] | None = None,
     ) -> EvaluationTick:
         actor_positions = {
             actor_id: actor_states_now[actor_id].position
@@ -457,7 +493,8 @@ class OfflineEvaluator:
                     for actor_id, threat in threats.items()
                 }
 
-        visibility = self.rig.visible_actors(ego_state, actor_positions)
+        if visibility is None:
+            visibility = self.rig.visible_actors(ego_state, actor_positions)
         estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)
         return EvaluationTick(
             time=t0,

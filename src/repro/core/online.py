@@ -13,14 +13,18 @@ positions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.aggregation import Aggregator, PercentileAggregator
 from repro.core.ego_profile import EgoMotion
 from repro.core.engine import LatencyEngine
-from repro.core.evaluator import EvaluationTick
+from repro.core.evaluator import (
+    EvaluationSeries,
+    EvaluationTick,
+    presample_trace,
+)
 from repro.core.fpr import estimate_camera_fprs
 from repro.core.latency import (
     BACKENDS,
@@ -33,9 +37,10 @@ from repro.core.threat import LongitudinalThreat, ThreatAssessor
 from repro.dynamics.state import VehicleSpec, VehicleState
 from repro.errors import EstimationError
 from repro.perception.sensor import CameraRig, default_rig
-from repro.perception.world_model import WorldModel
+from repro.perception.world_model import PerceivedActor, WorldModel
 from repro.prediction.base import Predictor
 from repro.road.track import Road
+from repro.sim.trace import ScenarioTrace
 
 
 @dataclass(frozen=True)
@@ -118,6 +123,7 @@ class OnlineEstimator:
         ego_spec: VehicleSpec,
         world_model: WorldModel,
         l0: float,
+        visibility: Mapping[str, Sequence[Hashable]] | None = None,
     ) -> EvaluationTick:
         """One online estimation tick.
 
@@ -127,6 +133,10 @@ class OnlineEstimator:
             ego_spec: the ego's physical spec.
             world_model: confirmed perceived actors.
             l0: the perception stack's current processing latency (s).
+            visibility: precomputed Equation 5 FOV grouping for this
+                tick (the :meth:`replay` batch path passes one slice of
+                the trace-level visibility tables); ``None`` groups
+                per-tick through ``rig.visible_actors``.
 
         Returns:
             The same tick structure the offline evaluator produces, so
@@ -185,7 +195,8 @@ class OnlineEstimator:
             if is_threat:
                 actor_latencies[actor_id] = latency
 
-        visibility = self.rig.visible_actors(ego_state, actor_positions)
+        if visibility is None:
+            visibility = self.rig.visible_actors(ego_state, actor_positions)
         estimates = estimate_camera_fprs(actor_latencies, visibility, self.params)
         return EvaluationTick(
             time=now,
@@ -193,6 +204,89 @@ class OnlineEstimator:
             actor_latencies=actor_latencies,
             ego_speed=ego_state.speed,
             ego_accel=ego_state.accel,
+        )
+
+    def replay(
+        self,
+        trace: ScenarioTrace,
+        l0: float | None = None,
+        period: float = 0.1,
+    ) -> EvaluationSeries:
+        """Post-deployment replay of a recorded trace.
+
+        The trace-level counterpart of calling :meth:`estimate` in a
+        loop: the recorded ground truth stands in for a perfect
+        perception stack (every actor confirmed, zero staleness — the
+        replay isolates the *estimation* layer from detection noise, the
+        trace-level fault-injection style of Antonante et al. 2023), the
+        predictor supplies each actor's future set at every tick, and
+        Equations 4-5 aggregate exactly as they do live. With
+        ``backend="batched"`` the Equation 5 FOV grouping for the whole
+        replay comes from one
+        :meth:`repro.perception.sensor.CameraRig.visible_actors_trace`
+        array program and each tick's futures solve through the batched
+        engine; ``"scalar"`` replays the per-tick reference loop. The
+        two are bit-identical.
+
+        Args:
+            trace: the recorded closed-loop run.
+            l0: processing latency entering the model; defaults to one
+                frame period of the trace's recorded FPR setting.
+            period: estimation cadence along the trace (seconds).
+
+        Returns:
+            The replayed tick series (same structure as the offline
+            evaluator's output).
+        """
+        if l0 is None:
+            l0 = trace.default_l0()
+        # The offline evaluator's presampler supplies the tick grid and
+        # the per-tick states/positions, so replay ticks land on exactly
+        # the grid an OfflineEvaluator with stride=period evaluates.
+        samples = presample_trace(trace, period)
+        times = samples.times
+        ego_states = samples.ego_states
+        actor_states = samples.actor_states
+
+        visibility_tables = None
+        if self.backend == "batched":
+            visibility_tables = self.rig.visible_actors_trace(
+                ego_states, samples.actor_positions
+            )
+
+        ticks = []
+        for i in range(len(times)):
+            now = float(times[i])
+            world = WorldModel()
+            for actor_id, states in actor_states.items():
+                state = states[i]
+                world.upsert(
+                    PerceivedActor(
+                        actor_id=actor_id,
+                        position=state.position,
+                        velocity=state.velocity(),
+                        heading=state.heading,
+                        speed=state.speed,
+                        accel=state.accel,
+                        timestamp=now,
+                    )
+                )
+            ticks.append(
+                self.estimate(
+                    now=now,
+                    ego_state=ego_states[i],
+                    ego_spec=trace.ego_spec,
+                    world_model=world,
+                    l0=l0,
+                    visibility=(
+                        None
+                        if visibility_tables is None
+                        else visibility_tables[i]
+                    ),
+                )
+            )
+        return EvaluationSeries(
+            scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
         )
 
     def _aggregate(self, entries, solved) -> tuple[bool, float | None]:

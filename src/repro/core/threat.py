@@ -219,10 +219,18 @@ class TrajectoryThreat:
     def _corridor_mask(self, times: np.ndarray) -> np.ndarray:
         """In-corridor mask at the queried times (cached master grid).
 
-        The mask is evaluated once on a dense grid and then looked up by
-        nearest sample — the lateral geometry is smooth at the 10 ms
-        scale, and this keeps repeated per-latency scans cheap even on
-        curved roads where projection is per-point.
+        Quantization contract: the mask is evaluated exactly once, on
+        the fixed master grid ``0, 10 ms, 20 ms, ... < 25 s`` of
+        relative times, and *every* query — on-grid or off-grid — is
+        answered by the nearest grid sample (``round(t / 10 ms)``,
+        half-to-even, clamped to the grid ends; negative and beyond-span
+        queries snap to the first/last sample). Off-grid queries never
+        trigger a re-evaluation, and two query times closer than 5 ms to
+        the same grid point always agree. The lateral geometry is smooth
+        at the 10 ms scale, so the snap keeps repeated per-latency scans
+        cheap even on curved roads where projection is per-point; the
+        trace-batched sampler (:meth:`ThreatAssessor.sample_threats_trace`)
+        applies the same quantization so both backends mask identically.
         """
         if self._mask is None:
             grid = np.arange(0.0, _MASK_SPAN, self._mask_step)
@@ -521,17 +529,12 @@ class ThreatAssessor:
                 overlap_width=0.0,
             )
             offsets = corridor.lateral_offsets(mask_xs, mask_ys)
-            # Per-tick ego laterals go through the *scalar* projection —
-            # the same call build_threat makes — because np.hypot and
-            # math.hypot can disagree in the last ulp on curved roads,
-            # and a corridor-edge tick must land on the same side in
-            # both backends.
-            ego_lateral = np.array(
-                [
-                    self.road.to_frenet(state.position).d
-                    for state in ego_states
-                ]
-            )
+            # Per-tick ego laterals batch through the exact Frenet
+            # kernel: to_frenet_batch is bit-identical to the scalar
+            # to_frenet build_threat calls (the road/lane.py contract),
+            # so a corridor-edge tick lands on the same side in both
+            # backends without a per-tick scalar fallback.
+            _, ego_lateral = self.road.to_frenet_batch(ego_xs, ego_ys)
             overlap_width = (
                 (ego_spec.width + actor_spec.width) / 2.0
                 + self.params.lateral_margin

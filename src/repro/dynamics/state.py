@@ -217,20 +217,36 @@ class StateTrajectory:
             speeds[overrun] = self._speed[-1]
         return xs, ys, speeds
 
-    def sample_states(self, times: np.ndarray) -> list[VehicleState]:
-        """Vectorized :meth:`state_at` over many query times.
+    def sample_positions(
+        self, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized clamped ``(x, y)`` arrays at many query times.
 
-        One batched interpolation replaces per-query bisection — the
-        offline evaluator presamples every evaluation tick of a trace in
-        a single call. Queries outside the recorded span clamp to the
-        endpoints, exactly like :meth:`state_at`.
+        Exactly the position floats :meth:`sample_states` wraps in
+        ``Vec2`` objects (the identical ``np.interp`` call on the same
+        knots), kept as arrays so trace-level consumers — the batched
+        Equation 5 visibility tables — can stay in array form without
+        re-extracting coordinates from state objects. Callers needing
+        both forms use :meth:`sample_ticks` and interpolate once.
+        """
+        _, xs, ys, _ = self._interp_clamped(times)
+        return xs, ys
+
+    def sample_ticks(
+        self, times: np.ndarray
+    ) -> tuple[list[VehicleState], tuple[np.ndarray, np.ndarray]]:
+        """States *and* position arrays from one interpolation pass.
+
+        What :func:`repro.core.evaluator.presample_trace` consumes: the
+        per-tick :class:`VehicleState` objects plus the raw ``(x, y)``
+        arrays they wrap, without interpolating the trajectory twice.
         """
         from repro.units import wrap_angle
 
         times, xs, ys, speeds = self._interp_clamped(times)
         accels = np.interp(times, self._t, self._accel)
         headings = np.interp(times, self._t, self._heading)
-        return [
+        states = [
             VehicleState(
                 position=Vec2(float(x), float(y)),
                 heading=wrap_angle(float(h)),
@@ -239,6 +255,18 @@ class StateTrajectory:
             )
             for x, y, h, v, a in zip(xs, ys, headings, speeds, accels)
         ]
+        return states, (xs, ys)
+
+    def sample_states(self, times: np.ndarray) -> list[VehicleState]:
+        """Vectorized :meth:`state_at` over many query times.
+
+        One batched interpolation replaces per-query bisection — the
+        offline evaluator presamples every evaluation tick of a trace in
+        a single call. Queries outside the recorded span clamp to the
+        endpoints, exactly like :meth:`state_at`.
+        """
+        states, _ = self.sample_ticks(times)
+        return states
 
     def shifted(self, offset: float) -> "StateTrajectory":
         """Copy with all timestamps shifted by ``offset`` seconds."""

@@ -14,6 +14,12 @@ from dataclasses import dataclass
 from repro.errors import GeometryError
 from repro.geometry.vec import Vec2
 
+#: Below this ray-direction magnitude a slab axis counts as parallel.
+#: Shared with the vectorized occlusion test
+#: (:func:`repro.perception.detection.occlusion_mask`), whose bit-parity
+#: with :func:`segment_intersects_box` depends on using the same value.
+PARALLEL_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class OrientedBox:
@@ -143,7 +149,7 @@ def segment_intersects_box(a: Vec2, b: Vec2, box: OrientedBox) -> bool:
         (local_a.x, direction.x, half_len),
         (local_a.y, direction.y, half_wid),
     ):
-        if abs(d) < 1e-12:
+        if abs(d) < PARALLEL_EPS:
             if abs(start) > half:
                 return False
             continue

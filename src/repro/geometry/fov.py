@@ -3,16 +3,34 @@
 Equation 5 of the paper groups actors by "the camera's field of view";
 with a top-view state representation a camera FOV is a circular sector:
 a mounting bearing, an opening angle and a maximum range.
+
+Membership is formulated without per-point transcendentals so that the
+scalar test and :meth:`AngularSector.contains_local_batch` are
+*bit-identical by construction*: the only per-point operations are
+multiply, add, compare and a correctly-rounded square root — operations
+on which numpy and the scalar ``math`` module agree to the last bit —
+while every trigonometric quantity (the sector's edge cosine and the
+rotation constants) is computed once per sector with ``math`` and shared
+verbatim by both paths. The trace-level visibility kernel
+(:meth:`repro.perception.sensor.CameraRig.visible_actors_trace`) leans
+on this contract.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.transforms import Frame2
 from repro.geometry.vec import Vec2
-from repro.units import wrap_angle
+
+#: Angular slack added to the sector edge so boundary actors (an actor
+#: exactly on the 60-degree edge of a 120-degree camera) count as seen.
+_EDGE_TOLERANCE = 1e-12
 
 
 @dataclass(frozen=True)
@@ -38,16 +56,74 @@ class AngularSector:
         if self.max_range <= 0.0:
             raise GeometryError(f"max range must be positive, got {self.max_range}")
 
+    @cached_property
+    def _range_sq(self) -> float:
+        """Squared range; membership compares squared distances."""
+        return self.max_range * self.max_range
+
+    @cached_property
+    def _rotation(self) -> tuple[float, float]:
+        """``(cos, sin)`` of the rotation by ``-center_bearing``.
+
+        The same constants :meth:`repro.geometry.vec.Vec2.rotated` would
+        derive; computed once so the scalar and batch tests share them.
+        """
+        return math.cos(-self.center_bearing), math.sin(-self.center_bearing)
+
+    @cached_property
+    def _cos_edge(self) -> float | None:
+        """Cosine of the (tolerance-padded) half-opening, or ``None``.
+
+        A point at bearing offset ``a`` from the sector centre is inside
+        iff ``|a| <= edge``, which for ``edge < pi`` is equivalent to
+        ``cos(a) >= cos(edge)`` — an inequality evaluable per point from
+        coordinates alone (no arctangent). ``None`` flags ``edge >= pi``:
+        every bearing is inside (a full-circle sector).
+        """
+        edge = self.opening_angle / 2.0 + _EDGE_TOLERANCE
+        if edge >= math.pi:
+            return None
+        return math.cos(edge)
+
     def contains_local(self, point: Vec2) -> bool:
         """Whether a body-frame point falls inside the sector."""
-        distance = point.norm()
-        if distance > self.max_range:
+        d2 = point.x * point.x + point.y * point.y
+        if d2 > self._range_sq:
             return False
-        if distance == 0.0:
+        if d2 == 0.0:
             return True
-        bearing = point.angle()
-        offset = abs(wrap_angle(bearing - self.center_bearing))
-        return offset <= self.opening_angle / 2.0 + 1e-12
+        cos_edge = self._cos_edge
+        if cos_edge is None:
+            return True
+        c, s = self._rotation
+        # The point rotated so the sector centre is the +X axis; its
+        # bearing offset a then satisfies cos(a) = u / |point|.
+        u = c * point.x - s * point.y
+        return u >= math.sqrt(d2) * cos_edge
+
+    def contains_local_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains_local` over body-frame coordinates.
+
+        Bit-identical to the scalar test per element: both sides perform
+        the same multiplies, the same correctly-rounded square root and
+        the same comparisons against the same shared constants.
+
+        Args:
+            xs / ys: body-frame coordinates, any matching shape.
+
+        Returns:
+            Boolean membership array of the same shape.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        d2 = xs * xs + ys * ys
+        inside = d2 <= self._range_sq
+        cos_edge = self._cos_edge
+        if cos_edge is not None:
+            c, s = self._rotation
+            u = c * xs - s * ys
+            inside &= (u >= np.sqrt(d2) * cos_edge) | (d2 == 0.0)
+        return inside
 
     def contains(self, body: Frame2, point: Vec2) -> bool:
         """Whether a world point falls in the sector mounted on ``body``."""

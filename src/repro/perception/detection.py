@@ -6,18 +6,30 @@ paper lists occlusion handling as future work, so it defaults off), and
 survives a configurable miss probability. Measured position carries
 Gaussian noise; downstream velocity estimation differentiates positions,
 so noise and frame rate interact exactly as in a real stack.
+
+The geometric stages run as array programs: the FOV gate goes through the
+same :meth:`repro.geometry.fov.AngularSector.contains_local_batch` kernel
+the trace-level visibility tables use, and the occlusion test solves the
+slab intersection against every potential blocker at once
+(:func:`occlusion_mask`). The random stages (miss sampling, position
+noise) stay in the per-actor loop, keeping the RNG consumption order a
+pure function of the geometric verdicts. (Distances here use the
+kernels' sqrt-of-squares form; traces recorded before the array-program
+refactor could differ in last-ulp FOV/clearance boundary cases, where
+``math.hypot`` rounded differently.)
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.dynamics.state import VehicleSpec, VehicleState
 from repro.errors import ConfigurationError
-from repro.geometry.boxes import segment_intersects_box
+from repro.geometry.boxes import PARALLEL_EPS
 from repro.geometry.vec import Vec2
 from repro.perception.sensor import Camera
 
@@ -36,6 +48,95 @@ class Detection:
     position: Vec2
     true_speed: float
     true_heading: float
+
+
+def occlusion_mask(
+    eye: Vec2,
+    targets: Sequence[tuple[int, Vec2]],
+    actors: Sequence[tuple[VehicleState, VehicleSpec]],
+) -> np.ndarray:
+    """Which targets' sight rays are blocked by another actor's footprint.
+
+    The vectorized counterpart of looping
+    :func:`repro.geometry.boxes.segment_intersects_box` over blockers:
+    for each target the (clearance-shortened) sight ray is tested against
+    every actor's oriented box with the slab method, all blockers at
+    once. The slab arithmetic mirrors the scalar test operation for
+    operation, so box verdicts on a given ray are identical; the ray
+    shortening itself uses the kernels' sqrt-of-squares distance (not
+    ``math.hypot``), which clearance-boundary cases can feel at the
+    last ulp.
+
+    Args:
+        eye: the camera origin (world frame).
+        targets: ``(actor_index, position)`` pairs to test; the index
+            identifies the target within ``actors`` so its own footprint
+            is excluded.
+        actors: every actor's ``(state, spec)`` in a fixed order.
+
+    Returns:
+        Boolean array aligned with ``targets``.
+    """
+    blocker_count = len(actors)
+    occluded = np.zeros(len(targets), dtype=bool)
+    if blocker_count < 2 or not targets:
+        return occluded
+    center_x = np.empty(blocker_count)
+    center_y = np.empty(blocker_count)
+    fwd_x = np.empty(blocker_count)
+    fwd_y = np.empty(blocker_count)
+    half_len = np.empty(blocker_count)
+    half_wid = np.empty(blocker_count)
+    for b, (state, spec) in enumerate(actors):
+        center_x[b] = state.position.x
+        center_y[b] = state.position.y
+        # The box axes OrientedBox.axes() derives: forward = unit(heading),
+        # left = forward.perp() = (-fwd_y, fwd_x).
+        fwd_x[b] = math.cos(state.heading)
+        fwd_y[b] = math.sin(state.heading)
+        half_len[b] = spec.length / 2.0
+        half_wid[b] = spec.width / 2.0
+    # The ray start in each blocker's frame is target-independent.
+    eye_dx = eye.x - center_x
+    eye_dy = eye.y - center_y
+    start_x = eye_dx * fwd_x + eye_dy * fwd_y
+    start_y = eye_dx * -fwd_y + eye_dy * fwd_x
+
+    for row, (target_index, target) in enumerate(targets):
+        ray_x = target.x - eye.x
+        ray_y = target.y - eye.y
+        distance = math.sqrt(ray_x * ray_x + ray_y * ray_y)
+        if distance <= _TARGET_CLEARANCE:
+            continue
+        scale = (distance - _TARGET_CLEARANCE) / distance
+        end_x = eye.x + ray_x * scale
+        end_y = eye.y + ray_y * scale
+        end_dx = end_x - center_x
+        end_dy = end_y - center_y
+        local_end_x = end_dx * fwd_x + end_dy * fwd_y
+        local_end_y = end_dx * -fwd_y + end_dy * fwd_x
+
+        t_min = np.zeros(blocker_count)
+        t_max = np.ones(blocker_count)
+        parallel_miss = np.zeros(blocker_count, dtype=bool)
+        for start, end, half in (
+            (start_x, local_end_x, half_len),
+            (start_y, local_end_y, half_wid),
+        ):
+            direction = end - start
+            parallel = np.abs(direction) < PARALLEL_EPS
+            parallel_miss |= parallel & (np.abs(start) > half)
+            safe = np.where(parallel, 1.0, direction)
+            t1 = (-half - start) / safe
+            t2 = (half - start) / safe
+            lo = np.minimum(t1, t2)
+            hi = np.maximum(t1, t2)
+            t_min = np.where(parallel, t_min, np.maximum(t_min, lo))
+            t_max = np.where(parallel, t_max, np.minimum(t_max, hi))
+        intersects = ~parallel_miss & (t_min <= t_max)
+        intersects[target_index] = False
+        occluded[row] = bool(np.any(intersects))
+    return occluded
 
 
 @dataclass(frozen=True)
@@ -68,19 +169,45 @@ class DetectionModel:
         time: float,
         actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
         rng: np.random.Generator,
+        in_fov: np.ndarray | None = None,
     ) -> list[Detection]:
-        """Detections produced by one camera frame captured at ``time``."""
+        """Detections produced by one camera frame captured at ``time``.
+
+        ``in_fov`` optionally supplies the camera's FOV membership for
+        this frame, aligned with ``actors`` iteration order — callers
+        that already ran the batch membership kernel for this exact
+        (camera, ego state, actors) frame pass it to avoid recomputing
+        the geometry; omitted, it is computed here.
+        """
+        if not actors:
+            return []
         camera_frame = camera.world_frame(ego_state)
+        ids = list(actors)
+        states = [actors[actor_id][0] for actor_id in ids]
+        if in_fov is None:
+            xs = np.array([state.position.x for state in states])
+            ys = np.array([state.position.y for state in states])
+            local_x, local_y = camera_frame.to_local_batch(xs, ys)
+            in_fov = camera.fov.contains_local_batch(local_x, local_y)
+        occluded = np.zeros(len(ids), dtype=bool)
+        if self.occlusion:
+            target_rows = [
+                (index, states[index].position)
+                for index in np.flatnonzero(in_fov)
+            ]
+            blocked = occlusion_mask(
+                camera_frame.origin,
+                target_rows,
+                [actors[actor_id] for actor_id in ids],
+            )
+            for (index, _), hit in zip(target_rows, blocked):
+                occluded[index] = hit
+
         detections: list[Detection] = []
-        for actor_id, (state, _spec) in actors.items():
-            if not camera.fov.contains_local(
-                camera_frame.to_local(state.position)
-            ):
+        for index, actor_id in enumerate(ids):
+            if not in_fov[index] or occluded[index]:
                 continue
-            if self.occlusion and self._occluded(
-                camera_frame.origin, actor_id, state.position, actors
-            ):
-                continue
+            state = states[index]
             if self.miss_rate > 0.0 and rng.random() < self.miss_rate:
                 continue
             noise = (
@@ -102,24 +229,3 @@ class DetectionModel:
                 )
             )
         return detections
-
-    def _occluded(
-        self,
-        eye: Vec2,
-        target_id: Hashable,
-        target: Vec2,
-        actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
-    ) -> bool:
-        """Whether the sight ray from ``eye`` to ``target`` is blocked."""
-        ray = target - eye
-        distance = ray.norm()
-        if distance <= _TARGET_CLEARANCE:
-            return False
-        # Shorten the ray so the target's own footprint is excluded.
-        end = eye + ray * ((distance - _TARGET_CLEARANCE) / distance)
-        for actor_id, (state, spec) in actors.items():
-            if actor_id == target_id:
-                continue
-            if segment_intersects_box(eye, end, state.footprint(spec)):
-                return True
-        return False

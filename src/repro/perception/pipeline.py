@@ -150,21 +150,43 @@ class PerceptionSystem:
         ego_state: VehicleState,
         actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
     ) -> None:
+        actor_ids: list | None = None
         for camera in self.rig.cameras:
             if now + 1e-9 < self._next_capture[camera.name]:
                 continue
+            if actor_ids is None:
+                # Built lazily on the first due camera: most sim steps
+                # capture nothing and must stay allocation-free.
+                actor_ids = list(actors)
+                actor_xs = np.array(
+                    [actors[a][0].position.x for a in actor_ids]
+                )
+                actor_ys = np.array(
+                    [actors[a][0].position.y for a in actor_ids]
+                )
             frame_camera = camera
             camera_frame = frame_camera.world_frame(ego_state)
-            expected = frozenset(
-                actor_id
-                for actor_id, (state, _spec) in actors.items()
-                if frame_camera.fov.contains_local(
-                    camera_frame.to_local(state.position)
+            if actor_ids:
+                local_x, local_y = camera_frame.to_local_batch(
+                    actor_xs, actor_ys
                 )
-            )
+                in_fov = frame_camera.fov.contains_local_batch(
+                    local_x, local_y
+                )
+                expected = frozenset(
+                    actor_id
+                    for actor_id, visible in zip(actor_ids, in_fov)
+                    if visible
+                )
+            else:
+                in_fov = None
+                expected = frozenset()
+            # The frame's FOV membership is handed down so detection
+            # does not recompute the same geometry.
             detections = tuple(
                 self.detection_model.detect(
-                    frame_camera, ego_state, now, actors, self._rng
+                    frame_camera, ego_state, now, actors, self._rng,
+                    in_fov=in_fov,
                 )
             )
             ready = now + self.processing_latency(camera.name)

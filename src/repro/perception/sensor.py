@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.dynamics.state import VehicleState
 from repro.errors import ConfigurationError
 from repro.geometry.fov import AngularSector
@@ -95,6 +97,98 @@ class CameraRig:
                 ):
                     visibility[camera.name].append(actor_id)
         return visibility
+
+    def visibility_trace(
+        self,
+        ego_states: Sequence[VehicleState],
+        actor_positions: Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Per-camera FOV membership over a whole trace, as bit tables.
+
+        The Equation 5 grouping question — "which actors are in which
+        camera's field of view" — answered for every tick of a trace in
+        one array program per camera. The per-tick camera frames are
+        composed exactly as :meth:`visible_actors` composes them (the
+        same scalar trigonometry per tick), and the per-point membership
+        runs through
+        :meth:`repro.geometry.fov.AngularSector.contains_local_batch`,
+        so each table entry is bit-identical to the corresponding
+        per-tick :meth:`visible_actors` verdict.
+
+        Args:
+            ego_states: the ego state at each tick.
+            actor_positions: per actor, the ``(xs, ys)`` world position
+                arrays over the same ticks.
+
+        Returns:
+            Per camera, a boolean array of shape
+            ``(len(ego_states), len(actor_positions))`` whose columns
+            follow the mapping's iteration order.
+        """
+        tick_count = len(ego_states)
+        ids = list(actor_positions)
+        if not ids:
+            return {
+                camera.name: np.zeros((tick_count, 0), dtype=bool)
+                for camera in self._cameras
+            }
+        xs = np.stack(
+            [np.asarray(actor_positions[a][0], dtype=float) for a in ids],
+            axis=1,
+        )
+        ys = np.stack(
+            [np.asarray(actor_positions[a][1], dtype=float) for a in ids],
+            axis=1,
+        )
+        tables: dict[str, np.ndarray] = {}
+        for camera in self._cameras:
+            origin_x = np.empty(tick_count)
+            origin_y = np.empty(tick_count)
+            rot_c = np.empty(tick_count)
+            rot_s = np.empty(tick_count)
+            for i, ego_state in enumerate(ego_states):
+                frame = camera.world_frame(ego_state)
+                origin_x[i] = frame.origin.x
+                origin_y[i] = frame.origin.y
+                # The constants Frame2.to_local derives per point.
+                rot_c[i] = math.cos(-frame.heading)
+                rot_s[i] = math.sin(-frame.heading)
+            dx = xs - origin_x[:, None]
+            dy = ys - origin_y[:, None]
+            local_x = rot_c[:, None] * dx - rot_s[:, None] * dy
+            local_y = rot_s[:, None] * dx + rot_c[:, None] * dy
+            tables[camera.name] = camera.fov.contains_local_batch(
+                local_x, local_y
+            )
+        return tables
+
+    def visible_actors_trace(
+        self,
+        ego_states: Sequence[VehicleState],
+        actor_positions: Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
+    ) -> list[dict[str, list[Hashable]]]:
+        """Batched :meth:`visible_actors` over every tick of a trace.
+
+        Semantically ``[visible_actors(ego_states[i], {a: (xs[i], ys[i])
+        ...}) for i in ticks]`` — identical groupings, identical ordering
+        (camera lists carry actors in the mapping's iteration order) —
+        computed through the :meth:`visibility_trace` array kernel
+        instead of a per-tick Python loop.
+        """
+        ids = list(actor_positions)
+        tables = self.visibility_trace(ego_states, actor_positions)
+        out: list[dict[str, list[Hashable]]] = []
+        for i in range(len(ego_states)):
+            out.append(
+                {
+                    camera.name: [
+                        ids[j]
+                        for j in np.flatnonzero(tables[camera.name][i])
+                    ]
+                    for camera in self._cameras
+                }
+            )
+        return out
 
 
 def default_rig(

@@ -4,6 +4,18 @@ A centerline is an arc-length parameterized planar curve. The library
 uses three kinds: straight segments, circular arcs, and composites built
 by chaining the two. Lateral offsets (``d``) are positive to the *left*
 of the direction of travel, matching the paper's ego-centric Y axis.
+
+Every ``to_frenet_batch`` is *bit-identical* per element to the scalar
+``to_frenet`` — a hard contract the threat corridor mask and gate table
+rely on (a corridor-edge tick must land on the same side in the scalar
+and batched backends). The two paths therefore share their arithmetic
+exactly: distances are ``sqrt(dx*dx + dy*dy)`` (the square root is
+correctly rounded, so ``math.sqrt`` and ``numpy.sqrt`` agree to the
+bit, which ``math.hypot`` and ``numpy.hypot`` do not), angle wrapping
+is the exact ``fmod`` formula on both sides, bearings go through
+``numpy.arctan2`` in both paths, and the composite's nearest-segment
+selection breaks ties bit-stably (first segment in chain order wins).
+``tests/property/test_prop_frenet.py`` pins the contract.
 """
 
 from __future__ import annotations
@@ -185,11 +197,14 @@ class ArcCenterline:
         return self.center + Vec2.from_polar(effective_radius, angle)
 
     def to_frenet(self, point: Vec2) -> FrenetPoint:
-        delta = point - self.center
-        distance = delta.norm()
+        dx = point.x - self.center.x
+        dy = point.y - self.center.y
+        # sqrt-of-squares and a numpy bearing, matching to_frenet_batch
+        # operation for operation (see the module docstring).
+        distance = math.sqrt(dx * dx + dy * dy)
         if distance == 0.0:
             raise GeometryError("cannot project the arc centre onto the arc")
-        angle = delta.angle()
+        angle = float(np.arctan2(dy, dx))
         if self.turn_left:
             sweep = wrap_angle(angle - self.start_angle)
             d = self.radius - distance
@@ -203,7 +218,7 @@ class ArcCenterline:
     ) -> tuple[np.ndarray, np.ndarray]:
         dx = np.asarray(xs, dtype=float) - self.center.x
         dy = np.asarray(ys, dtype=float) - self.center.y
-        distance = np.hypot(dx, dy)
+        distance = np.sqrt(dx * dx + dy * dy)
         angle = np.arctan2(dy, dx)
         if self.turn_left:
             sweep = _wrap_angles(angle - self.start_angle)
@@ -287,12 +302,24 @@ class CompositeCenterline:
         for segment, offset in zip(self._segments, self._offsets):
             local = segment.to_frenet(point)
             clamped_s = min(max(local.s, 0.0), segment.length)
-            on_curve = segment.to_world(FrenetPoint(clamped_s, 0.0))
-            cost = point.distance_to(on_curve)
+            # The on-curve point comes from the same routine (and hence
+            # the same trig calls) the batch kernel uses — on arcs,
+            # numpy's cos/sin and libm's are not guaranteed to agree to
+            # the last bit, and a one-ulp cost difference could crown a
+            # different nearest segment at a joint.
+            on_x, on_y = _centerline_points(
+                segment, np.array([clamped_s])
+            )
+            dx = point.x - float(on_x[0])
+            dy = point.y - float(on_y[0])
+            cost = math.sqrt(dx * dx + dy * dy)
             # Penalize projections that fall outside the segment so interior
             # matches win over endpoint extrapolations.
             if local.s < 0.0 or local.s > segment.length:
                 cost += abs(local.s - clamped_s)
+            # Strict < keeps the earliest segment on an exact cost tie
+            # (a point equidistant from two segments near a joint): the
+            # bit-stable tie-break the batch kernel replays.
             if cost < best_cost:
                 best_cost = cost
                 best = FrenetPoint(offset + clamped_s, local.d)
@@ -311,9 +338,13 @@ class CompositeCenterline:
             s, d = segment.to_frenet_batch(xs, ys)
             clamped = np.clip(s, 0.0, segment.length)
             on_x, on_y = _centerline_points(segment, clamped)
-            cost = np.hypot(xs - on_x, ys - on_y)
+            dx = xs - on_x
+            dy = ys - on_y
+            cost = np.sqrt(dx * dx + dy * dy)
             outside = (s < 0.0) | (s > segment.length)
             cost = cost + np.where(outside, np.abs(s - clamped), 0.0)
+            # Same strict comparison, same segment order as the scalar
+            # loop: ties resolve to the earliest segment in both paths.
             take = cost < best_cost
             best_cost = np.where(take, cost, best_cost)
             best_s = np.where(take, offset + clamped, best_s)

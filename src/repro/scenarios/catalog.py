@@ -595,6 +595,11 @@ _DENSITY_FAMILIES: dict = {
     "cut_out": (90.0, 18.0),
     "cut_in": (300.0, 22.0),
     "vehicle_following": (430.0, 20.0),
+    # The curved cut-in's 40 mph ego reaches a 120 m queue on the arc in
+    # ~10 s, well after the base cut-in event resolves; queued actors sit
+    # past the straight entry, so every corridor mask and gate-table
+    # query exercises the composite (straight+arc) Frenet kernel.
+    "challenging_cut_in_curved": (120.0, 24.0),
 }
 
 
@@ -728,7 +733,10 @@ _SWEEP_NAME = re.compile(
 )
 
 #: Shape of a density-sweep variant name, e.g. ``cut_in_dense4``.
-_DENSITY_NAME = re.compile(r"^(cut_out|cut_in|vehicle_following)_dense(\d+)$")
+_DENSITY_NAME = re.compile(
+    r"^(challenging_cut_in_curved|cut_out|cut_in|vehicle_following)"
+    r"_dense(\d+)$"
+)
 
 
 def ensure_scenario(name: str) -> bool:

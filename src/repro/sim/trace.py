@@ -19,7 +19,7 @@ from repro.dynamics.state import (
     VehicleSpec,
     VehicleState,
 )
-from repro.errors import TraceError
+from repro.errors import EstimationError, TraceError
 from repro.geometry.vec import Vec2
 from repro.sim.collision import CollisionEvent
 from repro.units import seconds_to_ms
@@ -102,6 +102,23 @@ class ScenarioTrace:
     def actor_spec(self, actor_id: str) -> VehicleSpec:
         """The actor's physical spec (default spec when unrecorded)."""
         return self.actor_specs.get(actor_id, VehicleSpec())
+
+    def default_l0(self) -> float:
+        """The default processing latency for evaluating this trace.
+
+        One frame period of the trace's recorded FPR setting — the
+        ``l0`` both the offline evaluator and the online replay fall
+        back to when none is given.
+
+        Raises:
+            EstimationError: if the trace has no recorded nominal FPR
+                (it is the estimation layers that need the fallback).
+        """
+        if self.nominal_fpr is None:
+            raise EstimationError(
+                "trace has no nominal FPR; pass l0 explicitly"
+            )
+        return 1.0 / self.nominal_fpr
 
     def ego_trajectory(self) -> StateTrajectory:
         """The ego's motion as an interpolated trajectory (cached)."""

@@ -65,3 +65,64 @@ class TestMountedSector:
         body = Frame2(Vec2(10, 10), deg(90))  # facing +Y
         assert sector.contains(body, Vec2(10, 60))
         assert not sector.contains(body, Vec2(60, 10))
+
+
+class TestBatchMembership:
+    """contains_local_batch == contains_local, to the last bit."""
+
+    SECTORS = [
+        AngularSector(0.0, deg(60), 100.0),
+        AngularSector(0.0, deg(120), 100.0),
+        AngularSector(deg(90), deg(120), 100.0),
+        AngularSector(math.pi, deg(120), 120.0),
+        AngularSector(deg(-45), deg(359.99), 50.0),
+        AngularSector(0.3, 2 * math.pi, 80.0),  # full circle
+    ]
+
+    def _grid(self):
+        import numpy as np
+
+        values = np.linspace(-130.0, 130.0, 27)
+        xs, ys = np.meshgrid(values, values)
+        return xs.ravel(), ys.ravel()
+
+    def test_matches_scalar_on_a_grid(self):
+        xs, ys = self._grid()
+        for sector in self.SECTORS:
+            batch = sector.contains_local_batch(xs, ys)
+            for i in range(len(xs)):
+                assert batch[i] == sector.contains_local(
+                    Vec2(xs[i], ys[i])
+                ), (sector, xs[i], ys[i])
+
+    def test_matches_scalar_on_boundary_points(self):
+        import numpy as np
+
+        sector = AngularSector(0.0, deg(120), 100.0)
+        bearings = [deg(b) for b in (-61, -60, -59.999, 0, 59.999, 60, 61)]
+        ranges = [0.0, 50.0, 99.999, 100.0, 100.001]
+        points = [
+            Vec2.from_polar(r, b) for b in bearings for r in ranges if r > 0.0
+        ] + [Vec2(0.0, 0.0)]
+        xs = np.array([p.x for p in points])
+        ys = np.array([p.y for p in points])
+        batch = sector.contains_local_batch(xs, ys)
+        for i, point in enumerate(points):
+            assert batch[i] == sector.contains_local(point)
+
+    def test_full_circle_contains_every_bearing(self):
+        import numpy as np
+
+        sector = AngularSector(0.3, 2 * math.pi, 80.0)
+        angles = np.linspace(-math.pi, math.pi, 73)
+        xs = 40.0 * np.cos(angles)
+        ys = 40.0 * np.sin(angles)
+        assert sector.contains_local_batch(xs, ys).all()
+
+    def test_preserves_query_shape(self):
+        import numpy as np
+
+        sector = AngularSector(0.0, deg(120), 100.0)
+        xs = np.ones((3, 4)) * 10.0
+        ys = np.zeros((3, 4))
+        assert sector.contains_local_batch(xs, ys).shape == (3, 4)

@@ -121,3 +121,68 @@ class TestRigValidation:
         rig = CameraRig([self._camera("a")])
         with pytest.raises(ConfigurationError):
             rig["missing"]
+
+
+class TestVisibilityTrace:
+    """The trace-level visibility kernel vs the per-tick loop."""
+
+    def _ego_track(self):
+        import numpy as np
+
+        # A curving ego: heading sweeps a quarter turn over the ticks so
+        # every camera frame genuinely rotates.
+        return [
+            ego_at(
+                x=5.0 * i,
+                y=0.3 * i * i,
+                heading=float(angle),
+            )
+            for i, angle in enumerate(np.linspace(0.0, math.pi / 2.0, 12))
+        ]
+
+    def _actor_tracks(self):
+        import numpy as np
+
+        ticks = np.arange(12, dtype=float)
+        return {
+            "ahead": (10.0 + 6.0 * ticks, 1.0 + 0.4 * ticks),
+            "abeam": (5.0 * ticks, 15.0 + 0.0 * ticks),
+            "behind": (-40.0 + 5.0 * ticks, 0.2 * ticks),
+            "far": (400.0 + 0.0 * ticks, 0.0 * ticks),
+        }
+
+    def test_matches_per_tick_groupings(self):
+        rig = default_rig()
+        ego_states = self._ego_track()
+        actor_positions = self._actor_tracks()
+        batched = rig.visible_actors_trace(ego_states, actor_positions)
+        assert len(batched) == len(ego_states)
+        for i, ego in enumerate(ego_states):
+            per_tick = rig.visible_actors(
+                ego,
+                {
+                    actor_id: Vec2(xs[i], ys[i])
+                    for actor_id, (xs, ys) in actor_positions.items()
+                },
+            )
+            assert batched[i] == per_tick, i
+
+    def test_tables_shape_and_order(self):
+        rig = default_rig()
+        ego_states = self._ego_track()
+        actor_positions = self._actor_tracks()
+        tables = rig.visibility_trace(ego_states, actor_positions)
+        assert set(tables) == set(rig.names)
+        for table in tables.values():
+            assert table.shape == (len(ego_states), len(actor_positions))
+
+    def test_empty_actor_set(self):
+        rig = default_rig()
+        ego_states = self._ego_track()
+        batched = rig.visible_actors_trace(ego_states, {})
+        assert batched == [
+            {name: [] for name in rig.names} for _ in ego_states
+        ]
+        tables = rig.visibility_trace(ego_states, {})
+        for table in tables.values():
+            assert table.shape == (len(ego_states), 0)

@@ -131,8 +131,11 @@ class TestDensitySweep:
         from repro.scenarios import DEFAULT_DENSITY_COUNTS, density_sweep
 
         names = density_sweep()
-        assert len(names) == 3 * len(DEFAULT_DENSITY_COUNTS)
+        # Four sweepable families: the three straight-road Table 1
+        # bases plus the curved cut-in.
+        assert len(names) == 4 * len(DEFAULT_DENSITY_COUNTS)
         assert "cut_in_dense4" in names
+        assert "challenging_cut_in_curved_dense8" in names
         for name in names:
             assert name in SCENARIOS
 

@@ -288,3 +288,84 @@ class TestTraceSampler:
         )
         assert gaps.shape == (2, rel.size)
         assert np.isfinite(gaps).all()
+
+
+class TestCorridorMaskQuantization:
+    """The 10 ms master-grid contract of the corridor mask.
+
+    ``TrajectoryThreat._corridor_mask`` evaluates the lateral geometry
+    once on a fixed 10 ms grid; every query — however far off-grid — is
+    answered by the nearest grid sample without re-evaluating anything.
+    """
+
+    def _cut_in_threat(self) -> TrajectoryThreat:
+        # The actor slides from the adjacent lane into the ego's lane,
+        # so the corridor mask flips from clear to overlapping somewhere
+        # along the master grid.
+        trajectory = StateTrajectory(
+            TimedState(
+                t, vstate(30.0 + 5.0 * t, max(0.0, 4.0 - 0.8 * t), speed=5.0)
+            )
+            for t in np.arange(0.0, 10.0 + 0.25, 0.25)
+        )
+        assessor = ThreatAssessor(params=ZhuyiParams(), road=None)
+        return assessor.build_threat(
+            vstate(0.0, speed=20.0), VehicleSpec(), trajectory, VehicleSpec()
+        )
+
+    def _corridor_states(self, threat, times: np.ndarray) -> np.ndarray:
+        gaps, _ = threat.sample(times)
+        return np.isinf(gaps)
+
+    def test_off_grid_queries_snap_to_nearest_grid_sample(self):
+        threat = self._cut_in_threat()
+        off_grid = np.array([0.1234, 1.0049, 2.5551, 4.4444, 7.7777])
+        snapped = np.rint(off_grid / 0.01) * 0.01
+        assert np.array_equal(
+            self._corridor_states(threat, off_grid),
+            self._corridor_states(threat, snapped),
+        )
+
+    def test_rounding_picks_the_nearest_neighbour_at_a_flip(self):
+        threat = self._cut_in_threat()
+        grid = np.arange(0.0, 10.0, 0.01)
+        states = self._corridor_states(threat, grid)
+        flips = np.flatnonzero(states[1:] != states[:-1])
+        assert flips.size, "the cut-in must cross the corridor edge"
+        boundary = float(grid[flips[0] + 1])
+        # 4 ms before the flip sample rounds onto it; 6 ms before rounds
+        # back onto the previous sample.
+        assert self._corridor_states(threat, np.array([boundary - 0.004]))[
+            0
+        ] == states[flips[0] + 1]
+        assert self._corridor_states(threat, np.array([boundary - 0.006]))[
+            0
+        ] == states[flips[0]]
+
+    def test_queries_outside_the_span_clamp_to_the_grid_ends(self):
+        threat = self._cut_in_threat()
+        assert self._corridor_states(threat, np.array([-0.5]))[
+            0
+        ] == self._corridor_states(threat, np.array([0.0]))[0]
+        assert self._corridor_states(threat, np.array([80.0]))[
+            0
+        ] == self._corridor_states(threat, np.array([24.99]))[0]
+
+    def test_mask_is_built_once_and_never_rebuilt(self):
+        threat = self._cut_in_threat()
+        trajectory = threat._trajectory
+        calls = {"count": 0}
+        original = trajectory.sample_extrapolated
+
+        def counting(times):
+            calls["count"] += 1
+            return original(times)
+
+        trajectory.sample_extrapolated = counting
+        threat.sample(np.array([0.0, 0.107]))
+        # One interpolation for the query itself, one for the mask grid.
+        assert calls["count"] == 2
+        threat.sample(np.array([0.0037]))  # off-grid
+        threat.sample(np.array([19.99]))  # off-grid, near the span end
+        # Only the per-query interpolations; the mask was not rebuilt.
+        assert calls["count"] == 4
