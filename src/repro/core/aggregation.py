@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from repro.errors import EstimationError
 
 
@@ -46,9 +48,45 @@ def _validated_weights(
     return [weight / total for weight in probabilities]
 
 
+def _validated_row_weights(
+    latencies: np.ndarray, probabilities: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Row-normalized weights over the active entries of each row.
+
+    The batch counterpart of :func:`_validated_weights` for ``(rows,
+    hypotheses)`` matrices: the same validation, and per-row totals
+    accumulated in entry order exactly like the scalar ``sum`` (inactive
+    entries contribute an exact ``0.0``, which leaves every partial sum
+    bit-identical), so normalized weights match the scalar path's bit
+    for bit.
+    """
+    if latencies.ndim != 2 or latencies.shape != probabilities.shape:
+        raise EstimationError("latency and probability rows must align")
+    if not active.any(axis=1).all():
+        raise EstimationError("cannot aggregate an empty latency set")
+    if np.any(active & (latencies < 0.0)):
+        raise EstimationError("latencies must be non-negative")
+    if np.any(active & (probabilities < 0.0)):
+        raise EstimationError("probabilities must be non-negative")
+    masked = np.where(active, probabilities, 0.0)
+    totals = np.zeros(latencies.shape[0])
+    for column in range(latencies.shape[1]):
+        totals = totals + masked[:, column]
+    if np.any(totals <= 0.0):
+        raise EstimationError("probabilities must not all be zero")
+    return np.where(active, probabilities / totals[:, None], 0.0)
+
+
 @runtime_checkable
 class Aggregator(Protocol):
-    """Reduces per-trajectory latencies to one per-actor latency."""
+    """Reduces per-trajectory latencies to one per-actor latency.
+
+    Implementations may additionally provide ``aggregate_rows`` — the
+    Equation 4 reduction vectorized over a ``(rows, hypotheses)`` batch
+    with an ``active`` mask (the batched replay's whole-trace
+    aggregation). The three built-in aggregators do; consumers fall
+    back to a per-row :meth:`aggregate` loop otherwise.
+    """
 
     def aggregate(
         self,
@@ -75,6 +113,16 @@ class MaxAggregator:
         _validated_weights(latencies, probabilities)
         return min(latencies)
 
+    def aggregate_rows(
+        self,
+        latencies: np.ndarray,
+        probabilities: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`aggregate` over ``(rows, hypotheses)``."""
+        _validated_row_weights(latencies, probabilities, active)
+        return np.min(np.where(active, latencies, np.inf), axis=1)
+
 
 @dataclass(frozen=True)
 class MeanAggregator:
@@ -91,6 +139,24 @@ class MeanAggregator:
     ) -> float:
         weights = _validated_weights(latencies, probabilities)
         return sum(w * l for w, l in zip(weights, latencies))
+
+    def aggregate_rows(
+        self,
+        latencies: np.ndarray,
+        probabilities: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`aggregate` over ``(rows, hypotheses)``.
+
+        The weighted sum accumulates in entry order (inactive entries
+        add an exact ``0.0``), reproducing the scalar sum bit for bit.
+        """
+        weights = _validated_row_weights(latencies, probabilities, active)
+        terms = np.where(active, weights * latencies, 0.0)
+        out = np.zeros(latencies.shape[0])
+        for column in range(latencies.shape[1]):
+            out = out + terms[:, column]
+        return out
 
 
 @dataclass(frozen=True)
@@ -127,6 +193,36 @@ class PercentileAggregator:
             if cumulative > quantile + 1e-12:
                 return latency
         return pairs[-1][0]
+
+    def aggregate_rows(
+        self,
+        latencies: np.ndarray,
+        probabilities: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`aggregate` over ``(rows, hypotheses)``.
+
+        Per row: the same stable latency sort, the same sequential
+        cumulative-weight walk (``np.cumsum`` is a sequential scan) and
+        the same exclusive quantile comparison as the scalar loop.
+        Inactive entries sort to the front with zero weight, where they
+        can neither trip the comparison (the quantile is non-negative)
+        nor displace the all-weights-exhausted fallback (the largest
+        active latency sits at the row's end).
+        """
+        weights = _validated_row_weights(latencies, probabilities, active)
+        quantile = (100.0 - self.n) / 100.0
+        keyed = np.where(active, latencies, -np.inf)
+        order = np.argsort(keyed, axis=1, kind="stable")
+        sorted_latencies = np.take_along_axis(keyed, order, axis=1)
+        sorted_weights = np.take_along_axis(weights, order, axis=1)
+        cumulative = np.cumsum(sorted_weights, axis=1)
+        exceeds = cumulative > quantile + 1e-12
+        rows = np.arange(latencies.shape[0])
+        chosen = np.where(
+            exceeds.any(axis=1), exceeds.argmax(axis=1), latencies.shape[1] - 1
+        )
+        return sorted_latencies[rows, chosen]
 
 
 def aggregate_latencies(

@@ -349,6 +349,9 @@ class LatencyEngine:
         workloads resolve — is evaluated for every row in one
         cross-tick array program; only the survivors fall back to the
         per-tick wave machinery, sharing the already-sampled rows.
+        Rows need not be unique per (tick, actor): the online replay
+        feeds one row per (tick, actor, prediction hypothesis), each
+        solved independently against its tick's ego profile.
 
         Args:
             grid: the :meth:`trace_grid` for these ticks.

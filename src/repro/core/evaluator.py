@@ -29,6 +29,7 @@ from repro.errors import EstimationError
 from repro.perception.sensor import ANALYZED_CAMERAS, CameraRig, default_rig
 from repro.road.track import Road
 from repro.sim.trace import ScenarioTrace
+from repro.units import time_grid_count
 
 
 @dataclass(frozen=True)
@@ -177,7 +178,7 @@ def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
     }
     start = trace.steps[0].time
     end = trace.steps[-1].time
-    count = int(np.floor((end - start) / stride + 1e-9)) + 1
+    count = time_grid_count(end - start, stride)
     times = start + stride * np.arange(count)
     # One interpolation pass per actor yields both the state objects
     # and the position arrays (StateTrajectory.sample_ticks).

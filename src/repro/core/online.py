@@ -38,7 +38,11 @@ from repro.dynamics.state import VehicleSpec, VehicleState
 from repro.errors import EstimationError
 from repro.perception.sensor import CameraRig, default_rig
 from repro.perception.world_model import PerceivedActor, WorldModel
-from repro.prediction.base import Predictor
+from repro.prediction.base import (
+    Predictor,
+    TraceHypothesis,
+    predict_trace_via_loop,
+)
 from repro.road.track import Road
 from repro.sim.trace import ScenarioTrace
 
@@ -220,13 +224,23 @@ class OnlineEstimator:
         replay isolates the *estimation* layer from detection noise, the
         trace-level fault-injection style of Antonante et al. 2023), the
         predictor supplies each actor's future set at every tick, and
-        Equations 4-5 aggregate exactly as they do live. With
-        ``backend="batched"`` the Equation 5 FOV grouping for the whole
-        replay comes from one
+        Equations 4-5 aggregate exactly as they do live.
+
+        With ``backend="batched"`` the whole replay is one array
+        program: the predictor's batch protocol (``predict_trace``)
+        rolls every hypothesis out over all ticks at once, the threat
+        assessor gates and samples each hypothesis' futures batch
+        (:meth:`repro.core.threat.ThreatAssessor.could_collide_futures`
+        / ``sample_threat_futures``), every surviving (tick, actor,
+        hypothesis) row solves through a single
+        :meth:`repro.core.engine.LatencyEngine.trace_grid` +
+        ``solve_rows`` call, Equation 4 aggregates row batches through
+        the aggregator's vectorized path and the Equation 5 FOV
+        grouping comes from one
         :meth:`repro.perception.sensor.CameraRig.visible_actors_trace`
-        array program and each tick's futures solve through the batched
-        engine; ``"scalar"`` replays the per-tick reference loop. The
-        two are bit-identical.
+        array program. ``"scalar"`` replays the per-tick reference
+        loop. The two are bit-identical; predictors (or configurations)
+        the batch path cannot serve fall back to the per-tick loop.
 
         Args:
             trace: the recorded closed-loop run.
@@ -253,6 +267,23 @@ class OnlineEstimator:
             visibility_tables = self.rig.visible_actors_trace(
                 ego_states, samples.actor_positions
             )
+
+        # The trace-level array program. (The no-road + lateral-gating
+        # combination needs per-tick ego frames for the corridor mask
+        # and keeps the per-tick path, mirroring the offline evaluator.)
+        if self._engine is not None and (
+            self.road is not None or not self.params.gate_lateral
+        ):
+            ticks = self._replay_batched(
+                trace, samples, l0, visibility_tables
+            )
+            if ticks is not None:
+                return EvaluationSeries(
+                    scenario=trace.scenario,
+                    ticks=ticks,
+                    params=self.params,
+                    l0=l0,
+                )
 
         ticks = []
         for i in range(len(times)):
@@ -287,6 +318,242 @@ class OnlineEstimator:
             )
         return EvaluationSeries(
             scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
+        )
+
+    def _replay_batched(
+        self,
+        trace: ScenarioTrace,
+        samples,
+        l0: float,
+        visibility_tables,
+    ) -> list[EvaluationTick] | None:
+        """The whole-trace replay as one array program.
+
+        Returns the replayed ticks, or ``None`` when the predictor's
+        output cannot be batched (the caller then runs the per-tick
+        reference loop). Every step reuses a kernel whose per-element
+        arithmetic equals the per-tick path's, so the resulting series
+        is bit-identical to the scalar replay:
+
+        1. per-tick :class:`PerceivedActor` views of the recorded states
+           (the same objects the scalar loop feeds :meth:`estimate`);
+        2. hypothesis rollouts for all ticks via the predictor's batch
+           protocol (``predict_trace``, or the stacked per-tick loop);
+        3. collision gates + threat samples per (hypothesis, tick) row
+           through the futures-batch assessor;
+        4. one :meth:`LatencyEngine.trace_grid` + ``solve_rows`` call
+           over every surviving (tick, actor, hypothesis) row (flushed
+           in bounded blocks on traces long enough that holding every
+           row's samples at once would go memory-bound);
+        5. Equation 4 row aggregation (vectorized when the aggregator
+           provides ``aggregate_rows``) and Equation 5 grouping from
+           the precomputed visibility tables.
+        """
+        times = samples.times
+        n_ticks = len(times)
+        ego_states = samples.ego_states
+
+        # 1-2: perceived views + batched hypothesis rollouts per actor.
+        hypotheses_by_actor: dict[str, list[TraceHypothesis]] = {}
+        for actor_id, states in samples.actor_states.items():
+            actors = [
+                PerceivedActor(
+                    actor_id=actor_id,
+                    position=state.position,
+                    velocity=state.velocity(),
+                    heading=state.heading,
+                    speed=state.speed,
+                    accel=state.accel,
+                    timestamp=float(times[i]),
+                )
+                for i, state in enumerate(states)
+            ]
+            batch = getattr(self.predictor, "predict_trace", None)
+            if batch is not None:
+                hypotheses = batch(actors, times, self.params.horizon)
+            else:
+                # Probe batchability on a short prefix first: an
+                # unbatchable predictor (ragged output) is detected
+                # after a handful of predict calls instead of after a
+                # full per-tick pass that the fallback loop would then
+                # repeat wholesale.
+                probe = min(4, len(actors))
+                if (
+                    predict_trace_via_loop(
+                        self.predictor,
+                        actors[:probe],
+                        times[:probe],
+                        self.params.horizon,
+                    )
+                    is None
+                ):
+                    return None
+                hypotheses = predict_trace_via_loop(
+                    self.predictor, actors, times, self.params.horizon
+                )
+            if hypotheses is None:
+                return None
+            hypotheses_by_actor[actor_id] = hypotheses
+
+        assessor = ThreatAssessor(params=self.params, road=self.road)
+        ego_motions = [
+            EgoMotion.from_state(state.speed, state.accel, self.params)
+            for state in ego_states
+        ]
+        grid = self._engine.trace_grid(ego_motions, l0)
+        rel_times = np.concatenate([grid.times, grid.reactions])
+
+        # 3: gates + threat-sample rows for every (actor, hypothesis).
+        # Rows accumulate toward one solve_rows call; past the element
+        # budget (~2 x 32 MB of row samples) they flush early so a long
+        # trace never holds every row's samples at once (the same
+        # cache-residency concern the offline evaluator blocks for).
+        row_element_budget = 4_000_000
+        tick_chunks: list[np.ndarray] = []
+        gap_chunks: list[np.ndarray] = []
+        speed_chunks: list[np.ndarray] = []
+        row_slots: list[tuple[np.ndarray, np.ndarray]] = []
+        pending_elements = 0
+
+        def flush_rows() -> None:
+            nonlocal pending_elements
+            if not tick_chunks:
+                return
+            results = self._engine.solve_rows(
+                grid,
+                np.concatenate(tick_chunks),
+                ego_motions,
+                np.vstack(gap_chunks),
+                np.vstack(speed_chunks),
+            )
+            position = 0
+            for latencies, solved_ticks in row_slots:
+                for tick in solved_ticks:
+                    latencies[tick] = results[position].latency_or_zero()
+                    position += 1
+            tick_chunks.clear()
+            gap_chunks.clear()
+            speed_chunks.clear()
+            row_slots.clear()
+            pending_elements = 0
+
+        per_actor: list[tuple[str, list[tuple[TraceHypothesis, np.ndarray, np.ndarray]]]] = []
+        for actor_id, hypotheses in hypotheses_by_actor.items():
+            per_hypothesis = []
+            for hypothesis in hypotheses:
+                active = np.flatnonzero(hypothesis.active)
+                threat_mask = np.zeros(n_ticks, dtype=bool)
+                # Gated-out futures contribute the most permissive
+                # latency; solved rows overwrite their slots below.
+                latencies = np.full(n_ticks, self.params.l_max)
+                if active.size:
+                    rollout = hypothesis.rollout.take(active)
+                    gates = assessor.could_collide_futures(
+                        [ego_states[i] for i in active],
+                        trace.ego_spec,
+                        rollout,
+                        self.assumed_actor_spec,
+                        times[active],
+                    )
+                    solved_ticks = active[gates]
+                    threat_mask[solved_ticks] = True
+                    if solved_ticks.size:
+                        gaps, speeds = assessor.sample_threat_futures(
+                            [ego_states[i] for i in solved_ticks],
+                            trace.ego_spec,
+                            hypothesis.rollout.take(solved_ticks),
+                            self.assumed_actor_spec,
+                            times[solved_ticks],
+                            rel_times,
+                        )
+                        if self.gap_margin > 0.0:
+                            gaps = np.maximum(0.0, gaps - self.gap_margin)
+                        tick_chunks.append(solved_ticks)
+                        gap_chunks.append(gaps)
+                        speed_chunks.append(speeds)
+                        row_slots.append((latencies, solved_ticks))
+                        pending_elements += gaps.size
+                        if pending_elements >= row_element_budget:
+                            flush_rows()
+                per_hypothesis.append((hypothesis, threat_mask, latencies))
+            per_actor.append((actor_id, per_hypothesis))
+
+        # 4: every remaining (tick, actor, hypothesis) row through one
+        # kernel call (the whole replay, unless the budget flushed).
+        flush_rows()
+
+        # 5: Equation 4 across hypotheses, then Equation 5 per tick.
+        actor_latencies: list[dict[str, float | None]] = [
+            {} for _ in range(n_ticks)
+        ]
+        for actor_id, per_hypothesis in per_actor:
+            if not per_hypothesis:
+                # A predictor may deem an actor irrelevant (no futures
+                # at any tick): not a threat, like the scalar loop.
+                continue
+            latencies = np.stack(
+                [values for _, _, values in per_hypothesis], axis=1
+            )
+            probabilities = np.stack(
+                [h.probabilities for h, _, _ in per_hypothesis], axis=1
+            )
+            active = np.stack(
+                [h.active for h, _, _ in per_hypothesis], axis=1
+            )
+            threat = np.stack(
+                [mask for _, mask, _ in per_hypothesis], axis=1
+            )
+            rows = np.flatnonzero(threat.any(axis=1))
+            if rows.size == 0:
+                continue
+            aggregated = self._aggregate_rows(
+                latencies[rows], probabilities[rows], active[rows]
+            )
+            for row, value in zip(rows, aggregated):
+                actor_latencies[int(row)][actor_id] = (
+                    None if value <= UNAVOIDABLE_LATENCY else float(value)
+                )
+
+        ticks = []
+        for i in range(n_ticks):
+            estimates = estimate_camera_fprs(
+                actor_latencies[i], visibility_tables[i], self.params
+            )
+            ticks.append(
+                EvaluationTick(
+                    time=float(times[i]),
+                    camera_estimates=estimates,
+                    actor_latencies=actor_latencies[i],
+                    ego_speed=ego_states[i].speed,
+                    ego_accel=ego_states[i].accel,
+                )
+            )
+        return ticks
+
+    def _aggregate_rows(
+        self,
+        latencies: np.ndarray,
+        probabilities: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Equation 4 over a ``(rows, hypotheses)`` batch.
+
+        Uses the aggregator's vectorized ``aggregate_rows`` when it has
+        one (the built-in aggregators do); otherwise loops the scalar
+        :meth:`Aggregator.aggregate` per row — still batched everywhere
+        else, just not inside the reduction.
+        """
+        vectorized = getattr(self.aggregator, "aggregate_rows", None)
+        if vectorized is not None:
+            return np.asarray(vectorized(latencies, probabilities, active))
+        return np.array(
+            [
+                self.aggregator.aggregate(
+                    [float(l) for l, a in zip(row_l, row_a) if a],
+                    [float(p) for p, a in zip(row_p, row_a) if a],
+                )
+                for row_l, row_p, row_a in zip(latencies, probabilities, active)
+            ]
         )
 
     def _aggregate(self, entries, solved) -> tuple[bool, float | None]:

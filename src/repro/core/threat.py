@@ -26,7 +26,12 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.parameters import ZhuyiParams
-from repro.dynamics.state import StateTrajectory, VehicleSpec, VehicleState
+from repro.dynamics.state import (
+    RolloutArrays,
+    StateTrajectory,
+    VehicleSpec,
+    VehicleState,
+)
 from repro.errors import EstimationError
 from repro.geometry.vec import Vec2
 from repro.road.track import Road
@@ -410,6 +415,115 @@ class ThreatAssessor:
             Boolean array: whether the actor could collide at each tick.
         """
         t0s = np.asarray(t0s, dtype=float)
+        return self._gate_rows(
+            ego_states,
+            ego_spec,
+            actor_trajectory.sample_extrapolated,
+            actor_trajectory.end_time,
+            actor_spec,
+            t0s,
+        )
+
+    def could_collide_futures(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        futures: RolloutArrays,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`could_collide_trace` for *predicted* per-tick futures.
+
+        Where the trace gate shares one recorded trajectory across all
+        ticks, the replay path predicts a fresh future per tick: row
+        ``n`` of ``futures`` is the actor's hypothesized rollout as of
+        tick ``n``, so the horizons come from each row's own final knot
+        and the interpolation runs against per-row knot grids. The
+        gate arithmetic is the shared row kernel either way, so a
+        replay tick is gated identically whether the future was
+        materialized as a ``StateTrajectory`` or stayed in array form.
+
+        Args:
+            ego_states: the ego state at each tick (``t0s``-aligned).
+            ego_spec / actor_spec: as in :meth:`assess`.
+            futures: one predicted rollout per tick
+                (:class:`repro.dynamics.state.RolloutArrays`).
+            t0s: the estimation instants, aligned with ``futures`` rows.
+
+        Returns:
+            Boolean array: whether the actor could collide at each tick.
+        """
+        t0s = np.asarray(t0s, dtype=float)
+        return self._gate_rows(
+            ego_states,
+            ego_spec,
+            futures.sample_extrapolated,
+            futures.times[:, -1],
+            actor_spec,
+            t0s,
+        )
+
+    def sample_threat_futures(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        futures: RolloutArrays,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+        rel_times: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`sample_threats_trace` for *predicted* per-tick futures.
+
+        One batched interpolation answers every (tick, instant) threat
+        query against each tick's own predicted rollout — the same
+        shared row kernel as the trace sampler, so the values equal a
+        per-tick :class:`TrajectoryThreat` build-and-sample bit for bit
+        (Euclidean gap from the tick's ego position, half-lengths
+        subtracted, the 10 ms corridor-mask quantization). Requires
+        road geometry when lateral gating is on, like the trace
+        sampler.
+
+        Args:
+            ego_states: ego state at each queried tick.
+            ego_spec / actor_spec: as in :meth:`assess`.
+            futures: one predicted rollout per queried tick.
+            t0s: the queried estimation instants (row-aligned).
+            rel_times: scan instants relative to each tick.
+
+        Returns:
+            ``(s_n, v_an)`` arrays of shape ``(len(t0s), len(rel_times))``.
+        """
+        return self._sample_rows(
+            ego_states,
+            ego_spec,
+            futures.sample_extrapolated,
+            actor_spec,
+            t0s,
+            rel_times,
+        )
+
+    def _gate_rows(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        sampler,
+        end_times,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+    ) -> np.ndarray:
+        """The collision gate over (tick,) rows — the shared kernel.
+
+        ``sampler`` maps a ``(rows, instants)`` absolute-time query
+        grid to ``(xs, ys, speeds)`` arrays (a recorded trajectory's
+        ``sample_extrapolated`` broadcast over every row, or a
+        :class:`RolloutArrays` batch interpolating each row's own
+        knots); ``end_times`` is the prediction end per row (scalar or
+        array). Element for element this is the per-tick
+        :meth:`assess` gate: accumulated gate instants, one batched
+        interpolation + Frenet conversion, the same behind/overlap
+        verdicts — one derivation serving both the offline trace gate
+        and the replay futures gate, so the two cannot drift.
+        """
         if not self.params.gate_lateral:
             return np.ones(t0s.shape, dtype=bool)
         ego_xs = np.array([state.position.x for state in ego_states])
@@ -430,7 +544,7 @@ class ThreatAssessor:
 
         horizons = np.minimum(
             self.params.horizon,
-            np.maximum(actor_trajectory.end_time - t0s, 0.0) + self.gate_step,
+            np.maximum(end_times - t0s, 0.0) + self.gate_step,
         )
         # The accumulated gate instants (t += step), shared by every
         # tick; each tick masks the prefix its horizon admits — the
@@ -444,7 +558,7 @@ class ThreatAssessor:
         in_horizon = gate_rel[None, :] <= horizons[:, None] + 1e-9
 
         queries = t0s[:, None] + gate_rel[None, :]
-        xs, ys, _ = actor_trajectory.sample_extrapolated(queries)
+        xs, ys, _ = sampler(queries)
         if self.road is not None:
             stations, laterals = self.road.to_frenet_batch(xs, ys)
         else:
@@ -460,6 +574,80 @@ class ThreatAssessor:
         could = np.any(overlapping & ahead & in_horizon, axis=1)
         behind = stations[:, 0] < ego_s - half_lengths
         return could & ~behind
+
+    def _sample_rows(
+        self,
+        ego_states,
+        ego_spec: VehicleSpec,
+        sampler,
+        actor_spec: VehicleSpec,
+        t0s: np.ndarray,
+        rel_times: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Threat quantities over (tick, instant) rows — the shared kernel.
+
+        ``sampler`` as in :meth:`_gate_rows`. Element for element this
+        is a per-tick :class:`TrajectoryThreat` build-and-sample —
+        including the 10 ms corridor-mask quantization, whose instants
+        ride the same interpolation pass as the threat scan (one
+        ``sampler`` call per batch).
+        """
+        t0s = np.asarray(t0s, dtype=float)
+        rel_times = np.asarray(rel_times, dtype=float)
+        if self.params.gate_lateral and self.road is None:
+            raise EstimationError(
+                "row-batched threat sampling needs road geometry "
+                "when lateral gating is on"
+            )
+        half_lengths = (ego_spec.length + actor_spec.length) / 2.0
+        n_rel = rel_times.size
+        queries = t0s[:, None] + rel_times[None, :]
+        if self.params.gate_lateral:
+            # The corridor mask on the same 10 ms-quantized instants
+            # the per-tick threat samples, for all ticks at once.
+            grid = np.arange(0.0, _MASK_SPAN, _MASK_STEP)
+            indices = np.clip(
+                np.rint(rel_times / _MASK_STEP).astype(int),
+                0,
+                grid.size - 1,
+            )
+            mask_queries = t0s[:, None] + grid[indices][None, :]
+            queries = np.concatenate([queries, mask_queries], axis=1)
+        xs, ys, speeds = sampler(queries)
+        ego_xs = np.array([state.position.x for state in ego_states])
+        ego_ys = np.array([state.position.y for state in ego_states])
+        distances = np.hypot(
+            xs[:, :n_rel] - ego_xs[:, None], ys[:, :n_rel] - ego_ys[:, None]
+        )
+        gaps = np.maximum(0.0, distances - half_lengths)
+        speeds = speeds[:, :n_rel]
+        if self.params.gate_lateral:
+            mask_xs = xs[:, n_rel:]
+            mask_ys = ys[:, n_rel:]
+            # The road branch of CorridorSpec.lateral_offsets ignores
+            # the per-tick frame fields; one spec serves every tick.
+            corridor = CorridorSpec(
+                road=self.road,
+                ego_frame_origin=ego_states[0],
+                ego_lateral=0.0,
+                overlap_width=0.0,
+            )
+            offsets = corridor.lateral_offsets(mask_xs, mask_ys)
+            # Per-tick ego laterals batch through the exact Frenet
+            # kernel: to_frenet_batch is bit-identical to the scalar
+            # to_frenet build_threat calls (the road/lane.py contract),
+            # so a corridor-edge tick lands on the same side in both
+            # backends without a per-tick scalar fallback.
+            _, ego_lateral = self.road.to_frenet_batch(ego_xs, ego_ys)
+            overlap_width = (
+                (ego_spec.width + actor_spec.width) / 2.0
+                + self.params.lateral_margin
+            )
+            in_corridor = (
+                np.abs(offsets - ego_lateral[:, None]) <= overlap_width
+            )
+            gaps = np.where(in_corridor, gaps, np.inf)
+        return gaps, np.ascontiguousarray(speeds)
 
     def sample_threats_trace(
         self,
@@ -491,56 +679,11 @@ class ThreatAssessor:
         Returns:
             ``(s_n, v_an)`` arrays of shape ``(len(t0s), len(rel_times))``.
         """
-        t0s = np.asarray(t0s, dtype=float)
-        rel_times = np.asarray(rel_times, dtype=float)
-        if self.params.gate_lateral and self.road is None:
-            raise EstimationError(
-                "trace-batched threat sampling needs road geometry "
-                "when lateral gating is on"
-            )
-        half_lengths = (ego_spec.length + actor_spec.length) / 2.0
-        queries = t0s[:, None] + rel_times[None, :]
-        xs, ys, speeds = actor_trajectory.sample_extrapolated(queries)
-        ego_xs = np.array([state.position.x for state in ego_states])
-        ego_ys = np.array([state.position.y for state in ego_states])
-        distances = np.hypot(
-            xs - ego_xs[:, None], ys - ego_ys[:, None]
+        return self._sample_rows(
+            ego_states,
+            ego_spec,
+            actor_trajectory.sample_extrapolated,
+            actor_spec,
+            t0s,
+            rel_times,
         )
-        gaps = np.maximum(0.0, distances - half_lengths)
-        if self.params.gate_lateral:
-            # The corridor mask on the same 10 ms-quantized instants
-            # the per-tick threat samples, for all ticks at once.
-            grid = np.arange(0.0, _MASK_SPAN, _MASK_STEP)
-            indices = np.clip(
-                np.rint(rel_times / _MASK_STEP).astype(int),
-                0,
-                grid.size - 1,
-            )
-            mask_queries = t0s[:, None] + grid[indices][None, :]
-            mask_xs, mask_ys, _ = actor_trajectory.sample_extrapolated(
-                mask_queries
-            )
-            # The road branch of CorridorSpec.lateral_offsets ignores
-            # the per-tick frame fields; one spec serves every tick.
-            corridor = CorridorSpec(
-                road=self.road,
-                ego_frame_origin=ego_states[0],
-                ego_lateral=0.0,
-                overlap_width=0.0,
-            )
-            offsets = corridor.lateral_offsets(mask_xs, mask_ys)
-            # Per-tick ego laterals batch through the exact Frenet
-            # kernel: to_frenet_batch is bit-identical to the scalar
-            # to_frenet build_threat calls (the road/lane.py contract),
-            # so a corridor-edge tick lands on the same side in both
-            # backends without a per-tick scalar fallback.
-            _, ego_lateral = self.road.to_frenet_batch(ego_xs, ego_ys)
-            overlap_width = (
-                (ego_spec.width + actor_spec.width) / 2.0
-                + self.params.lateral_margin
-            )
-            in_corridor = (
-                np.abs(offsets - ego_lateral[:, None]) <= overlap_width
-            )
-            gaps = np.where(in_corridor, gaps, np.inf)
-        return gaps, speeds

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def travel(
     speed: float, accel: float, duration: float, max_speed: float | None = None
@@ -54,6 +56,72 @@ def travel(
 
     distance += current * remaining + 0.5 * accel * remaining**2
     return distance, current + accel * remaining
+
+
+def travel_arrays(
+    speed,
+    accel,
+    duration,
+    max_speed: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`travel` over broadcastable array inputs.
+
+    Evaluates the same clamped constant-acceleration closed forms as the
+    scalar function, branch for branch and operation for operation, so a
+    single element of the returned ``(distance, end_speed)`` arrays is
+    the value a scalar :func:`travel` call at that element's inputs
+    would produce (the predictor batch rollouts rely on this: the same
+    kernel serves one tick and a whole trace of ticks).
+
+    Raises:
+        ValueError: on negative speeds or durations anywhere in the
+            batch, mirroring the scalar validation.
+    """
+    v0, a, t = np.broadcast_arrays(
+        np.asarray(speed, dtype=float),
+        np.asarray(accel, dtype=float),
+        np.asarray(duration, dtype=float),
+    )
+    if np.any(v0 < 0.0):
+        raise ValueError("speed must be non-negative")
+    if np.any(t < 0.0):
+        raise ValueError("duration must be non-negative")
+
+    # Unclamped constant-acceleration integration — the default branch.
+    distance = v0 * t + 0.5 * a * t**2
+    end_speed = v0 + a * t
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        # Braking: stop (do not reverse) at v = 0.
+        braking = a < 0.0
+        time_to_zero = np.where(
+            braking, v0 / np.where(braking, -a, 1.0), np.inf
+        )
+        stopped = braking & (time_to_zero <= t)
+        stop_distance = v0 * time_to_zero + 0.5 * a * time_to_zero**2
+        distance = np.where(stopped, stop_distance, distance)
+        end_speed = np.where(stopped, 0.0, end_speed)
+
+        if max_speed is not None:
+            # Accelerating into the cap: integrate to the crossing, then
+            # coast at the cap. Already at/over the cap: hold speed.
+            rising = a > 0.0
+            below = rising & (v0 < max_speed)
+            time_to_cap = np.where(
+                below, (max_speed - v0) / np.where(rising, a, 1.0), np.inf
+            )
+            crossed = below & (time_to_cap < t)
+            cap_distance = (
+                v0 * time_to_cap
+                + 0.5 * a * time_to_cap**2
+                + max_speed * (t - time_to_cap)
+            )
+            distance = np.where(crossed, cap_distance, distance)
+            end_speed = np.where(crossed, max_speed, end_speed)
+            over = rising & (v0 >= max_speed)
+            distance = np.where(over, v0 * t, distance)
+            end_speed = np.where(over, v0, end_speed)
+    return distance, end_speed
 
 
 def braking_distance(speed: float, decel: float) -> float:

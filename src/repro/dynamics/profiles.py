@@ -1,10 +1,14 @@
 """Smooth motion profiles shared by actor scripts and prediction.
 
 Lane changes use the classic smoothstep: zero lateral velocity at both
-ends, peak lateral velocity at mid-manoeuvre.
+ends, peak lateral velocity at mid-manoeuvre. The array forms evaluate
+the same clamped polynomial elementwise (the lane-change prediction
+rollout eases whole sample grids at once); keep the two in lockstep.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 
 def smoothstep(progress: float) -> float:
@@ -16,4 +20,16 @@ def smoothstep(progress: float) -> float:
 def smoothstep_slope(progress: float) -> float:
     """Derivative of :func:`smoothstep` with respect to progress."""
     clamped = min(max(progress, 0.0), 1.0)
+    return 6.0 * clamped * (1.0 - clamped)
+
+
+def smoothstep_arrays(progress: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`smoothstep` (same arithmetic per element)."""
+    clamped = np.clip(np.asarray(progress, dtype=float), 0.0, 1.0)
+    return clamped * clamped * (3.0 - 2.0 * clamped)
+
+
+def smoothstep_slope_arrays(progress: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`smoothstep_slope` (same arithmetic per element)."""
+    clamped = np.clip(np.asarray(progress, dtype=float), 0.0, 1.0)
     return 6.0 * clamped * (1.0 - clamped)

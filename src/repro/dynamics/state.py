@@ -275,6 +275,140 @@ class StateTrajectory:
             for t, s in zip(self._times, self._states)
         )
 
+    def knot_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[float, float]]:
+        """``(times, xs, ys, speeds, end_velocity)`` backing arrays.
+
+        The raw interpolation knots :meth:`sample_extrapolated` reads —
+        what :func:`repro.prediction.base.predict_trace_via_loop` stacks
+        into :class:`RolloutArrays` rows so per-tick predictions can
+        batch. Views, not copies: callers must not mutate them.
+        """
+        return self._t, self._x, self._y, self._speed, self._end_velocity
+
+
+@dataclass(frozen=True)
+class RolloutArrays:
+    """Many trajectories in array form: one rollout per row.
+
+    The batch counterpart of a list of per-tick
+    :class:`StateTrajectory` objects built over equally-sized sample
+    grids — the shape every predictor batch rollout produces (one row
+    per estimation tick, ``S`` samples per row). Row ``r`` of
+    :meth:`sample_extrapolated` is **bit-identical** to
+    ``StateTrajectory.sample_extrapolated`` on that row's knots: the
+    interpolation replays ``np.interp``'s exact arithmetic (bracket by
+    ``searchsorted`` semantics, ``slope * (t - t_lo) + y_lo``, exact
+    knot hits returned verbatim) and queries beyond the final knot
+    coast at the row's end velocity, exactly like the scalar class.
+
+    Attributes:
+        times: ``(R, S)`` knot timestamps, strictly ascending per row.
+        xs / ys / speeds: ``(R, S)`` knot values.
+        end_vx / end_vy: ``(R,)`` coasting velocity past the last knot
+            (``cos(heading) * speed`` of each row's final sample).
+    """
+
+    times: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    speeds: np.ndarray
+    end_vx: np.ndarray
+    end_vy: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times.ndim != 2 or self.times.shape[1] < 1:
+            raise ConfigurationError(
+                "rollout arrays need a (rows, samples) time grid"
+            )
+
+    @property
+    def rows(self) -> int:
+        """Number of rollouts."""
+        return self.times.shape[0]
+
+    def take(self, indices: np.ndarray) -> "RolloutArrays":
+        """The sub-batch at ``indices`` (row selection)."""
+        return RolloutArrays(
+            times=self.times[indices],
+            xs=self.xs[indices],
+            ys=self.ys[indices],
+            speeds=self.speeds[indices],
+            end_vx=self.end_vx[indices],
+            end_vy=self.end_vy[indices],
+        )
+
+    def sample_extrapolated(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(x, y, speed)`` at per-row query times.
+
+        ``queries`` has shape ``(R, Q)`` — row ``r`` is sampled at its
+        own query instants, exactly as a per-row
+        ``StateTrajectory.sample_extrapolated(queries[r])`` loop would,
+        but in one array program for the whole batch.
+        """
+        queries = np.asarray(queries, dtype=float)
+        n_rows, n_knots = self.times.shape
+        first = self.times[:, :1]
+        last = self.times[:, -1:]
+        beyond = queries > last
+
+        if n_knots == 1:
+            xs = np.broadcast_to(self.xs[:, :1], queries.shape).copy()
+            ys = np.broadcast_to(self.ys[:, :1], queries.shape).copy()
+            speeds = np.broadcast_to(self.speeds[:, :1], queries.shape).copy()
+        else:
+            # Bracket index per (row, query): the count of knots <= q,
+            # clipped to the last interior interval — np.interp's
+            # bracket. One C-level searchsorted per row beats the
+            # branchless (rows x queries x knots) comparison cube by a
+            # wide margin on replay-sized batches.
+            counts = np.empty(queries.shape, dtype=np.int64)
+            for row in range(n_rows):
+                counts[row] = np.searchsorted(
+                    self.times[row], queries[row], side="right"
+                )
+            lo = np.clip(counts - 1, 0, n_knots - 2)
+            # Flat gather indices shared by the value arrays (cheaper
+            # than repeated take_along_axis index bookkeeping).
+            flat_lo = lo + (np.arange(n_rows) * n_knots)[:, None]
+            flat_hi = flat_lo + 1
+            t_lo = self.times.ravel()[flat_lo]
+            span = self.times.ravel()[flat_hi] - t_lo
+            offset = queries - t_lo
+            on_knot = queries == t_lo
+
+            def interp(values: np.ndarray) -> np.ndarray:
+                flat = values.ravel()
+                v_lo = flat[flat_lo]
+                v_hi = flat[flat_hi]
+                slope = (v_hi - v_lo) / span
+                out = slope * offset + v_lo
+                # np.interp returns knot values verbatim on exact hits.
+                return np.where(on_knot, v_lo, out)
+
+            xs = interp(self.xs)
+            ys = interp(self.ys)
+            speeds = interp(self.speeds)
+
+        for values, out in (
+            (self.xs, xs),
+            (self.ys, ys),
+            (self.speeds, speeds),
+        ):
+            np.copyto(out, values[:, :1], where=queries <= first)
+            np.copyto(out, values[:, -1:], where=queries == last)
+
+        # Coasting past the final sample, matching the scalar class.
+        if np.any(beyond):
+            dt = queries - last
+            np.copyto(xs, self.xs[:, -1:] + self.end_vx[:, None] * dt, where=beyond)
+            np.copyto(ys, self.ys[:, -1:] + self.end_vy[:, None] * dt, where=beyond)
+            np.copyto(speeds, np.broadcast_to(self.speeds[:, -1:], queries.shape), where=beyond)
+        return xs, ys, speeds
+
 
 def _lerp_angle(a: float, b: float, w: float) -> float:
     """Interpolate angles along the shorter arc."""

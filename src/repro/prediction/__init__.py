@@ -8,7 +8,13 @@ exercise the same aggregation code path: constant-velocity,
 constant-acceleration, and a multi-hypothesis manoeuvre predictor.
 """
 
-from repro.prediction.base import PredictedTrajectory, Predictor
+from repro.prediction.base import (
+    PredictedTrajectory,
+    Predictor,
+    TraceHypothesis,
+    predict_trace_via_loop,
+    sample_times,
+)
 from repro.prediction.constant_velocity import ConstantVelocityPredictor
 from repro.prediction.constant_accel import ConstantAccelerationPredictor
 from repro.prediction.maneuver import ManeuverPredictor
@@ -16,6 +22,9 @@ from repro.prediction.maneuver import ManeuverPredictor
 __all__ = [
     "PredictedTrajectory",
     "Predictor",
+    "TraceHypothesis",
+    "predict_trace_via_loop",
+    "sample_times",
     "ConstantVelocityPredictor",
     "ConstantAccelerationPredictor",
     "ManeuverPredictor",

@@ -3,18 +3,72 @@
 Integrates the actor's estimated longitudinal acceleration along its
 heading, clamping speed at zero (a braking actor stops; it does not
 reverse).
+
+The rollout arithmetic lives in one array kernel
+(:func:`rollout_constant_accel_trace`), evaluated either for a single
+tick (the per-tick :meth:`ConstantAccelerationPredictor.predict`) or for
+every tick of a trace at once (``predict_trace``). One kernel, two
+shapes: the batch replay path and the scalar per-tick path therefore see
+bit-identical futures by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.dynamics.longitudinal import travel
-from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+import numpy as np
+
+from repro.dynamics.longitudinal import travel_arrays
+from repro.dynamics.state import (
+    RolloutArrays,
+    StateTrajectory,
+    TimedState,
+    VehicleState,
+)
 from repro.errors import ConfigurationError
 from repro.geometry.vec import Vec2
 from repro.perception.world_model import PerceivedActor
-from repro.prediction.base import PredictedTrajectory
+from repro.prediction.base import (
+    PredictedTrajectory,
+    TraceHypothesis,
+    sample_times,
+)
+
+
+def rollout_constant_accel_trace(
+    px: np.ndarray,
+    py: np.ndarray,
+    heading: np.ndarray,
+    speed: np.ndarray,
+    accel: np.ndarray,
+    nows: np.ndarray,
+    rel_times: np.ndarray,
+    max_speed: float | None = None,
+) -> RolloutArrays:
+    """Straight-line constant-acceleration rollouts, one row per tick.
+
+    The closed-form batch kernel behind every straight-line hypothesis:
+    clamped constant-acceleration travel
+    (:func:`repro.dynamics.longitudinal.travel_arrays`) along each
+    tick's heading over the shared ``rel_times`` grid.
+    """
+    cos_h = np.cos(heading)
+    sin_h = np.sin(heading)
+    distances, speeds = travel_arrays(
+        speed[:, None], accel[:, None], rel_times[None, :], max_speed
+    )
+    return RolloutArrays(
+        times=nows[:, None] + rel_times[None, :],
+        xs=px[:, None] + cos_h[:, None] * distances,
+        ys=py[:, None] + sin_h[:, None] * distances,
+        speeds=speeds,
+        # The final sample keeps the rollout heading, so the coasting
+        # velocity is cos/sin(heading) times the final speed — the same
+        # floats StateTrajectory derives from the last TimedState.
+        end_vx=cos_h * speeds[:, -1],
+        end_vy=sin_h * speeds[:, -1],
+    )
 
 
 def rollout_constant_accel(
@@ -25,28 +79,37 @@ def rollout_constant_accel(
     sample_period: float,
     max_speed: float | None = None,
 ) -> StateTrajectory:
-    """Straight-line rollout at a fixed longitudinal acceleration."""
-    direction = (
-        Vec2.unit(actor.heading)
-        if actor.speed > 1e-6
-        else Vec2.unit(actor.heading)
+    """Straight-line rollout at a fixed longitudinal acceleration.
+
+    The per-tick view of :func:`rollout_constant_accel_trace`: one call
+    into the shared array kernel, wrapped back into a
+    :class:`StateTrajectory`.
+    """
+    rel = sample_times(horizon, sample_period)
+    rollout = rollout_constant_accel_trace(
+        px=np.array([actor.position.x]),
+        py=np.array([actor.position.y]),
+        heading=np.array([actor.heading]),
+        speed=np.array([actor.speed]),
+        accel=np.array([accel]),
+        nows=np.array([now]),
+        rel_times=rel,
+        max_speed=max_speed,
     )
-    samples = []
-    t = 0.0
-    while t <= horizon + 1e-9:
-        distance, speed = travel(actor.speed, accel, t, max_speed)
-        samples.append(
-            TimedState(
-                time=now + t,
-                state=VehicleState(
-                    position=actor.position + direction * distance,
-                    heading=actor.heading,
-                    speed=speed,
-                    accel=accel if speed > 0.0 else 0.0,
-                ),
-            )
+    samples = [
+        TimedState(
+            time=float(t),
+            state=VehicleState(
+                position=Vec2(float(x), float(y)),
+                heading=actor.heading,
+                speed=float(v),
+                accel=accel if v > 0.0 else 0.0,
+            ),
         )
-        t += sample_period
+        for t, x, y, v in zip(
+            rollout.times[0], rollout.xs[0], rollout.ys[0], rollout.speeds[0]
+        )
+    ]
     return StateTrajectory(samples)
 
 
@@ -64,8 +127,6 @@ class ConstantAccelerationPredictor:
     def predict(
         self, actor: PerceivedActor, now: float, horizon: float
     ) -> list[PredictedTrajectory]:
-        if horizon <= 0.0:
-            raise ConfigurationError(f"horizon must be positive, got {horizon}")
         trajectory = rollout_constant_accel(
             actor, actor.accel, now, horizon, self.sample_period, self.max_speed
         )
@@ -74,5 +135,33 @@ class ConstantAccelerationPredictor:
                 trajectory=trajectory,
                 probability=1.0,
                 label="constant-acceleration",
+            )
+        ]
+
+    def predict_trace(
+        self,
+        actors: Sequence[PerceivedActor],
+        nows: np.ndarray,
+        horizon: float,
+    ) -> list[TraceHypothesis]:
+        """One closed-form rollout covering all ticks (shared kernel)."""
+        rel = sample_times(horizon, self.sample_period)
+        n_ticks = len(actors)
+        rollout = rollout_constant_accel_trace(
+            px=np.array([actor.position.x for actor in actors]),
+            py=np.array([actor.position.y for actor in actors]),
+            heading=np.array([actor.heading for actor in actors]),
+            speed=np.array([actor.speed for actor in actors]),
+            accel=np.array([actor.accel for actor in actors]),
+            nows=np.asarray(nows, dtype=float),
+            rel_times=rel,
+            max_speed=self.max_speed,
+        )
+        return [
+            TraceHypothesis(
+                label="constant-acceleration",
+                rollout=rollout,
+                probabilities=np.ones(n_ticks),
+                active=np.ones(n_ticks, dtype=bool),
             )
         ]

@@ -3,11 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+import numpy as np
+
+from repro.dynamics.state import (
+    RolloutArrays,
+    StateTrajectory,
+    TimedState,
+    VehicleState,
+)
 from repro.errors import ConfigurationError
 from repro.perception.world_model import PerceivedActor
-from repro.prediction.base import PredictedTrajectory
+from repro.prediction.base import (
+    PredictedTrajectory,
+    TraceHypothesis,
+    sample_times,
+)
 
 
 @dataclass(frozen=True)
@@ -27,27 +39,65 @@ class ConstantVelocityPredictor:
     def predict(
         self, actor: PerceivedActor, now: float, horizon: float
     ) -> list[PredictedTrajectory]:
-        if horizon <= 0.0:
-            raise ConfigurationError(f"horizon must be positive, got {horizon}")
-        samples = []
-        t = 0.0
-        while t <= horizon + 1e-9:
-            samples.append(
-                TimedState(
-                    time=now + t,
-                    state=VehicleState(
-                        position=actor.position + actor.velocity * t,
-                        heading=actor.heading,
-                        speed=actor.speed,
-                        accel=0.0,
-                    ),
-                )
+        rel = sample_times(horizon, self.sample_period)
+        samples = [
+            TimedState(
+                time=now + t,
+                state=VehicleState(
+                    position=actor.position + actor.velocity * t,
+                    heading=actor.heading,
+                    speed=actor.speed,
+                    accel=0.0,
+                ),
             )
-            t += self.sample_period
+            for t in rel.tolist()
+        ]
         return [
             PredictedTrajectory(
                 trajectory=StateTrajectory(samples),
                 probability=1.0,
                 label="constant-velocity",
+            )
+        ]
+
+    def predict_trace(
+        self,
+        actors: Sequence[PerceivedActor],
+        nows: np.ndarray,
+        horizon: float,
+    ) -> list[TraceHypothesis]:
+        """Closed-form batch rollout: every tick's future in one kernel.
+
+        Row ``n`` is elementwise the same arithmetic as the per-tick
+        :meth:`predict` at tick ``n`` — ``position + velocity * t`` over
+        the shared :func:`repro.prediction.base.sample_times` grid — so
+        the batch and scalar replay paths see identical futures.
+        """
+        rel = sample_times(horizon, self.sample_period)
+        nows = np.asarray(nows, dtype=float)
+        px = np.array([actor.position.x for actor in actors])
+        py = np.array([actor.position.y for actor in actors])
+        vx = np.array([actor.velocity.x for actor in actors])
+        vy = np.array([actor.velocity.y for actor in actors])
+        heading = np.array([actor.heading for actor in actors])
+        speed = np.array([actor.speed for actor in actors])
+        n_ticks = len(actors)
+        speeds = np.broadcast_to(speed[:, None], (n_ticks, rel.size)).copy()
+        rollout = RolloutArrays(
+            times=nows[:, None] + rel[None, :],
+            xs=px[:, None] + vx[:, None] * rel[None, :],
+            ys=py[:, None] + vy[:, None] * rel[None, :],
+            speeds=speeds,
+            # The trajectory's final state keeps the actor's heading and
+            # speed, so the coasting velocity matches StateTrajectory's.
+            end_vx=np.cos(heading) * speed,
+            end_vy=np.sin(heading) * speed,
+        )
+        return [
+            TraceHypothesis(
+                label="constant-velocity",
+                rollout=rollout,
+                probabilities=np.ones(n_ticks),
+                active=np.ones(n_ticks, dtype=bool),
             )
         ]

@@ -9,22 +9,55 @@ and renormalized over the hypotheses that apply.
 This stands in for the learned predictors the paper leverages
 (MultiPath, PredictionNet): Equation 4 only needs a weighted set of
 futures, which this produces from the perceived state alone.
+
+Every hypothesis is rolled out by an array kernel shared between the
+per-tick :meth:`ManeuverPredictor.predict` and the trace-batch
+``predict_trace`` — one ``arange``-grid rollout per hypothesis covering
+all requested ticks at once — so the batched replay path sees exactly
+the per-tick futures, bit for bit.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.dynamics.longitudinal import travel
-from repro.dynamics.profiles import smoothstep, smoothstep_slope
-from repro.dynamics.state import StateTrajectory, TimedState, VehicleState
+import numpy as np
+
+from repro.dynamics.longitudinal import travel_arrays
+from repro.dynamics.profiles import (
+    smoothstep_arrays,
+    smoothstep_slope_arrays,
+)
+from repro.dynamics.state import (
+    RolloutArrays,
+    StateTrajectory,
+    TimedState,
+    VehicleState,
+)
 from repro.errors import ConfigurationError
+from repro.geometry.vec import Vec2
 from repro.perception.world_model import PerceivedActor
-from repro.prediction.base import PredictedTrajectory, check_probabilities
-from repro.prediction.constant_accel import rollout_constant_accel
-from repro.road.lane import FrenetPoint
+from repro.prediction.base import (
+    PredictedTrajectory,
+    TraceHypothesis,
+    check_probabilities,
+    sample_times,
+)
+from repro.prediction.constant_accel import (
+    rollout_constant_accel,
+    rollout_constant_accel_trace,
+)
 from repro.road.track import Road
+
+
+@dataclass(frozen=True)
+class _LaneChangeArrays:
+    """Batched lane-change rollouts (only ``active`` rows are defined)."""
+
+    active: np.ndarray  #: (N,) bool — adjacent-lane ticks
+    rollout: RolloutArrays  #: (N, S) arrays; inactive rows are zeros
+    headings: np.ndarray  #: (N, S) per-sample headings of active rows
 
 
 @dataclass(frozen=True)
@@ -42,6 +75,8 @@ class ManeuverPredictor:
             ``target_lane``.
         target_lane: lane index a lane-change hypothesis steers into
             (typically the ego's lane); ``None`` disables it.
+        max_speed: speed cap applied to every hypothesis rollout (m/s);
+            must be positive.
         weights: base probability of each hypothesis by label; missing
             labels get zero. Renormalized over applicable hypotheses.
     """
@@ -71,54 +106,34 @@ class ManeuverPredictor:
             raise ConfigurationError("manoeuvre magnitudes must be positive")
         if self.lane_change_duration <= 0.0:
             raise ConfigurationError("lane-change duration must be positive")
+        if self.max_speed <= 0.0:
+            raise ConfigurationError(
+                f"max speed must be positive, got {self.max_speed}"
+            )
         if any(weight < 0.0 for weight in self.weights.values()):
             raise ConfigurationError("hypothesis weights must be non-negative")
+
+    #: Straight-line hypothesis labels in emission order, with the
+    #: signed acceleration each applies.
+    def _straight_hypotheses(self) -> list[tuple[str, float]]:
+        return [
+            ("keep", 0.0),
+            ("gentle-brake", -self.gentle_brake),
+            ("hard-brake", -self.hard_brake),
+            ("accelerate", self.accelerate),
+        ]
 
     def predict(
         self, actor: PerceivedActor, now: float, horizon: float
     ) -> list[PredictedTrajectory]:
-        if horizon <= 0.0:
-            raise ConfigurationError(f"horizon must be positive, got {horizon}")
         hypotheses: list[tuple[str, StateTrajectory]] = [
             (
-                "keep",
+                label,
                 rollout_constant_accel(
-                    actor, 0.0, now, horizon, self.sample_period, self.max_speed
+                    actor, accel, now, horizon, self.sample_period, self.max_speed
                 ),
-            ),
-            (
-                "gentle-brake",
-                rollout_constant_accel(
-                    actor,
-                    -self.gentle_brake,
-                    now,
-                    horizon,
-                    self.sample_period,
-                    self.max_speed,
-                ),
-            ),
-            (
-                "hard-brake",
-                rollout_constant_accel(
-                    actor,
-                    -self.hard_brake,
-                    now,
-                    horizon,
-                    self.sample_period,
-                    self.max_speed,
-                ),
-            ),
-            (
-                "accelerate",
-                rollout_constant_accel(
-                    actor,
-                    self.accelerate,
-                    now,
-                    horizon,
-                    self.sample_period,
-                    self.max_speed,
-                ),
-            ),
+            )
+            for label, accel in self._straight_hypotheses()
         ]
         lane_change = self._lane_change_rollout(actor, now, horizon)
         if lane_change is not None:
@@ -143,46 +158,201 @@ class ManeuverPredictor:
         check_probabilities(predictions)
         return predictions
 
+    def predict_trace(
+        self,
+        actors: Sequence[PerceivedActor],
+        nows: np.ndarray,
+        horizon: float,
+    ) -> list[TraceHypothesis]:
+        """All hypotheses over all ticks, one array rollout per hypothesis.
+
+        Row ``n`` of each hypothesis equals the per-tick
+        :meth:`predict` output at tick ``n`` bit for bit (shared rollout
+        kernels, shared closed-form sample grid, same probability
+        renormalization over the hypotheses applicable at that tick).
+        """
+        rel = sample_times(horizon, self.sample_period)
+        nows = np.asarray(nows, dtype=float)
+        n_ticks = len(actors)
+        px = np.array([actor.position.x for actor in actors])
+        py = np.array([actor.position.y for actor in actors])
+        heading = np.array([actor.heading for actor in actors])
+        speed = np.array([actor.speed for actor in actors])
+
+        lane_change = self._lane_change_arrays(px, py, speed, nows, rel)
+        lc_active = (
+            lane_change.active
+            if lane_change is not None
+            else np.zeros(n_ticks, dtype=bool)
+        )
+        lc_weight = self.weights.get("lane-change", 0.0)
+
+        # Per-tick renormalization totals, summed in emission order
+        # exactly like the per-tick loop does.
+        straight_total = 0.0
+        for label, _ in self._straight_hypotheses():
+            straight_total += self.weights.get(label, 0.0)
+        full_total = straight_total + lc_weight
+        if np.any(lc_active) and full_total <= 0.0:
+            raise ConfigurationError("all hypothesis weights are zero")
+        if not np.all(lc_active) and straight_total <= 0.0:
+            raise ConfigurationError("all hypothesis weights are zero")
+        totals = np.where(lc_active, full_total, straight_total)
+
+        hypotheses: list[TraceHypothesis] = []
+        for label, accel in self._straight_hypotheses():
+            weight = self.weights.get(label, 0.0)
+            if weight <= 0.0:
+                continue
+            rollout = rollout_constant_accel_trace(
+                px=px,
+                py=py,
+                heading=heading,
+                speed=speed,
+                accel=np.full(n_ticks, accel),
+                nows=nows,
+                rel_times=rel,
+                max_speed=self.max_speed,
+            )
+            hypotheses.append(
+                TraceHypothesis(
+                    label=label,
+                    rollout=rollout,
+                    probabilities=weight / totals,
+                    active=np.ones(n_ticks, dtype=bool),
+                )
+            )
+        if lane_change is not None and lc_weight > 0.0 and np.any(lc_active):
+            hypotheses.append(
+                TraceHypothesis(
+                    label="lane-change",
+                    rollout=lane_change.rollout,
+                    probabilities=np.where(lc_active, lc_weight / totals, 0.0),
+                    active=lc_active,
+                )
+            )
+        return hypotheses
+
+    def _lane_change_arrays(
+        self,
+        px: np.ndarray,
+        py: np.ndarray,
+        speed: np.ndarray,
+        nows: np.ndarray,
+        rel: np.ndarray,
+    ) -> _LaneChangeArrays | None:
+        """Batched lane-change rollouts toward ``target_lane``.
+
+        The array kernel behind both prediction paths: constant-speed
+        travel along the road with a smoothstep lateral blend from the
+        actor's current offset to the target lane's, mapped back to
+        world coordinates through the road's batch kernels. Ticks where
+        the actor is not in a lane adjacent to the target are inactive.
+        """
+        if self.road is None or self.target_lane is None:
+            return None
+        start_s, start_d = self.road.to_frenet_batch(px, py)
+        raw = start_d / self.road.lane_width + (self.road.lane_count - 1) / 2.0
+        current_lane = np.clip(
+            np.rint(raw), 0, self.road.lane_count - 1
+        ).astype(int)
+        active = (current_lane != self.target_lane) & (
+            np.abs(current_lane - self.target_lane) <= 1
+        )
+        n_ticks, n_samples = px.size, rel.size
+        times = nows[:, None] + rel[None, :]
+        xs = np.zeros((n_ticks, n_samples))
+        ys = np.zeros((n_ticks, n_samples))
+        speeds = np.zeros((n_ticks, n_samples))
+        headings = np.zeros((n_ticks, n_samples))
+        end_vx = np.zeros(n_ticks)
+        end_vy = np.zeros(n_ticks)
+        if np.any(active):
+            rows = np.flatnonzero(active)
+            target_d = self.road.lane_offset(self.target_lane)
+            distance, row_speeds = travel_arrays(
+                speed[rows, None], 0.0, rel[None, :], self.max_speed
+            )
+            progress = smoothstep_arrays(rel / self.lane_change_duration)
+            d = start_d[rows, None] + (
+                target_d - start_d[rows, None]
+            ) * progress[None, :]
+            s = start_s[rows, None] + distance
+            row_xs, row_ys = self.road.to_world_batch(s, d)
+            row_headings = self.road.heading_at_batch(s)
+            # Add the lateral component to the heading during the
+            # manoeuvre (matching the per-sample condition of the
+            # scalar rollout).
+            in_maneuver = (
+                (0.0 < rel[None, :])
+                & (rel[None, :] < self.lane_change_duration)
+                & (row_speeds > 1e-6)
+            )
+            slope = smoothstep_slope_arrays(rel / self.lane_change_duration)
+            lateral_rate = (
+                (target_d - start_d[rows, None])
+                * slope[None, :]
+                / self.lane_change_duration
+            )
+            row_headings = np.where(
+                in_maneuver,
+                row_headings + np.arctan2(lateral_rate, row_speeds),
+                row_headings,
+            )
+            xs[rows] = row_xs
+            ys[rows] = row_ys
+            speeds[rows] = row_speeds
+            headings[rows] = row_headings
+            end_vx[rows] = np.cos(row_headings[:, -1]) * row_speeds[:, -1]
+            end_vy[rows] = np.sin(row_headings[:, -1]) * row_speeds[:, -1]
+        return _LaneChangeArrays(
+            active=active,
+            rollout=RolloutArrays(
+                times=times,
+                xs=xs,
+                ys=ys,
+                speeds=speeds,
+                end_vx=end_vx,
+                end_vy=end_vy,
+            ),
+            headings=headings,
+        )
+
     def _lane_change_rollout(
         self, actor: PerceivedActor, now: float, horizon: float
     ) -> StateTrajectory | None:
-        """Lane change toward ``target_lane`` at constant speed, or None."""
-        if self.road is None or self.target_lane is None:
+        """Lane change toward ``target_lane`` at constant speed, or None.
+
+        The per-tick view of :meth:`_lane_change_arrays`: one call into
+        the shared kernel, wrapped back into a :class:`StateTrajectory`.
+        """
+        rel = sample_times(horizon, self.sample_period)
+        arrays = self._lane_change_arrays(
+            px=np.array([actor.position.x]),
+            py=np.array([actor.position.y]),
+            speed=np.array([actor.speed]),
+            nows=np.array([now]),
+            rel=rel,
+        )
+        if arrays is None or not arrays.active[0]:
             return None
-        start = self.road.to_frenet(actor.position)
-        current_lane = self.road.lane_of_offset(start.d)
-        if current_lane == self.target_lane:
-            return None
-        if abs(current_lane - self.target_lane) > 1:
-            return None  # only adjacent-lane changes are hypothesized
-        target_d = self.road.lane_offset(self.target_lane)
-        samples = []
-        t = 0.0
-        while t <= horizon + 1e-9:
-            distance, speed = travel(actor.speed, 0.0, t, self.max_speed)
-            progress = smoothstep(t / self.lane_change_duration)
-            d = start.d + (target_d - start.d) * progress
-            s = start.s + distance
-            position = self.road.to_world(FrenetPoint(s, d))
-            heading = self.road.heading_at(s)
-            # Add the lateral component to the heading during the manoeuvre.
-            if 0.0 < t < self.lane_change_duration and speed > 1e-6:
-                lateral_rate = (
-                    (target_d - start.d)
-                    * smoothstep_slope(t / self.lane_change_duration)
-                    / self.lane_change_duration
-                )
-                heading += math.atan2(lateral_rate, speed)
-            samples.append(
-                TimedState(
-                    time=now + t,
-                    state=VehicleState(
-                        position=position,
-                        heading=heading,
-                        speed=speed,
-                        accel=0.0,
-                    ),
-                )
+        rollout = arrays.rollout
+        samples = [
+            TimedState(
+                time=float(t),
+                state=VehicleState(
+                    position=Vec2(float(x), float(y)),
+                    heading=float(h),
+                    speed=float(v),
+                    accel=0.0,
+                ),
             )
-            t += self.sample_period
+            for t, x, y, v, h in zip(
+                rollout.times[0],
+                rollout.xs[0],
+                rollout.ys[0],
+                rollout.speeds[0],
+                arrays.headings[0],
+            )
+        ]
         return StateTrajectory(samples)

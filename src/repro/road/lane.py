@@ -90,6 +90,23 @@ class Centerline(Protocol):
         """
         ...
 
+    def to_world_batch(
+        self, stations: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_world`: ``(x, y)`` arrays of many points.
+
+        The inverse batch kernel: the lane-change prediction rollout
+        maps whole (station, offset) grids back to world coordinates.
+        Elementwise-pure, so one evaluation over a trace of ticks equals
+        a per-tick loop bit for bit (the scalar predictor path calls
+        the same kernel on single-row grids).
+        """
+        ...
+
+    def heading_at_batch(self, stations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`heading_at` over an array of stations."""
+        ...
+
 
 @dataclass(frozen=True)
 class StraightCenterline:
@@ -134,6 +151,22 @@ class StraightCenterline:
         dx = np.asarray(xs, dtype=float) - self.start.x
         dy = np.asarray(ys, dtype=float) - self.start.y
         return dx * cos_h + dy * sin_h, dx * -sin_h + dy * cos_h
+
+    def to_world_batch(
+        self, stations: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cos_h, sin_h = math.cos(self.heading), math.sin(self.heading)
+        s = np.asarray(stations, dtype=float)
+        d = np.asarray(offsets, dtype=float)
+        # start + tangent * s + perp * d with tangent (cos, sin) and
+        # perp (-sin, cos), in the scalar to_world's operation order.
+        return (
+            self.start.x + cos_h * s + -sin_h * d,
+            self.start.y + sin_h * s + cos_h * d,
+        )
+
+    def heading_at_batch(self, stations: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(np.asarray(stations, dtype=float)), self.heading)
 
 
 @dataclass(frozen=True)
@@ -227,6 +260,33 @@ class ArcCenterline:
             sweep = _wrap_angles(self.start_angle - angle)
             d = distance - self.radius
         return sweep * self.radius, d
+
+    def to_world_batch(
+        self, stations: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        s = np.asarray(stations, dtype=float)
+        d = np.asarray(offsets, dtype=float)
+        sweep = s / self.radius
+        angles = self.start_angle + (sweep if self.turn_left else -sweep)
+        if self.turn_left:
+            effective_radius = self.radius - d
+        else:
+            effective_radius = self.radius + d
+        if np.any(effective_radius <= 0.0):
+            raise GeometryError(
+                f"lateral offset exceeds arc radius {self.radius}"
+            )
+        return (
+            self.center.x + effective_radius * np.cos(angles),
+            self.center.y + effective_radius * np.sin(angles),
+        )
+
+    def heading_at_batch(self, stations: np.ndarray) -> np.ndarray:
+        s = np.asarray(stations, dtype=float)
+        sweep = s / self.radius
+        angles = self.start_angle + (sweep if self.turn_left else -sweep)
+        offset = math.pi / 2.0 if self.turn_left else -math.pi / 2.0
+        return _wrap_angles(angles + offset)
 
 
 class CompositeCenterline:
@@ -350,6 +410,55 @@ class CompositeCenterline:
             best_s = np.where(take, offset + clamped, best_s)
             best_d = np.where(take, d, best_d)
         return best_s, best_d
+
+    def _locate_batch(
+        self, stations: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_locate`: ``(local clamped station, segment index)``.
+
+        Same membership rule as the scalar reversed scan: a station
+        lands on the last segment whose offset does not exceed it.
+        """
+        clamped = np.clip(
+            np.asarray(stations, dtype=float), 0.0, self._total_length
+        )
+        index = (
+            np.searchsorted(np.array(self._offsets), clamped, side="right") - 1
+        )
+        return clamped, index
+
+    def to_world_batch(
+        self, stations: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        s, d = np.broadcast_arrays(
+            np.asarray(stations, dtype=float), np.asarray(offsets, dtype=float)
+        )
+        clamped, index = self._locate_batch(s)
+        xs = np.empty(s.shape)
+        ys = np.empty(s.shape)
+        for k, (segment, offset) in enumerate(
+            zip(self._segments, self._offsets)
+        ):
+            member = index == k
+            if not member.any():
+                continue
+            xs[member], ys[member] = segment.to_world_batch(
+                clamped[member] - offset, d[member]
+            )
+        return xs, ys
+
+    def heading_at_batch(self, stations: np.ndarray) -> np.ndarray:
+        s = np.asarray(stations, dtype=float)
+        clamped, index = self._locate_batch(s)
+        headings = np.empty(s.shape)
+        for k, (segment, offset) in enumerate(
+            zip(self._segments, self._offsets)
+        ):
+            member = index == k
+            if not member.any():
+                continue
+            headings[member] = segment.heading_at_batch(clamped[member] - offset)
+        return headings
 
 
 def _centerline_points(

@@ -85,6 +85,14 @@ class Road:
         """Vectorized :meth:`to_frenet`: ``(s, d)`` arrays of many points."""
         return self.centerline.to_frenet_batch(xs, ys)
 
+    def to_world_batch(self, stations, offsets):
+        """Vectorized :meth:`to_world`: ``(x, y)`` arrays of many points."""
+        return self.centerline.to_world_batch(stations, offsets)
+
+    def heading_at_batch(self, stations):
+        """Vectorized :meth:`heading_at` over an array of stations."""
+        return self.centerline.heading_at_batch(stations)
+
     def on_road(self, point: Vec2, margin: float = 0.0) -> bool:
         """Whether a world point lies on the paved surface."""
         frenet = self.to_frenet(point)

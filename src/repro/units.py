@@ -66,3 +66,22 @@ def wrap_angle(angle: float) -> float:
     if wrapped <= 0.0:
         wrapped += 2.0 * math.pi
     return wrapped - math.pi
+
+
+def time_grid_count(span: float, step: float) -> int:
+    """Samples on the closed-form grid ``0, step, 2*step, ... <= span``.
+
+    The one sanctioned way to size a fixed-stride time grid: the count
+    is ``floor(span / step + 1e-9) + 1`` and the instants are
+    ``step * arange(count)``. Accumulating ``t += step`` instead drifts
+    — repeated float addition makes the final sample's inclusion depend
+    on the operand magnitudes, so near-multiple spans gain or lose a
+    sample. The evaluator tick grid (PR 1) and the prediction sample
+    grids use this closed form so batched consumers can rebuild any
+    prefix of the grid bit-exactly.
+    """
+    if step <= 0.0:
+        raise ValueError(f"grid step must be positive, got {step}")
+    if span < 0.0:
+        raise ValueError(f"grid span must be non-negative, got {span}")
+    return int(math.floor(span / step + 1e-9)) + 1

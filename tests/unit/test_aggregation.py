@@ -99,3 +99,69 @@ class TestConvenienceWrapper:
 
     def test_custom_aggregator(self):
         assert aggregate_latencies([0.1, 0.9], aggregator=MaxAggregator()) == 0.1
+
+
+class TestAggregateRows:
+    """The vectorized Equation 4 path equals the scalar reductions."""
+
+    def rows(self):
+        import numpy as np
+
+        latencies = np.array([[0.4, 0.1, 1.0], [0.2, 0.9, 0.5]])
+        probabilities = np.array([[0.5, 0.3, 0.2], [0.6, 0.2, 0.2]])
+        active = np.array([[True, True, True], [True, False, True]])
+        return latencies, probabilities, active
+
+    @pytest.mark.parametrize(
+        "aggregator",
+        [MaxAggregator(), MeanAggregator(), PercentileAggregator(90.0)],
+        ids=["max", "mean", "percentile"],
+    )
+    def test_matches_scalar_per_row(self, aggregator):
+        latencies, probabilities, active = self.rows()
+        out = aggregator.aggregate_rows(latencies, probabilities, active)
+        for r in range(latencies.shape[0]):
+            ls = [float(l) for l, a in zip(latencies[r], active[r]) if a]
+            ps = [float(p) for p, a in zip(probabilities[r], active[r]) if a]
+            assert out[r] == aggregator.aggregate(ls, ps)
+
+    def test_rejects_empty_rows(self):
+        import numpy as np
+
+        latencies, probabilities, active = self.rows()
+        active = np.zeros_like(active)
+        with pytest.raises(EstimationError):
+            PercentileAggregator().aggregate_rows(
+                latencies, probabilities, active
+            )
+
+    def test_rejects_negative_values(self):
+        import numpy as np
+
+        latencies, probabilities, active = self.rows()
+        with pytest.raises(EstimationError):
+            PercentileAggregator().aggregate_rows(
+                -latencies, probabilities, active
+            )
+        with pytest.raises(EstimationError):
+            PercentileAggregator().aggregate_rows(
+                latencies, -probabilities, active
+            )
+
+    def test_rejects_misaligned_shapes(self):
+        import numpy as np
+
+        latencies, probabilities, active = self.rows()
+        with pytest.raises(EstimationError):
+            MaxAggregator().aggregate_rows(
+                latencies[:, :2], probabilities, active
+            )
+
+    def test_rejects_zero_probability_rows(self):
+        import numpy as np
+
+        latencies, probabilities, active = self.rows()
+        with pytest.raises(EstimationError):
+            MeanAggregator().aggregate_rows(
+                latencies, np.zeros_like(probabilities), active
+            )

@@ -101,3 +101,38 @@ class TestClamp:
     def test_empty_interval_raises(self):
         with pytest.raises(ValueError):
             clamp(0.0, 1.0, -1.0)
+
+
+class TestTravelArrays:
+    def test_matches_scalar_branches(self):
+        import numpy as np
+
+        from repro.dynamics.longitudinal import travel_arrays
+
+        cases = [
+            (10.0, 0.0, 2.0, None),   # coast
+            (10.0, -5.0, 5.0, None),  # brakes to a stop
+            (10.0, -1.0, 2.0, None),  # braking, still moving
+            (10.0, 4.0, 10.0, 12.0),  # accelerates into the cap
+            (15.0, 4.0, 3.0, 12.0),   # already over the cap
+            (10.0, 2.0, 3.0, None),   # uncapped acceleration
+            (0.0, -3.0, 1.0, None),   # stopped stays stopped
+            (10.0, 3.0, 0.0, 12.0),   # zero duration
+        ]
+        for v0, a, t, cap in cases:
+            d_ref, v_ref = travel(v0, a, t, cap)
+            d, v = travel_arrays(
+                np.array([v0]), np.array([a]), np.array([t]), cap
+            )
+            assert v[0] == v_ref, (v0, a, t, cap)
+            assert d[0] == pytest.approx(d_ref, rel=1e-12), (v0, a, t, cap)
+
+    def test_rejects_negative_inputs(self):
+        import numpy as np
+
+        from repro.dynamics.longitudinal import travel_arrays
+
+        with pytest.raises(ValueError):
+            travel_arrays(np.array([-1.0]), np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            travel_arrays(np.array([1.0]), np.array([0.0]), np.array([-1.0]))

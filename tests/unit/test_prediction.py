@@ -2,12 +2,18 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, EstimationError
 from repro.geometry.vec import Vec2
 from repro.perception.world_model import PerceivedActor
-from repro.prediction.base import PredictedTrajectory, check_probabilities
+from repro.prediction.base import (
+    PredictedTrajectory,
+    check_probabilities,
+    predict_trace_via_loop,
+    sample_times,
+)
 from repro.prediction.constant_accel import ConstantAccelerationPredictor
 from repro.prediction.constant_velocity import ConstantVelocityPredictor
 from repro.prediction.maneuver import ManeuverPredictor
@@ -50,8 +56,72 @@ class TestConstantVelocity:
         assert end.position.y == pytest.approx(10.0)
 
     def test_rejects_bad_horizon(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(EstimationError):
             ConstantVelocityPredictor().predict(perceived(), 0.0, 0.0)
+
+
+class TestSampleGrid:
+    """The shared closed-form prediction sample grid."""
+
+    @staticmethod
+    def drifting_grid(horizon, period):
+        """The accumulated loop the predictors used to run (pre-fix)."""
+        instants = []
+        t = 0.0
+        while t <= horizon + 1e-9:
+            instants.append(t)
+            t += period
+        return instants
+
+    def test_closed_form_regression_against_drifting_loop(self):
+        # A horizon an ulp-scale shy of a grid multiple: the old
+        # accumulated loop's absolute 1e-9 slack admits the t = 1.0
+        # sample even though it lies beyond the horizon, emitting one
+        # sample too many; the closed form sizes the grid correctly.
+        horizon = 1.0 - 5e-10
+        period = 0.25
+        drifted = self.drifting_grid(horizon, period)
+        assert len(drifted) == 5 and drifted[-1] > horizon  # the bug
+        grid = sample_times(horizon, period)
+        assert grid.size == 4
+        assert np.all(grid <= horizon)
+        # The predictors emit exactly the closed-form grid.
+        predictions = ConstantVelocityPredictor(sample_period=period).predict(
+            perceived(), now=0.0, horizon=horizon
+        )
+        assert len(predictions[0].trajectory) == 4
+
+    def test_exact_multiple_keeps_final_sample(self):
+        grid = sample_times(8.0, 0.25)
+        assert grid.size == 33
+        assert grid[-1] == 8.0
+
+    def test_values_are_exact_multiples(self):
+        grid = sample_times(3.0, 0.1)
+        assert np.all(grid == 0.1 * np.arange(grid.size))
+
+
+class TestHorizonContract:
+    """Invalid horizons raise the estimation-layer's exception type."""
+
+    @pytest.mark.parametrize(
+        "predictor",
+        [
+            ConstantVelocityPredictor(),
+            ConstantAccelerationPredictor(),
+            ManeuverPredictor(),
+        ],
+        ids=["constant-velocity", "constant-accel", "maneuver"],
+    )
+    @pytest.mark.parametrize("horizon", [0.0, -1.0])
+    def test_predict_rejects_non_positive_horizon(self, predictor, horizon):
+        with pytest.raises(EstimationError):
+            predictor.predict(perceived(), 0.0, horizon)
+
+    def test_configuration_errors_stay_configuration(self):
+        # Constructor validation is a configuration concern, unchanged.
+        with pytest.raises(ConfigurationError):
+            ConstantVelocityPredictor(sample_period=0.0)
 
 
 class TestConstantAcceleration:
@@ -128,6 +198,79 @@ class TestManeuverPredictor:
         with pytest.raises(ConfigurationError):
             predictor.predict(perceived(), 0.0, 5.0)
 
+    @pytest.mark.parametrize("max_speed", [0.0, -5.0])
+    def test_rejects_non_positive_max_speed(self, max_speed):
+        with pytest.raises(ConfigurationError):
+            ManeuverPredictor(max_speed=max_speed)
+
+
+class TestPredictTrace:
+    """The batch protocol equals the per-tick loop."""
+
+    def assert_hypotheses_equal(self, batch, stacked):
+        assert [h.label for h in batch] == [h.label for h in stacked]
+        for hypothesis_b, hypothesis_s in zip(batch, stacked):
+            assert np.array_equal(hypothesis_b.active, hypothesis_s.active)
+            rows = np.flatnonzero(hypothesis_b.active)
+            assert np.array_equal(
+                hypothesis_b.probabilities[rows],
+                hypothesis_s.probabilities[rows],
+            )
+            for name in ("times", "xs", "ys", "speeds", "end_vx", "end_vy"):
+                batched = getattr(hypothesis_b.rollout, name)[rows]
+                looped = getattr(hypothesis_s.rollout, name)[rows]
+                assert np.array_equal(batched, looped), (
+                    hypothesis_b.label,
+                    name,
+                )
+
+    def trace_inputs(self, count=7):
+        rng = np.random.default_rng(11)
+        nows = 0.3 * np.arange(count)
+        actors = [
+            perceived(
+                x=float(rng.uniform(-50, 50)),
+                y=float(rng.uniform(-5, 5)),
+                speed=float(rng.uniform(0, 30)),
+                heading=float(rng.uniform(-0.3, 0.3)),
+                accel=float(rng.uniform(-4, 2)),
+                t=float(now),
+            )
+            for now in nows
+        ]
+        return actors, nows
+
+    @pytest.mark.parametrize(
+        "predictor",
+        [
+            ConstantVelocityPredictor(),
+            ConstantAccelerationPredictor(),
+            ManeuverPredictor(road=three_lane_straight_road(), target_lane=1),
+        ],
+        ids=["constant-velocity", "constant-accel", "maneuver"],
+    )
+    def test_matches_stacked_per_tick_loop(self, predictor):
+        actors, nows = self.trace_inputs()
+        batch = predictor.predict_trace(actors, nows, 6.0)
+        stacked = predict_trace_via_loop(predictor, actors, nows, 6.0)
+        assert stacked is not None
+        self.assert_hypotheses_equal(batch, stacked)
+
+    def test_via_loop_rejects_inconsistent_labels(self):
+        class Flipping:
+            def __init__(self):
+                self.calls = 0
+
+            def predict(self, actor, now, horizon):
+                self.calls += 1
+                predictions = ManeuverPredictor().predict(actor, now, horizon)
+                if self.calls % 2 == 0:
+                    predictions = list(reversed(predictions))
+                return predictions
+
+        actors, nows = self.trace_inputs(count=4)
+        assert predict_trace_via_loop(Flipping(), actors, nows, 6.0) is None
+
 
 class TestProbabilityCheck:
     def test_accepts_valid(self):
@@ -148,3 +291,35 @@ class TestProbabilityCheck:
         predictions = ConstantVelocityPredictor().predict(perceived(), 0.0, 1.0)
         with pytest.raises(EstimationError):
             PredictedTrajectory(predictions[0].trajectory, 1.5)
+
+
+class TestPredictTraceViaLoopRaggedness:
+    """Outputs the array form cannot hold are refused, not mangled."""
+
+    def test_duplicate_labels_refused(self):
+        class Duplicating:
+            def predict(self, actor, now, horizon):
+                predictions = ConstantVelocityPredictor().predict(
+                    actor, now, horizon
+                )
+                return predictions + predictions
+
+        actors = [perceived(t=0.0), perceived(t=0.5)]
+        nows = np.array([0.0, 0.5])
+        assert predict_trace_via_loop(Duplicating(), actors, nows, 2.0) is None
+
+    def test_ragged_sample_counts_refused(self):
+        class Shrinking:
+            def __init__(self):
+                self.calls = 0
+
+            def predict(self, actor, now, horizon):
+                self.calls += 1
+                # A predictor whose sample grid depends on the tick.
+                return ConstantVelocityPredictor(
+                    sample_period=0.5 if self.calls % 2 else 0.25
+                ).predict(actor, now, horizon)
+
+        actors = [perceived(t=0.0), perceived(t=0.5)]
+        nows = np.array([0.0, 0.5])
+        assert predict_trace_via_loop(Shrinking(), actors, nows, 2.0) is None

@@ -152,3 +152,55 @@ class TestExtrapolation:
             assert xs[i] == pytest.approx(expected.position.x)
             assert ys[i] == pytest.approx(expected.position.y)
             assert speeds[i] == pytest.approx(expected.speed)
+
+
+class TestRolloutArrays:
+    def test_rejects_non_grid_times(self):
+        import numpy as np
+
+        from repro.dynamics.state import RolloutArrays
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RolloutArrays(
+                times=np.zeros(3),
+                xs=np.zeros(3),
+                ys=np.zeros(3),
+                speeds=np.zeros(3),
+                end_vx=np.zeros(1),
+                end_vy=np.zeros(1),
+            )
+
+    def test_take_selects_rows(self):
+        import numpy as np
+
+        from repro.dynamics.state import RolloutArrays
+
+        rollout = RolloutArrays(
+            times=np.array([[0.0, 1.0], [0.5, 1.5], [1.0, 2.0]]),
+            xs=np.arange(6.0).reshape(3, 2),
+            ys=np.arange(6.0).reshape(3, 2) + 10.0,
+            speeds=np.ones((3, 2)),
+            end_vx=np.array([1.0, 2.0, 3.0]),
+            end_vy=np.zeros(3),
+        )
+        sub = rollout.take(np.array([2, 0]))
+        assert sub.rows == 2
+        assert sub.times[0, 0] == 1.0
+        assert sub.end_vx.tolist() == [3.0, 1.0]
+
+    def test_knot_arrays_round_trip(self):
+        import numpy as np
+
+        trajectory = StateTrajectory(
+            [
+                TimedState(0.0, VehicleState(Vec2(0.0, 0.0), 0.0, 5.0)),
+                TimedState(1.0, VehicleState(Vec2(5.0, 0.0), 0.0, 5.0)),
+            ]
+        )
+        t, x, y, v, end_velocity = trajectory.knot_arrays()
+        assert t.tolist() == [0.0, 1.0]
+        assert x.tolist() == [0.0, 5.0]
+        assert v.tolist() == [5.0, 5.0]
+        assert end_velocity[0] == pytest.approx(5.0)
+        assert end_velocity[1] == pytest.approx(0.0)

@@ -369,3 +369,117 @@ class TestCorridorMaskQuantization:
         threat.sample(np.array([19.99]))  # off-grid, near the span end
         # Only the per-query interpolations; the mask was not rebuilt.
         assert calls["count"] == 4
+
+
+class TestFuturesBatch:
+    """could_collide_futures / sample_threat_futures vs per-tick threats.
+
+    The futures batch serves the batched replay: row n carries the
+    actor's *predicted* trajectory as of tick n. Against per-tick
+    trajectories that differ row to row, the batch must reproduce the
+    per-tick assess/sample arithmetic exactly.
+    """
+
+    def rollout_rows(self, trajectories):
+        from repro.dynamics.state import RolloutArrays
+
+        knots = [trajectory.knot_arrays() for trajectory in trajectories]
+        return RolloutArrays(
+            times=np.stack([k[0] for k in knots]),
+            xs=np.stack([k[1] for k in knots]),
+            ys=np.stack([k[2] for k in knots]),
+            speeds=np.stack([k[3] for k in knots]),
+            end_vx=np.array([k[4][0] for k in knots]),
+            end_vy=np.array([k[4][1] for k in knots]),
+        )
+
+    def per_tick_setup(self, road=None):
+        from repro.road.track import three_lane_straight_road
+
+        params = ZhuyiParams()
+        assessor = ThreatAssessor(
+            params=params,
+            road=three_lane_straight_road() if road else None,
+        )
+        t0s = np.array([0.0, 0.5, 1.0, 1.5])
+        ego_states = [vstate(5.0 * t, 0.0, speed=20.0) for t in t0s]
+        # A different predicted future per tick: a lead pulling away,
+        # a crosser, a parallel-lane actor and a receding actor.
+        trajectories = [
+            straight_trajectory(40.0 + 3.0 * i, y, 12.0 + i, duration=6.0)
+            for i, y in enumerate((0.0, 1.5, 5.0, 0.5))
+        ]
+        return params, assessor, t0s, ego_states, trajectories
+
+    def test_gate_matches_per_tick_assess(self):
+        spec = VehicleSpec()
+        for with_road in (False, True):
+            params, assessor, t0s, ego_states, trajectories = (
+                self.per_tick_setup(road=with_road)
+            )
+            batch = assessor.could_collide_futures(
+                ego_states, spec, self.rollout_rows(trajectories), spec, t0s
+            )
+            for i in range(len(t0s)):
+                per_tick = (
+                    assessor.assess(
+                        ego_states[i],
+                        spec,
+                        trajectories[i],
+                        spec,
+                        t0=float(t0s[i]),
+                    )
+                    is not None
+                )
+                assert bool(batch[i]) == per_tick, (with_road, i)
+
+    def test_gate_all_true_without_lateral_gating(self):
+        spec = VehicleSpec()
+        params, _, t0s, ego_states, trajectories = self.per_tick_setup()
+        assessor = ThreatAssessor(
+            params=ZhuyiParams(gate_lateral=False), road=None
+        )
+        batch = assessor.could_collide_futures(
+            ego_states, spec, self.rollout_rows(trajectories), spec, t0s
+        )
+        assert batch.all()
+
+    def test_samples_match_per_tick_trajectory_threat(self):
+        from repro.road.track import three_lane_straight_road
+
+        spec = VehicleSpec()
+        params, _, t0s, ego_states, trajectories = self.per_tick_setup()
+        assessor = ThreatAssessor(
+            params=ZhuyiParams(), road=three_lane_straight_road()
+        )
+        rel_times = np.array([0.0, 0.1, 0.37, 1.0, 2.5, 7.0, 30.0])
+        gaps, speeds = assessor.sample_threat_futures(
+            ego_states,
+            spec,
+            self.rollout_rows(trajectories),
+            spec,
+            t0s,
+            rel_times,
+        )
+        for i in range(len(t0s)):
+            threat = assessor.build_threat(
+                ego_states[i], spec, trajectories[i], spec, t0=float(t0s[i])
+            )
+            ref_gaps, ref_speeds = threat.sample(rel_times)
+            assert np.array_equal(gaps[i], ref_gaps), i
+            assert np.array_equal(speeds[i], ref_speeds), i
+
+    def test_sampling_requires_road_when_gating(self):
+        spec = VehicleSpec()
+        params, assessor, t0s, ego_states, trajectories = (
+            self.per_tick_setup(road=False)
+        )
+        with pytest.raises(EstimationError):
+            assessor.sample_threat_futures(
+                ego_states,
+                spec,
+                self.rollout_rows(trajectories),
+                spec,
+                t0s,
+                np.array([0.0, 1.0]),
+            )

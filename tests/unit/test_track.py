@@ -103,3 +103,68 @@ class TestCurvedRoad:
         back = road.to_frenet(road.to_world(frenet))
         assert back.s == pytest.approx(700.0, abs=1e-6)
         assert back.d == pytest.approx(-3.5, abs=1e-6)
+
+
+class TestBatchKernels:
+    """to_world_batch / heading_at_batch vs their scalar counterparts."""
+
+    @pytest.mark.parametrize(
+        "road",
+        [
+            three_lane_straight_road(),
+            three_lane_curved_road(),
+            three_lane_curved_road(turn_left=False),
+        ],
+        ids=["straight", "curved-left", "curved-right"],
+    )
+    def test_to_world_batch_matches_scalar(self, road):
+        import numpy as np
+
+        stations = np.array([0.0, 1.0, 199.0, 200.0, 201.0, 700.0, 1399.9])
+        offsets = np.array([0.0, -3.5, 3.5, 1.75, -1.75, 0.5, -0.5])
+        xs, ys = road.to_world_batch(stations, offsets)
+        for i in range(stations.size):
+            point = road.to_world(
+                FrenetPoint(float(stations[i]), float(offsets[i]))
+            )
+            assert xs[i] == pytest.approx(point.x, abs=1e-9)
+            assert ys[i] == pytest.approx(point.y, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "road",
+        [
+            three_lane_straight_road(),
+            three_lane_curved_road(),
+            three_lane_curved_road(turn_left=False),
+        ],
+        ids=["straight", "curved-left", "curved-right"],
+    )
+    def test_heading_at_batch_matches_scalar(self, road):
+        import numpy as np
+
+        stations = np.array([0.0, 150.0, 200.0, 450.0, 1100.0])
+        headings = road.heading_at_batch(stations)
+        for i in range(stations.size):
+            assert headings[i] == pytest.approx(
+                road.heading_at(float(stations[i])), abs=1e-12
+            )
+
+    def test_to_world_batch_broadcasts_offsets(self):
+        import numpy as np
+
+        road = three_lane_curved_road()
+        stations = np.array([[100.0, 300.0], [500.0, 900.0]])
+        xs, ys = road.to_world_batch(stations, np.array(-3.5))
+        assert xs.shape == stations.shape
+        point = road.to_world(FrenetPoint(900.0, -3.5))
+        assert xs[1, 1] == pytest.approx(point.x, abs=1e-9)
+        assert ys[1, 1] == pytest.approx(point.y, abs=1e-9)
+
+    def test_arc_batch_rejects_offset_beyond_radius(self):
+        import numpy as np
+
+        from repro.errors import GeometryError
+
+        road = three_lane_curved_road(radius=400.0)
+        with pytest.raises(GeometryError):
+            road.to_world_batch(np.array([600.0]), np.array([400.0]))

@@ -58,3 +58,20 @@ class TestAngles:
 
     def test_wrap_zero(self):
         assert units.wrap_angle(0.0) == 0.0
+
+
+class TestTimeGridCount:
+    def test_exact_multiple_includes_endpoint(self):
+        assert units.time_grid_count(8.0, 0.25) == 33
+
+    def test_near_multiple_below_excludes_endpoint(self):
+        assert units.time_grid_count(1.0 - 5e-10, 0.25) == 4
+
+    def test_zero_span_is_one_sample(self):
+        assert units.time_grid_count(0.0, 0.1) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            units.time_grid_count(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.time_grid_count(-1.0, 0.1)
