@@ -37,7 +37,12 @@ from repro.batch.campaign import (
     RunSpec,
     full_catalog_campaign,
 )
-from repro.batch.runner import CampaignRunner, execute_cell, execute_run
+from repro.batch.runner import (
+    CampaignRunner,
+    execute_cell,
+    execute_run,
+    execute_supercell,
+)
 from repro.batch.results import (
     SCHEMA_VERSION,
     CampaignResult,
@@ -59,6 +64,7 @@ __all__ = [
     "CampaignRunner",
     "execute_cell",
     "execute_run",
+    "execute_supercell",
     "CampaignResult",
     "CampaignWriter",
     "RunSummary",

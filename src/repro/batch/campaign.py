@@ -84,9 +84,12 @@ class Campaign:
         stride: offline evaluation stride (seconds).
         provisioned_fpr: per-camera provision for the fraction column.
         cameras: cameras entering the total-demand summaries.
-        backend: latency-solver backend every run evaluates with
-            (``"batched"`` array kernel or the ``"scalar"`` reference
-            loop — summaries are byte-identical either way).
+        backend: latency-solver backend every run evaluates with:
+            the ``"batched"`` array kernel, the ``"scalar"`` reference
+            loop, or ``"crosstrace"`` — the batched kernels lifted
+            across whole blocks of cells, solved together per worker
+            via :func:`repro.batch.runner.execute_supercell`.
+            Summaries are byte-identical across all three.
     """
 
     scenarios: tuple[str, ...]

@@ -477,7 +477,13 @@ class CampaignWriter:
         self._emit({"kind": "run", **summary.to_dict()})
 
     def finish(self, workers: int, elapsed: float) -> None:
-        """Append the ``completed`` footer — the campaign ran fully."""
+        """Append the ``completed`` footer — the campaign ran fully.
+
+        The footer is also the durability point: per-line flushes hand
+        runs to the OS (kill-safe), but only the fsync here forces the
+        finished file to the device, so a completed campaign survives
+        power loss — not just a process kill.
+        """
         self._emit(
             {
                 "kind": "completed",
@@ -485,6 +491,7 @@ class CampaignWriter:
                 "elapsed": elapsed,
             }
         )
+        os.fsync(self._handle.fileno())
         self._finished = True
 
     def close(self) -> None:
@@ -493,7 +500,23 @@ class CampaignWriter:
             self._handle.close()
         if self._target != self._path:
             if self._finished:
+                # The temp file's contents are already on the device
+                # (finish fsyncs before setting _finished); making the
+                # rename itself durable needs the directory entry
+                # synced too. Filesystems that cannot fsync a
+                # directory just keep the rename's normal semantics.
                 os.replace(self._target, self._path)
+                try:
+                    fd = os.open(self._path.parent, os.O_RDONLY)
+                except OSError:
+                    pass
+                else:
+                    try:
+                        os.fsync(fd)
+                    except OSError:
+                        pass
+                    finally:
+                        os.close(fd)
             else:
                 self._target.unlink(missing_ok=True)
 

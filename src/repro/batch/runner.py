@@ -34,14 +34,21 @@ from typing import Callable, Sequence
 
 from repro.batch.campaign import Campaign, RunSpec
 from repro.batch.results import CampaignResult, CampaignWriter, RunSummary
-from repro.core.evaluator import OfflineEvaluator, presample_trace
+from repro.core.evaluator import (
+    OfflineEvaluator,
+    TraceJob,
+    evaluate_trace_block,
+    presample_trace,
+)
 from repro.errors import ConfigurationError
 
 #: Called after each completed run with (done, total, summary).
 ProgressHook = Callable[[int, int, RunSummary], None]
 
 
-def _failure_summary(spec: RunSpec, error: str) -> RunSummary:
+def _failure_summary(
+    spec: RunSpec, error: str, duration: float = 0.0
+) -> RunSummary:
     return RunSummary(
         index=spec.index,
         scenario=spec.scenario,
@@ -49,8 +56,127 @@ def _failure_summary(spec: RunSpec, error: str) -> RunSummary:
         fpr=spec.fpr,
         variant=spec.variant,
         collided=False,
+        duration=duration,
         error=error,
     )
+
+
+def _cell_contract_error(specs: Sequence[RunSpec]) -> str | None:
+    """The cell-contract violation in ``specs``, if any.
+
+    A cell's specs must share their (scenario, seed, fpr) coordinates —
+    they are evaluated against one simulated trace — and their stride,
+    because the trace is presampled once for every variant. Returns the
+    failure text to fold into each spec's summary, or ``None``.
+    """
+    cell = (specs[0].scenario, specs[0].seed, specs[0].fpr)
+    for spec in specs:
+        if (spec.scenario, spec.seed, spec.fpr) != cell:
+            return (
+                "ConfigurationError: execute_cell needs specs from a "
+                f"single (scenario, seed, fpr) cell, got {cell} and "
+                f"({spec.scenario}, {spec.seed}, {spec.fpr})"
+            )
+    strides = {spec.stride for spec in specs}
+    if len(strides) > 1:
+        return (
+            "ConfigurationError: execute_cell needs one stride per "
+            f"cell (the trace is presampled once), got {sorted(strides)}"
+        )
+    return None
+
+
+def _simulate_cell(
+    specs: Sequence[RunSpec],
+) -> tuple[list[RunSummary] | None, object, object]:
+    """Simulate one validated cell's closed-loop trace.
+
+    Returns ``(early, built, trace)``: ``early`` carries the per-spec
+    summaries when the cell ends before evaluation (simulation failure,
+    or the paper's collided-run N/A convention), else ``None`` with the
+    built scenario and clean trace to evaluate.
+    """
+    from repro.scenarios.catalog import build_scenario
+
+    cell = (specs[0].scenario, specs[0].seed, specs[0].fpr)
+    try:
+        built = build_scenario(cell[0], seed=cell[1])
+        trace = built.run(fpr=cell[2])
+    except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
+        error = f"{type(exc).__name__}: {exc}"
+        return [_failure_summary(spec, error) for spec in specs], None, None
+
+    if trace.has_collision:
+        # The paper's convention: collided runs report N/A, no estimate.
+        return (
+            [
+                RunSummary(
+                    index=spec.index,
+                    scenario=spec.scenario,
+                    seed=spec.seed,
+                    fpr=spec.fpr,
+                    variant=spec.variant,
+                    collided=True,
+                    collision_time=trace.first_collision_time,
+                    duration=trace.duration,
+                )
+                for spec in specs
+            ],
+            built,
+            trace,
+        )
+    return None, built, trace
+
+
+def _success_summary(spec: RunSpec, series, trace) -> RunSummary:
+    """The Table 1 quantities of one clean evaluated run."""
+    return RunSummary(
+        index=spec.index,
+        scenario=spec.scenario,
+        seed=spec.seed,
+        fpr=spec.fpr,
+        variant=spec.variant,
+        collided=False,
+        max_fpr=series.max_fpr(),
+        max_total_fpr=series.max_total_fpr(spec.cameras),
+        fraction_of_provision=series.fraction_of_provision(
+            spec.provisioned_fpr, spec.cameras
+        ),
+        camera_max_fpr={
+            camera: series.max_fpr(camera) for camera in spec.cameras
+        },
+        ticks=len(series.ticks),
+        duration=trace.duration,
+    )
+
+
+def _evaluate_cell(
+    specs: Sequence[RunSpec], built, trace
+) -> list[RunSummary]:
+    """Evaluate a simulated cell's trace per variant (per-cell path)."""
+    summaries = []
+    samples = None  # strides are cell-uniform: one sampling per cell
+    for spec in specs:
+        try:
+            if samples is None:
+                samples = presample_trace(trace, spec.stride)
+            evaluator = OfflineEvaluator(
+                params=spec.resolved_params(),
+                road=built.road,
+                stride=spec.stride,
+                backend=spec.backend,
+            )
+            series = evaluator.evaluate(trace, samples=samples)
+            summaries.append(_success_summary(spec, series, trace))
+        except Exception as exc:  # noqa: BLE001 - per-variant failure capture
+            summaries.append(
+                _failure_summary(
+                    spec,
+                    f"{type(exc).__name__}: {exc}",
+                    duration=trace.duration,
+                )
+            )
+    return summaries
 
 
 def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
@@ -65,89 +191,113 @@ def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
     variants it is the cross-variant trace cache.
 
     Args:
-        specs: the cell's runs — same scenario, seed and fpr, one per
-            variant, in grid order.
+        specs: the cell's runs — same scenario, seed, fpr and stride,
+            one per variant, in grid order.
 
     Returns:
         One summary per spec, in the given order. Never raises: a
-        simulation failure is folded into every spec's summary, an
-        evaluation failure only into the failing variant's.
+        cell-contract violation (mixed cell coordinates or mixed
+        strides) is folded into every spec's summary, as is a
+        simulation failure; an evaluation failure only into the failing
+        variant's (with the trace's duration preserved).
     """
     if not specs:
         return []
-    cell = (specs[0].scenario, specs[0].seed, specs[0].fpr)
-    for spec in specs:
-        if (spec.scenario, spec.seed, spec.fpr) != cell:
-            raise ConfigurationError(
-                "execute_cell needs specs from a single "
-                f"(scenario, seed, fpr) cell, got {cell} and "
-                f"({spec.scenario}, {spec.seed}, {spec.fpr})"
-            )
+    contract_error = _cell_contract_error(specs)
+    if contract_error is not None:
+        return [_failure_summary(spec, contract_error) for spec in specs]
+    early, built, trace = _simulate_cell(specs)
+    if early is not None:
+        return early
+    return _evaluate_cell(specs, built, trace)
 
-    from repro.scenarios.catalog import build_scenario
 
-    try:
-        built = build_scenario(cell[0], seed=cell[1])
-        trace = built.run(fpr=cell[2])
-    except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
-        error = f"{type(exc).__name__}: {exc}"
-        return [_failure_summary(spec, error) for spec in specs]
+def execute_supercell(cells: Sequence[Sequence[RunSpec]]) -> list[RunSummary]:
+    """Run a block of cells through the cross-trace evaluation kernel.
 
-    if trace.has_collision:
-        # The paper's convention: collided runs report N/A, no estimate.
-        return [
-            RunSummary(
-                index=spec.index,
-                scenario=spec.scenario,
-                seed=spec.seed,
-                fpr=spec.fpr,
-                variant=spec.variant,
-                collided=True,
-                collision_time=trace.first_collision_time,
-                duration=trace.duration,
-            )
-            for spec in specs
+    The ``"crosstrace"`` backend's unit of work: each cell still
+    simulates its own trace (choreographies are independent), but the
+    surviving traces evaluate *together* — every (trace, tick, actor,
+    variant) row of the block solves through the shared array programs
+    of :func:`repro.core.evaluator.evaluate_trace_block`, amortizing
+    the candidate grids, visibility passes and ego profiles across the
+    whole block. Summaries are byte-identical to per-cell
+    :func:`execute_cell` execution (the block kernel's parity
+    contract).
+
+    Never raises, like :func:`execute_cell`: contract violations,
+    simulation failures and collisions resolve per cell exactly as
+    there, and if the block kernel itself fails the surviving cells
+    fall back to the per-cell batched evaluation (keeping per-variant
+    failure granularity).
+
+    Args:
+        cells: the block's cells, each a single-cell spec list sharing
+            one variant sequence and stride across the block (the
+            :func:`_group_supercells` grouping contract).
+
+    Returns:
+        One summary per spec, cells in the given order, specs in
+        per-cell order.
+    """
+    results: list[list[RunSummary]] = [[] for _ in cells]
+    survivors: list[tuple[int, Sequence[RunSpec], object, object]] = []
+    for pos, specs in enumerate(cells):
+        if not specs:
+            continue
+        contract_error = _cell_contract_error(specs)
+        if contract_error is not None:
+            results[pos] = [
+                _failure_summary(spec, contract_error) for spec in specs
+            ]
+            continue
+        early, built, trace = _simulate_cell(specs)
+        if early is not None:
+            results[pos] = early
+        else:
+            survivors.append((pos, specs, built, trace))
+
+    if survivors:
+        lead = survivors[0][1]
+        variants = [spec.resolved_params() for spec in lead]
+        stride = lead[0].stride
+        # Cells that do not share the block's variant sequence or
+        # stride cannot ride its kernels; they evaluate per cell
+        # (defensive — _group_supercells never builds such blocks).
+        mismatched = [
+            entry
+            for entry in survivors
+            if [spec.resolved_params() for spec in entry[1]] != variants
+            or entry[1][0].stride != stride
         ]
-
-    summaries = []
-    samples = None  # strides are campaign-level: one sampling per cell
-    for spec in specs:
+        for pos, specs, built, trace in mismatched:
+            results[pos] = _evaluate_cell(specs, built, trace)
+        survivors = [entry for entry in survivors if entry not in mismatched]
+    if survivors:
         try:
-            if samples is None:
-                samples = presample_trace(trace, spec.stride)
-            evaluator = OfflineEvaluator(
-                params=spec.resolved_params(),
-                road=built.road,
-                stride=spec.stride,
-                backend=spec.backend,
-            )
-            series = evaluator.evaluate(trace, samples=samples)
-            summaries.append(
-                RunSummary(
-                    index=spec.index,
-                    scenario=spec.scenario,
-                    seed=spec.seed,
-                    fpr=spec.fpr,
-                    variant=spec.variant,
-                    collided=False,
-                    max_fpr=series.max_fpr(),
-                    max_total_fpr=series.max_total_fpr(spec.cameras),
-                    fraction_of_provision=series.fraction_of_provision(
-                        spec.provisioned_fpr, spec.cameras
-                    ),
-                    camera_max_fpr={
-                        camera: series.max_fpr(camera)
-                        for camera in spec.cameras
-                    },
-                    ticks=len(series.ticks),
-                    duration=trace.duration,
+            jobs = [
+                TraceJob(
+                    trace=trace,
+                    samples=presample_trace(trace, stride),
+                    l0=trace.default_l0(),
+                    road=built.road,
                 )
-            )
-        except Exception as exc:  # noqa: BLE001 - per-variant failure capture
-            summaries.append(
-                _failure_summary(spec, f"{type(exc).__name__}: {exc}")
-            )
-    return summaries
+                for _, _, built, trace in survivors
+            ]
+            block = evaluate_trace_block(jobs, variants, stride)
+            for (pos, specs, _, trace), series_row in zip(survivors, block):
+                results[pos] = [
+                    _success_summary(spec, series, trace)
+                    for spec, series in zip(specs, series_row)
+                ]
+        except Exception:  # noqa: BLE001 - block-level failure capture
+            # The parity reference doubles as the failure fallback: a
+            # block kernel error demotes the surviving cells to the
+            # per-cell batched path, which keeps per-variant failure
+            # granularity instead of failing the whole block.
+            for pos, specs, built, trace in survivors:
+                results[pos] = _evaluate_cell(specs, built, trace)
+    return [summary for cell_result in results for summary in cell_result]
 
 
 def execute_run(spec: RunSpec) -> RunSummary:
@@ -188,13 +338,44 @@ def _group_cells(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
     return cells
 
 
+def _group_supercells(
+    cells: Sequence[Sequence[RunSpec]], limit: int
+) -> list[list[Sequence[RunSpec]]]:
+    """Group consecutive cells into :func:`execute_supercell` blocks.
+
+    Consecutive cells join a block while they share the same variant
+    sequence and stride (the block kernel's grouping contract — grid
+    expansion makes this true for every cell of one campaign) and the
+    block holds fewer than ``limit`` cells. The cap bounds both a
+    worker's peak memory (each cell's trace and presamples are alive
+    at once) and the scheduling granularity of the parallel path.
+    """
+    blocks: list[list[Sequence[RunSpec]]] = []
+    key = None
+    for cell in cells:
+        cell_key = (
+            tuple(spec.variant for spec in cell),
+            cell[0].stride if cell else None,
+        )
+        if blocks and cell_key == key and len(blocks[-1]) < limit:
+            blocks[-1].append(cell)
+        else:
+            blocks.append([cell])
+            key = cell_key
+    return blocks
+
+
 class _OrderedSink:
     """Streams summaries to a writer in a fixed index order.
 
     Parallel cells complete out of order; the sink buffers completions
     until every earlier index in the sequence has been written, keeping
     the on-disk line order deterministic (and hence resumable files
-    byte-comparable to uninterrupted ones).
+    byte-comparable to uninterrupted ones). The buffer is bounded by
+    the executor's admission control: at most ``max_pending`` tasks
+    are in flight, each completing at most ``supercell x variants``
+    summaries, so no more than ``max_pending x supercell x variants``
+    summaries ever wait here for an earlier index.
     """
 
     def __init__(
@@ -229,12 +410,18 @@ class CampaignRunner:
 
     Attributes:
         workers: 1 runs in-process; N > 1 fans out over N processes.
-        max_pending: cap on simultaneously submitted cells (bounds the
+        max_pending: cap on simultaneously submitted tasks (bounds the
             executor's memory on very large grids).
+        supercell: on the ``"crosstrace"`` backend, how many cells one
+            :func:`execute_supercell` block evaluates together through
+            the shared cross-trace kernels. 1 degenerates to per-cell
+            execution; larger blocks amortize more but hold more traces
+            in a worker's memory at once. Other backends ignore it.
     """
 
     workers: int = 1
     max_pending: int = 256
+    supercell: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -243,6 +430,8 @@ class CampaignRunner:
             )
         if self.max_pending < 1:
             raise ConfigurationError("max_pending must be at least 1")
+        if self.supercell < 1:
+            raise ConfigurationError("supercell must be at least 1")
 
     def run(
         self,
@@ -412,6 +601,29 @@ class CampaignRunner:
             shard=shard,
         )
 
+    def _tasks(
+        self, specs: list[RunSpec]
+    ) -> list[tuple[Callable, object, list[RunSpec]]]:
+        """The executable units of a spec list, in run order.
+
+        Per-cell :func:`execute_cell` calls normally; on the
+        ``"crosstrace"`` backend (a campaign-level setting, so the
+        first spec decides), :func:`execute_supercell` blocks of up to
+        :attr:`supercell` cells. Each task carries its flat spec list
+        for worker-crash failure capture.
+        """
+        cells = _group_cells(specs)
+        if specs and specs[0].backend == "crosstrace":
+            return [
+                (
+                    execute_supercell,
+                    block,
+                    [spec for cell in block for spec in cell],
+                )
+                for block in _group_supercells(cells, self.supercell)
+            ]
+        return [(execute_cell, cell, list(cell)) for cell in cells]
+
     def _run_sequential(
         self,
         specs: list[RunSpec],
@@ -419,8 +631,8 @@ class CampaignRunner:
         sink: _OrderedSink,
     ) -> list[RunSummary]:
         summaries: list[RunSummary] = []
-        for cell in _group_cells(specs):
-            for summary in execute_cell(cell):
+        for execute, work, _ in self._tasks(specs):
+            for summary in execute(work):
                 summaries.append(summary)
                 sink.push(summary)
                 if progress is not None:
@@ -434,26 +646,26 @@ class CampaignRunner:
         sink: _OrderedSink,
     ) -> list[RunSummary]:
         summaries: list[RunSummary] = []
-        queue = list(reversed(_group_cells(specs)))
+        queue = list(reversed(self._tasks(specs)))
         pending: dict = {}
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             while queue or pending:
                 while queue and len(pending) < self.max_pending:
-                    cell = queue.pop()
-                    pending[pool.submit(execute_cell, cell)] = cell
+                    execute, work, flat = queue.pop()
+                    pending[pool.submit(execute, work)] = flat
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    cell = pending.pop(future)
-                    for summary in self._collect(future, cell):
+                    flat = pending.pop(future)
+                    for summary in self._collect(future, flat):
                         summaries.append(summary)
                         sink.push(summary)
                         if progress is not None:
                             progress(len(summaries), len(specs), summary)
         return summaries
 
-    def _collect(self, future, cell: list[RunSpec]) -> list[RunSummary]:
+    def _collect(self, future, specs: list[RunSpec]) -> list[RunSummary]:
         try:
             return future.result()
         except Exception:  # noqa: BLE001 - e.g. a worker killed mid-run
             error = "WorkerError: " + traceback.format_exc(limit=1).strip()
-            return [_failure_summary(spec, error) for spec in cell]
+            return [_failure_summary(spec, error) for spec in specs]

@@ -343,10 +343,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--backend",
-        choices=["batched", "scalar"],
+        choices=["batched", "scalar", "crosstrace"],
         default="batched",
         help="latency-solver backend: the batched array kernel "
-        "(default) or the scalar reference loop — identical results",
+        "(default), the scalar reference loop, or crosstrace — "
+        "whole blocks of cells solved through shared cross-trace "
+        "kernels — identical results",
     )
     campaign.add_argument(
         "--resume",

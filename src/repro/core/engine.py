@@ -59,6 +59,24 @@ from repro.core.threat import LongitudinalThreat, sample_grid
 #: int64 range so the +1 merge shifts can never overflow it.
 _NO_INDEX = np.iinfo(np.int64).max // 2
 
+#: Per-chunk element budget for :meth:`LatencyEngine.solve_rows`. A
+#: cache-locality compromise, settled by sweeping campaign workloads:
+#: larger chunks amortize the per-tick ego-profile builds over more
+#: rows, but once the float64 ``(R, S, T)`` temporaries outgrow the
+#: last-level cache every broadcasted comparison turns memory-bound —
+#: cross-trace row blocks big enough to saturate the old 8M cap ran
+#: ~1.5x slower than at this setting, and halving it again loses the
+#: profile amortization instead.
+_ROWS_CHUNK_ELEMENTS = 2_000_000
+
+#: Rows-per-distinct-tick density at which :meth:`LatencyEngine.solve_rows`
+#: switches a wave to the tick-resident grouped kernel. Per-trace row
+#: batches sit near the actor count (~2-8 rows per tick), where the
+#: gathered cross-tick program wins; variant-stacked campaign blocks sit
+#: at actors x variants (tens of rows per tick), where re-reading one
+#: cache-hot (S, T) profile per tick beats materializing per-row copies.
+_GROUPED_MIN_ROWS_PER_TICK = 16
+
 
 def _first_true(mask: np.ndarray) -> np.ndarray:
     """Index of the first True along the last axis (``_NO_INDEX`` if none)."""
@@ -268,6 +286,15 @@ class LatencyEngine:
         over ticks with the same closed forms the scalar path evaluates
         one call at a time, so :meth:`TraceGrid.tick` views are
         bit-identical to per-tick :meth:`_tick_grid` builds.
+
+        Cross-trace stacking: ``ego_motions`` may concatenate the ticks
+        of *many* traces (sharing ``l0``) along the tick axis — the
+        campaign super-cell path does exactly that. Every per-tick
+        quantity above is a pure function of that tick's ego state, and
+        the master ``times`` grid only grows a longer tail (``arange``
+        values are ``i * step`` regardless of the stop), so each tick's
+        prefix — and hence every :meth:`solve_rows` answer — is
+        bit-identical whether its trace was gridded alone or stacked.
         """
         params = self.params
         cap = params.ego_speed_cap
@@ -340,6 +367,7 @@ class LatencyEngine:
         ego_motions: Sequence[EgoMotion],
         gaps: np.ndarray,
         aspeeds: np.ndarray,
+        constraints: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> list[LatencyResult]:
         """Solve a batch of (tick, actor) rows spanning many ticks.
 
@@ -351,13 +379,25 @@ class LatencyEngine:
         per-tick wave machinery, sharing the already-sampled rows.
         Rows need not be unique per (tick, actor): the online replay
         feeds one row per (tick, actor, prediction hypothesis), each
-        solved independently against its tick's ego profile.
+        solved independently against its tick's ego profile — and the
+        cross-trace campaign path feeds one row per (trace, tick,
+        actor, parameter variant), with ``tick_indices`` offset into a
+        stacked multi-trace :meth:`trace_grid`.
 
         Args:
             grid: the :meth:`trace_grid` for these ticks.
             tick_indices: (R,) tick index of each row.
             ego_motions: per-tick ego states (trace-aligned).
             gaps / aspeeds: (R, T + L) threat samples per row.
+            constraints: optional per-row ``(c1, c2)`` arrays of shape
+                ``(R,)``, overriding ``params.c1``/``params.c2`` — the
+                variant axis of the cross-trace campaign kernel. Every
+                other constant (the latency grid, ``k``, the ego
+                profile, gating) still comes from ``params``, so only
+                variants differing in nothing but c1/c2 may stack.
+                Per-row broadcasting multiplies each row by its own
+                scalar, so a row's feasibility program is bit-identical
+                to a solve under an engine carrying that row's c1/c2.
 
         Returns:
             One :class:`LatencyResult` per row, in input order.
@@ -366,6 +406,14 @@ class LatencyEngine:
         n_rows = tick_indices.size
         if n_rows == 0:
             return []
+        if constraints is not None:
+            row_c1 = np.asarray(constraints[0], dtype=float)
+            row_c2 = np.asarray(constraints[1], dtype=float)
+            if row_c1.shape != (n_rows,) or row_c2.shape != (n_rows,):
+                raise ValueError(
+                    "per-row constraints must be (R,) arrays matching "
+                    f"{n_rows} rows, got {row_c1.shape} and {row_c2.shape}"
+                )
         n_times = grid.times.size
         # Per-tick cumulative merged scan sizes — the iterations charged
         # for missing every candidate before a hit.
@@ -382,23 +430,75 @@ class LatencyEngine:
         for lo, hi in self._waves(grid.latencies.size):
             if active.size == 0:
                 break
-            # Cap each kernel call's boolean workspace; survivor counts
-            # shrink wave over wave, so chunking only ever triggers on
-            # pathological all-unavoidable batches.
-            chunk = max(1, int(8_000_000 / ((hi - lo) * n_times)))
+            if active.size >= _GROUPED_MIN_ROWS_PER_TICK * np.unique(
+                tick_indices[active]
+            ).size:
+                # Tick-dense waves — many rows per distinct tick, the
+                # shape of variant-stacked campaign blocks — go through
+                # the tick-resident kernel: one (S, T) profile stays
+                # cache-hot while every row of its tick compares against
+                # it, with no (R, S, T) gather copies at all.
+                found, hit, check_times, scanned = self._solve_rows_grouped(
+                    grid,
+                    lo,
+                    hi,
+                    active,
+                    tick_indices,
+                    ego_motions,
+                    gaps,
+                    aspeeds,
+                    constraints=(
+                        None if constraints is None else (row_c1, row_c2)
+                    ),
+                )
+                for k in np.flatnonzero(found):
+                    row = int(active[k])
+                    h = lo + int(hit[k])
+                    results[row] = LatencyResult(
+                        latency=float(grid.latencies[h]),
+                        check_time=float(check_times[k]),
+                        iterations=int(
+                            miss_prefix[tick_indices[row], h] + scanned[k]
+                        ),
+                    )
+                active = active[~found]
+                continue
+            # Cap each kernel call's cache working set; survivor counts
+            # shrink wave over wave, so chunk counts fall off quickly.
+            # The width estimate uses the survivors' longest candidate
+            # scan, not the master axis, so chunks stay as large as the
+            # budget allows when the time trim below bites.
+            wave_cap = int(grid.lengths[tick_indices[active], lo:hi].max())
+            chunk = max(
+                1, int(_ROWS_CHUNK_ELEMENTS / ((hi - lo) * max(1, wave_cap)))
+            )
             still: list[np.ndarray] = []
             for begin in range(0, active.size, chunk):
                 rows = active[begin : begin + chunk]
+                # Trim the chunk's time axis to the longest prefix any
+                # of its (row, candidate) scans admits: every instant
+                # past a row's ``lengths`` is masked invalid anyway, so
+                # the answers are identical and the (R, S, T) program
+                # never pays for the master grid's tail — which, on
+                # stacked multi-trace grids, belongs to *other* traces'
+                # horizons.
+                t_cap = int(grid.lengths[tick_indices[rows], lo:hi].max())
                 found, hit, check_times, scanned = self._solve_rows_slice(
                     grid,
                     lo,
                     hi,
                     tick_indices[rows],
                     ego_motions,
-                    gaps[rows, :n_times],
-                    aspeeds[rows, :n_times],
+                    gaps[rows, :t_cap],
+                    aspeeds[rows, :t_cap],
                     gaps[rows, n_times + lo : n_times + hi],
                     aspeeds[rows, n_times + lo : n_times + hi],
+                    constraints=(
+                        None
+                        if constraints is None
+                        else (row_c1[rows], row_c2[rows])
+                    ),
+                    t_cap=t_cap,
                 )
                 for k in np.flatnonzero(found):
                     row = int(rows[k])
@@ -420,6 +520,150 @@ class LatencyEngine:
             )
         return results
 
+    def _solve_rows_grouped(
+        self,
+        grid: TraceGrid,
+        lo: int,
+        hi: int,
+        rows: np.ndarray,
+        tick_indices: np.ndarray,
+        ego_motions: Sequence[EgoMotion],
+        gaps: np.ndarray,
+        aspeeds: np.ndarray,
+        constraints: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Candidates ``[lo, hi)`` for tick-dense row batches.
+
+        The tick-resident sibling of :meth:`_solve_rows_slice`: rows are
+        grouped by tick and each group runs the feasibility program by
+        broadcasting against its tick's own ``(S, T)`` ego profile —
+        trimmed to that tick's longest candidate scan — instead of
+        gathering per-row ``(R, S, T)`` profile copies. Elementwise the
+        arithmetic is unchanged, so results stay bit-identical to the
+        gathered path; it simply wins when many rows (actor x variant
+        stacks) share each distinct tick. ``gaps``/``aspeeds`` are the
+        full ``(R, T + L)`` sample arrays of :meth:`solve_rows`, indexed
+        here per group; ``rows`` selects the still-active row subset.
+        ``constraints`` likewise carries full-length per-row c1/c2
+        arrays. Returns ``(found, hit, check_times, scanned)`` aligned
+        with ``rows``.
+        """
+        cap = self.params.ego_speed_cap
+        n_times = grid.times.size
+        n_slice = hi - lo
+        reactions = grid.reactions[lo:hi]
+        pos = grid.insert_at[lo:hi]
+
+        found = np.zeros(rows.size, dtype=bool)
+        hit = np.zeros(rows.size, dtype=np.int64)
+        check_times = np.zeros(rows.size, dtype=float)
+        scanned = np.zeros(rows.size, dtype=np.int64)
+
+        ticks = tick_indices[rows]
+        order = np.argsort(ticks, kind="stable")
+        sorted_ticks = ticks[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_ticks[1:] != sorted_ticks[:-1]))
+        )
+        bounds = np.append(starts, sorted_ticks.size)
+        for g in range(starts.size):
+            n = int(sorted_ticks[bounds[g]])
+            lengths = grid.lengths[n, lo:hi]
+            t_cap = int(lengths.max())
+            times = grid.times[:t_cap]
+            ego = ego_motions[n]
+            anchors = _reaction_anchors(ego, reactions, cap)
+            dist, speed = ego_profile_arrays(
+                ego,
+                reactions[:, None],
+                times,
+                cap,
+                anchors=(anchors[0][:, None], anchors[1][:, None]),
+            )
+            dist_r, speed_r = ego_profile_arrays(
+                ego, reactions, reactions, cap, anchors=anchors
+            )
+            # Row-independent per-tick masks: the scan window, the
+            # per-candidate prefix lengths and the t_r insertion slots.
+            valid = np.arange(t_cap)[None, :] < lengths[:, None]
+            window = times[None, :] >= reactions[:, None] - _EPS
+            wv = window & valid
+            ins = grid.inserted[n, lo:hi]
+
+            group = order[bounds[g] : bounds[g + 1]]
+            # Bound the (G, S, T) workspace for pathologically wide
+            # groups; ordinary campaign stacks fit in one pass.
+            step = max(1, int(_ROWS_CHUNK_ELEMENTS / (n_slice * t_cap)))
+            for begin in range(0, group.size, step):
+                sel = group[begin : begin + step]
+                r_glob = rows[sel]
+                if constraints is None:
+                    c1: float | np.ndarray = self.params.c1
+                    c2: float | np.ndarray = self.params.c2
+                    c1_r: float | np.ndarray = c1
+                    c2_r: float | np.ndarray = c2
+                else:
+                    c1 = constraints[0][r_glob][:, None, None]
+                    c2 = constraints[1][r_glob][:, None, None]
+                    c1_r = constraints[0][r_glob][:, None]
+                    c2_r = constraints[1][r_glob][:, None]
+                gaps_m = gaps[r_glob, :t_cap][:, None, :]
+                va_m = aspeeds[r_glob, :t_cap][:, None, :]
+                gaps_r = gaps[r_glob, n_times + lo : n_times + hi]
+                va_r = aspeeds[r_glob, n_times + lo : n_times + hi]
+
+                d_ok = dist[None] <= c1 * gaps_m + _EPS
+                v_ok = speed[None] <= c2 * va_m + _EPS
+                candidate = d_ok & v_ok & wv[None]
+                d_bad = ~d_ok & valid[None]
+
+                fv_m = _first_true(d_bad)  # (G, S)
+                cf_m = _first_true(candidate)
+                first_violation = np.where(
+                    fv_m != _NO_INDEX,
+                    fv_m + (ins[None] & (fv_m >= pos[None])),
+                    _NO_INDEX,
+                )
+                first_candidate = np.where(
+                    cf_m != _NO_INDEX,
+                    cf_m + (ins[None] & (cf_m >= pos[None])),
+                    _NO_INDEX,
+                )
+                d_ok_r = dist_r[None] <= c1_r * gaps_r + _EPS
+                v_ok_r = speed_r[None] <= c2_r * va_r + _EPS
+                first_violation = np.minimum(
+                    first_violation,
+                    np.where(ins[None] & ~d_ok_r, pos[None], _NO_INDEX),
+                )
+                first_candidate = np.minimum(
+                    first_candidate,
+                    np.where(
+                        ins[None] & d_ok_r & v_ok_r, pos[None], _NO_INDEX
+                    ),
+                )
+
+                feasible = first_candidate < _NO_INDEX
+                if self.strict:
+                    feasible &= first_candidate < first_violation
+
+                f = feasible.any(axis=-1)
+                h = feasible.argmax(axis=-1)
+                sub = np.arange(f.size)
+                best = first_candidate[sub, h]
+                ins_h = ins[h]
+                pos_h = grid.insert_at[lo + h]
+                from_reaction = ins_h & (best == pos_h)
+                master_index = best - (ins_h & (best > pos_h))
+                found[sel] = f
+                hit[sel] = h
+                check_times[sel] = np.where(
+                    from_reaction,
+                    grid.reactions[lo + h],
+                    times[np.minimum(master_index, t_cap - 1)],
+                )
+                scanned[sel] = best + 1
+        return found, hit, check_times, scanned
+
     def _solve_rows_slice(
         self,
         grid: TraceGrid,
@@ -431,6 +675,8 @@ class LatencyEngine:
         va_m: np.ndarray,
         gaps_r: np.ndarray,
         va_r: np.ndarray,
+        constraints: tuple[np.ndarray, np.ndarray] | None = None,
+        t_cap: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Candidates ``[lo, hi)`` for rows spanning many ticks.
 
@@ -438,11 +684,32 @@ class LatencyEngine:
         profile slices are built once per distinct tick and gathered to
         rows, the feasibility program runs as one ``(R, S, T)`` batch,
         and the ``t_r``-insertion bookkeeping indexes per (row,
-        candidate). Same returns as :meth:`_solve_slice`.
+        candidate). ``constraints`` optionally carries per-row c1/c2
+        columns (broadcast over candidates and instants) in place of
+        the engine constants. ``t_cap`` trims the master time axis to
+        its first ``t_cap`` instants (``gaps_m``/``va_m`` must arrive
+        pre-sliced to match); it must cover every row's candidate
+        lengths, in which case the trim is invisible to the results
+        because all trimmed instants were ``valid``-masked anyway. Same
+        returns as :meth:`_solve_slice`.
         """
-        c1, c2 = self.params.c1, self.params.c2
+        if constraints is None:
+            c1: float | np.ndarray = self.params.c1
+            c2: float | np.ndarray = self.params.c2
+            c1_r: float | np.ndarray = c1
+            c2_r: float | np.ndarray = c2
+        else:
+            # (R, 1, 1) columns against the (R, S, T) master program
+            # and (R, 1) against the (R, S) t_r samples: each row
+            # multiplies by its own scalar, exactly as a scalar c1/c2
+            # would have multiplied it.
+            c1 = constraints[0][:, None, None]
+            c2 = constraints[1][:, None, None]
+            c1_r = constraints[0][:, None]
+            c2_r = constraints[1][:, None]
         cap = self.params.ego_speed_cap
-        n_times = grid.times.size
+        n_times = grid.times.size if t_cap is None else t_cap
+        times = grid.times[:n_times]
         n_slice = hi - lo
         reactions = grid.reactions[lo:hi]
 
@@ -457,7 +724,7 @@ class LatencyEngine:
             dist[i], speed[i] = ego_profile_arrays(
                 ego,
                 reactions[:, None],
-                grid.times,
+                times,
                 cap,
                 anchors=(anchors[0][:, None], anchors[1][:, None]),
             )
@@ -467,7 +734,7 @@ class LatencyEngine:
 
         d_ok = dist[row_pos] <= c1 * gaps_m[:, None, :] + _EPS
         v_ok = speed[row_pos] <= c2 * va_m[:, None, :] + _EPS
-        window = grid.times[None, None, :] >= reactions[None, :, None] - _EPS
+        window = times[None, None, :] >= reactions[None, :, None] - _EPS
         valid = (
             np.arange(n_times)[None, None, :]
             < grid.lengths[tick_idx, lo:hi][:, :, None]
@@ -485,8 +752,8 @@ class LatencyEngine:
         first_candidate = np.where(
             cf_m != _NO_INDEX, cf_m + (ins & (cf_m >= pos)), _NO_INDEX
         )
-        d_ok_r = dist_r[row_pos] <= c1 * gaps_r + _EPS
-        v_ok_r = speed_r[row_pos] <= c2 * va_r + _EPS
+        d_ok_r = dist_r[row_pos] <= c1_r * gaps_r + _EPS
+        v_ok_r = speed_r[row_pos] <= c2_r * va_r + _EPS
         first_violation = np.minimum(
             first_violation, np.where(ins & ~d_ok_r, pos, _NO_INDEX)
         )
@@ -509,7 +776,7 @@ class LatencyEngine:
         check_times = np.where(
             from_reaction,
             grid.reactions[lo + hit],
-            grid.times[np.minimum(master_index, n_times - 1)],
+            times[np.minimum(master_index, n_times - 1)],
         )
         return found, hit, check_times, best + 1
 

@@ -24,7 +24,7 @@ from repro.core.engine import LatencyEngine
 from repro.core.fpr import CameraEstimate, estimate_camera_fprs
 from repro.core.latency import BACKENDS, LatencySearch, SearchStrategy
 from repro.core.parameters import ZhuyiParams
-from repro.core.threat import ThreatAssessor
+from repro.core.threat import EgoPathRows, ThreatAssessor
 from repro.errors import EstimationError
 from repro.perception.sensor import ANALYZED_CAMERAS, CameraRig, default_rig
 from repro.road.track import Road
@@ -220,8 +220,12 @@ class OfflineEvaluator:
             array kernel and groups actors by camera FOV through the
             trace-level Equation 5 visibility tables
             (:meth:`repro.perception.sensor.CameraRig.visible_actors_trace`);
-            ``"scalar"`` runs the per-actor, per-tick reference loop.
-            Results are bit-identical; only the clock differs. A
+            ``"scalar"`` runs the per-actor, per-tick reference loop;
+            ``"crosstrace"`` additionally routes
+            :meth:`evaluate_many` through the whole-block kernels of
+            :func:`evaluate_trace_block` (single-trace :meth:`evaluate`
+            calls behave exactly like ``"batched"``). Results are
+            bit-identical across all three; only the clock differs. A
             PAPER-strategy ``search`` always solves latencies scalar
             (Eq 3 stepping is sequential by construction), though the
             visibility tables still batch.
@@ -245,7 +249,7 @@ class OfflineEvaluator:
             self.search = LatencySearch(params=self.params)
         self._engine = None
         if (
-            self.backend == "batched"
+            self.backend in ("batched", "crosstrace")
             and self.search.strategy is SearchStrategy.EXACT
         ):
             self._engine = LatencyEngine(
@@ -320,7 +324,7 @@ class OfflineEvaluator:
         # the trace-level visibility kernel (groupings bit-identical to
         # the per-tick rig.visible_actors the scalar backend runs).
         visibility_tables = None
-        if self.backend == "batched":
+        if self.backend in ("batched", "crosstrace"):
             positions = samples.actor_positions
             if positions is None:
                 positions = {
@@ -356,6 +360,74 @@ class OfflineEvaluator:
         return EvaluationSeries(
             scenario=trace.scenario, ticks=ticks, params=self.params, l0=l0
         )
+
+    def evaluate_many(
+        self,
+        traces: Sequence[ScenarioTrace],
+        samples: Sequence[TraceSamples | None] | None = None,
+        l0s: Sequence[float | None] | None = None,
+    ) -> list[EvaluationSeries]:
+        """Evaluate a whole stack of traces, one series each.
+
+        On the ``"crosstrace"`` backend the stack routes through
+        :func:`evaluate_trace_block`, which solves every trace's gated
+        (tick, actor) rows through shared array kernels — visibility
+        tables in one rig pass, latencies through stacked
+        :meth:`~repro.core.engine.LatencyEngine.trace_grid` programs
+        per ``l0`` group. Other backends (and a PAPER-strategy search,
+        whose Eq 3 stepping is sequential) simply loop
+        :meth:`evaluate`. Series are identical either way, element for
+        element.
+
+        Args:
+            traces: the recorded closed-loop runs.
+            samples: optional per-trace :func:`presample_trace` output
+                (entries may be ``None`` to sample here).
+            l0s: optional per-trace processing latencies; ``None``
+                entries default like :meth:`evaluate`'s ``l0``.
+
+        Returns:
+            One :class:`EvaluationSeries` per trace, in input order.
+        """
+        if samples is None:
+            samples = [None] * len(traces)
+        if l0s is None:
+            l0s = [None] * len(traces)
+        if len(samples) != len(traces) or len(l0s) != len(traces):
+            raise EstimationError(
+                "samples and l0s must align with traces: "
+                f"{len(traces)} traces, {len(samples)} samples, "
+                f"{len(l0s)} l0s"
+            )
+        if (
+            self.backend != "crosstrace"
+            or self.search.strategy is not SearchStrategy.EXACT
+        ):
+            return [
+                self.evaluate(trace, l0=l0, samples=trace_samples)
+                for trace, trace_samples, l0 in zip(traces, samples, l0s)
+            ]
+        jobs = [
+            TraceJob(
+                trace=trace,
+                samples=(
+                    presample_trace(trace, self.stride)
+                    if trace_samples is None
+                    else trace_samples
+                ),
+                l0=trace.default_l0() if l0 is None else l0,
+                road=self.road,
+            )
+            for trace, trace_samples, l0 in zip(traces, samples, l0s)
+        ]
+        block = evaluate_trace_block(
+            jobs,
+            [self.params],
+            self.stride,
+            rig=self.rig,
+            strict=self.search.strict,
+        )
+        return [series[0] for series in block]
 
     def _solve_trace_latencies(
         self,
@@ -504,3 +576,298 @@ class OfflineEvaluator:
             ego_speed=ego_state.speed,
             ego_accel=ego_state.accel,
         )
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One trace of a cross-trace evaluation block.
+
+    Attributes:
+        trace: the recorded closed-loop run.
+        samples: its :func:`presample_trace` output at the block stride.
+        l0: the run's processing latency (enters ``alpha``).
+        road: road geometry for this trace's lateral gating.
+    """
+
+    trace: ScenarioTrace
+    samples: TraceSamples
+    l0: float
+    road: Road | None = None
+
+
+#: Target element count of one tiled solve block: ``base rows x
+#: variants x scan instants`` per :meth:`LatencyEngine.solve_rows`
+#: call stays near this, bounding peak array memory (~32 MB of
+#: float64 threat samples) while amortizing the per-unique-tick ego
+#: profile construction across every variant of the block.
+_BLOCK_ELEMENTS = 4_000_000
+
+
+def evaluate_trace_block(
+    jobs: Sequence[TraceJob],
+    variants: Sequence[ZhuyiParams],
+    stride: float,
+    rig: CameraRig | None = None,
+    strict: bool = True,
+) -> list[list[EvaluationSeries]]:
+    """Evaluate many traces under many parameter variants in one block.
+
+    The campaign super-cell kernel: instead of one evaluator pass per
+    (trace, variant), the whole block shares its array programs —
+
+    * Equation 5 visibility tables build in one
+      :meth:`~repro.perception.sensor.CameraRig.visible_actors_traces`
+      pass over every trace's concatenated ticks, shared by all
+      variants (FOV membership never depends on the Zhuyi constants);
+    * variants group by :meth:`~repro.core.parameters.ZhuyiParams.
+      solver_grid_key` — within a group, gates, threat samples and the
+      candidate grid are common, and only the Eq 1/2 ``c1``/``c2``
+      comparisons differ, carried as per-row constraint columns;
+    * within a group, traces sharing ``l0`` stack into one
+      :meth:`~repro.core.engine.LatencyEngine.trace_grid` whose tick
+      axis concatenates their ego motions, and every gated (trace,
+      tick, actor, variant) row solves through shared
+      :meth:`~repro.core.engine.LatencyEngine.solve_rows` calls.
+
+    Every constituent kernel is bit-identical to its per-trace
+    counterpart (see each method's parity argument), so the returned
+    series equal per-trace ``backend="batched"`` evaluations element
+    for element. Traces with no road while a variant gates laterally
+    need per-tick ego frames and quietly take the per-trace batched
+    path for that variant group.
+
+    Args:
+        jobs: the traces, presampled at ``stride``.
+        variants: the parameter variants to evaluate each trace under.
+        stride: evaluation period (must match every job's samples).
+        rig: camera rig (the paper's five-camera default when omitted).
+        strict: strict prefix semantics of the EXACT search.
+
+    Returns:
+        ``series[j][v]``: job ``j`` evaluated under variant ``v``.
+    """
+    if not variants:
+        raise EstimationError("evaluate_trace_block needs at least one variant")
+    if rig is None:
+        rig = default_rig()
+    for job in jobs:
+        if abs(job.samples.stride - stride) > 1e-12:
+            raise EstimationError(
+                f"presampled stride {job.samples.stride} does not match "
+                f"block stride {stride}"
+            )
+    if not jobs:
+        return []
+
+    positions = []
+    for job in jobs:
+        job_positions = job.samples.actor_positions
+        if job_positions is None:
+            job_positions = {
+                actor_id: (
+                    np.array([state.position.x for state in states]),
+                    np.array([state.position.y for state in states]),
+                )
+                for actor_id, states in job.samples.actor_states.items()
+            }
+        positions.append(job_positions)
+    visibility_tables = rig.visible_actors_traces(
+        [
+            (job.samples.ego_states, job_positions)
+            for job, job_positions in zip(jobs, positions)
+        ]
+    )
+
+    output: list[list[EvaluationSeries | None]] = [
+        [None] * len(variants) for _ in jobs
+    ]
+
+    # Variant groups: equal solver_grid_key = everything but c1/c2
+    # shared (grid, gates, ego profiles, threat samples).
+    groups: dict[ZhuyiParams, list[int]] = {}
+    for v, params in enumerate(variants):
+        groups.setdefault(params.solver_grid_key(), []).append(v)
+
+    for vlist in groups.values():
+        gparams = variants[vlist[0]]
+        engine = LatencyEngine(params=gparams, strict=strict)
+        c1s = np.array([variants[v].c1 for v in vlist])
+        c2s = np.array([variants[v].c2 for v in vlist])
+
+        # The no-road + lateral-gating combination needs per-tick ego
+        # frames for the corridor; those (job, variant) pairs keep the
+        # per-trace batched path (identical output by construction).
+        stackable: list[int] = []
+        for j, job in enumerate(jobs):
+            if job.road is None and gparams.gate_lateral:
+                for v in vlist:
+                    fallback = OfflineEvaluator(
+                        params=variants[v],
+                        rig=rig,
+                        search=LatencySearch(
+                            params=variants[v], strict=strict
+                        ),
+                        road=job.road,
+                        stride=stride,
+                        backend="batched",
+                    )
+                    output[j][v] = fallback.evaluate(
+                        job.trace, l0=job.l0, samples=job.samples
+                    )
+            else:
+                stackable.append(j)
+
+        # Stack traces sharing l0 into one grid (reactions — hence the
+        # master time axis — depend on l0).
+        l0_groups: dict[float, list[int]] = {}
+        for j in stackable:
+            l0_groups.setdefault(jobs[j].l0, []).append(j)
+
+        # Per (job, variant): per-tick {actor: latency} dictionaries,
+        # gated actors only, filled by the scatter below.
+        tables: dict[tuple[int, int], list[dict[str, float | None]]] = {
+            (j, v): [{} for _ in jobs[j].samples.times]
+            for j in stackable
+            for v in vlist
+        }
+
+        for l0, job_indices in l0_groups.items():
+            motions: list = []
+            offsets: list[int] = []
+            for j in job_indices:
+                offsets.append(len(motions))
+                motions.extend(
+                    EgoMotion.from_state(state.speed, state.accel, gparams)
+                    for state in jobs[j].samples.ego_states
+                )
+            grid = engine.trace_grid(motions, l0)
+            rel_times = np.concatenate([grid.times, grid.reactions])
+
+            # One row per gated (trace, tick, actor): threat samples
+            # batch per actor, ego-side arrays batch once per trace.
+            row_meta: list[tuple[int, str, np.ndarray]] = []
+            tick_chunks: list[np.ndarray] = []
+            gap_chunks: list[np.ndarray] = []
+            speed_chunks: list[np.ndarray] = []
+            for j, offset in zip(job_indices, offsets):
+                job = jobs[j]
+                samples = job.samples
+                assessor = ThreatAssessor(params=gparams, road=job.road)
+                ego_rows = assessor.ego_path_rows(samples.ego_states)
+                for actor_id, trajectory in samples.actor_trajectories.items():
+                    spec = job.trace.actor_spec(actor_id)
+                    gate = assessor.could_collide_trace(
+                        samples.ego_states,
+                        job.trace.ego_spec,
+                        trajectory,
+                        spec,
+                        samples.times,
+                        ego_rows=ego_rows,
+                    )
+                    gated = np.flatnonzero(gate)
+                    if gated.size == 0:
+                        continue
+                    gaps, speeds = assessor.sample_threats_trace(
+                        [samples.ego_states[i] for i in gated],
+                        job.trace.ego_spec,
+                        trajectory,
+                        spec,
+                        samples.times[gated],
+                        rel_times,
+                        ego_rows=EgoPathRows(
+                            xs=ego_rows.xs[gated],
+                            ys=ego_rows.ys[gated],
+                            s=ego_rows.s[gated],
+                            d=ego_rows.d[gated],
+                        ),
+                    )
+                    row_meta.append((j, actor_id, gated))
+                    tick_chunks.append(gated + offset)
+                    gap_chunks.append(gaps)
+                    speed_chunks.append(speeds)
+            if not tick_chunks:
+                continue
+            base_ticks = np.concatenate(tick_chunks)
+            base_gaps = np.vstack(gap_chunks)
+            base_speeds = np.vstack(speed_chunks)
+            # Row -> (job, actor, local tick) for the scatter.
+            scatter: list[tuple[int, str, int]] = []
+            for j, actor_id, gated in row_meta:
+                scatter.extend((j, actor_id, int(i)) for i in gated)
+            # Tick-major row order: every solve block then carries all
+            # (actor, variant) rows of its ticks together, which is the
+            # row density the engine's tick-resident grouped kernel
+            # keys on. Pure permutation — rows are independent and the
+            # scatter above travels with them.
+            tick_order = np.argsort(base_ticks, kind="stable")
+            base_ticks = base_ticks[tick_order]
+            base_gaps = base_gaps[tick_order]
+            base_speeds = base_speeds[tick_order]
+            scatter = [scatter[i] for i in tick_order]
+
+            # Variant-tiled solves in base-row blocks: each block's
+            # rows repeat once per variant with that variant's c1/c2
+            # as per-row constraint columns, so the per-tick ego
+            # profile work amortizes across every variant at bounded
+            # peak memory.
+            n_variants = len(vlist)
+            block = max(
+                1, int(_BLOCK_ELEMENTS / (n_variants * rel_times.size))
+            )
+            for start in range(0, base_ticks.size, block):
+                stop = min(start + block, base_ticks.size)
+                width = stop - start
+                results = engine.solve_rows(
+                    grid,
+                    np.tile(base_ticks[start:stop], n_variants),
+                    motions,
+                    np.tile(base_gaps[start:stop], (n_variants, 1)),
+                    np.tile(base_speeds[start:stop], (n_variants, 1)),
+                    constraints=(
+                        np.repeat(c1s, width),
+                        np.repeat(c2s, width),
+                    ),
+                )
+                for vi, v in enumerate(vlist):
+                    for r in range(width):
+                        j, actor_id, tick = scatter[start + r]
+                        result = results[vi * width + r]
+                        tables[(j, v)][tick][actor_id] = result.latency
+
+        # Assemble each (job, variant) series exactly like the
+        # single-trace precomputed path: trajectory-ordered latency
+        # dictionaries, shared visibility tables, Equation 5 rollup.
+        for j in stackable:
+            job = jobs[j]
+            samples = job.samples
+            order = list(samples.actor_trajectories)
+            for v in vlist:
+                params = variants[v]
+                ticks = []
+                for i, t0 in enumerate(samples.times):
+                    table = tables[(j, v)][i]
+                    actor_latencies = {
+                        actor_id: table[actor_id]
+                        for actor_id in order
+                        if actor_id in table
+                    }
+                    estimates = estimate_camera_fprs(
+                        actor_latencies, visibility_tables[j][i], params
+                    )
+                    ego_state = samples.ego_states[i]
+                    ticks.append(
+                        EvaluationTick(
+                            time=float(t0),
+                            camera_estimates=estimates,
+                            actor_latencies=actor_latencies,
+                            ego_speed=ego_state.speed,
+                            ego_accel=ego_state.accel,
+                        )
+                    )
+                output[j][v] = EvaluationSeries(
+                    scenario=job.trace.scenario,
+                    ticks=ticks,
+                    params=params,
+                    l0=job.l0,
+                )
+    return [list(row) for row in output]

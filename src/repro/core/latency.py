@@ -50,10 +50,14 @@ UNAVOIDABLE_LATENCY = 0.0
 #: Numerical slack on the constraint comparisons.
 _EPS = 1e-9
 
-#: Latency-solver backends: the scalar per-candidate reference loop, or
-#: the batched array program of :mod:`repro.core.engine` (bit-identical
-#: results, one vectorized kernel per latency grid).
-BACKENDS = ("scalar", "batched")
+#: Latency-solver backends: the scalar per-candidate reference loop,
+#: the batched array program of :mod:`repro.core.engine` (one
+#: vectorized kernel per latency grid), or the cross-trace campaign
+#: stacking (``crosstrace``: whole groups of traces and parameter
+#: variants solved through shared kernels — see
+#: :func:`repro.core.evaluator.evaluate_trace_block`). All three
+#: produce bit-identical results; only the clock differs.
+BACKENDS = ("scalar", "batched", "crosstrace")
 
 
 class SearchStrategy(enum.Enum):

@@ -8,7 +8,7 @@ and a latency grid from 1 s down to 33 ms (one 30-FPR frame period) in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
@@ -114,6 +114,22 @@ class ZhuyiParams:
     def fpr_cap(self) -> float:
         """Largest reportable FPR (latency at the grid minimum)."""
         return 1.0 / self.l_min
+
+    def solver_grid_key(self) -> "ZhuyiParams":
+        """This parameter set with the Eq 1/2 factors normalized away.
+
+        Two variants whose keys compare equal share *everything* the
+        latency kernel precomputes — the candidate grid and reaction
+        times (``l_max``/``l_min``/``dl``/``k``), the ego profile
+        (``c3``/``c4``/``ego_speed_cap``), the scan grid (``tn_step``/
+        ``horizon_margin``) and the collision gating (``gate_lateral``/
+        ``lateral_margin``/``horizon``) — and differ only in where the
+        Eq 1/2 feasibility comparisons draw the line. Such variants can
+        be solved together through one cross-trace kernel with per-row
+        ``c1``/``c2`` columns (the campaign super-cell path); anything
+        else needs its own grid.
+        """
+        return replace(self, c1=1.0, c2=1.0)
 
     def confirmation_delay(self, latency: float, l0: float) -> float:
         """The paper's ``alpha = K * (l - l0)``, clamped at zero.

@@ -250,6 +250,35 @@ class TrajectoryThreat:
 
 
 @dataclass(frozen=True)
+class EgoPathRows:
+    """Ego-side row arrays shared by every actor of a trace.
+
+    Everything the row-batched gate and sampler need from the ego —
+    world positions and path (Frenet) coordinates per tick — depends
+    only on the ego states and the road, never on an actor or on the
+    Zhuyi constants. Build once per trace with
+    :meth:`ThreatAssessor.ego_path_rows` and pass to every
+    :meth:`~ThreatAssessor.could_collide_trace` /
+    :meth:`~ThreatAssessor.sample_threats_trace` call for that trace —
+    the cross-actor (and, in the campaign super-cell path,
+    cross-variant) cache of the ego-side arrays. Values are exactly
+    what each call would have derived itself.
+
+    Attributes:
+        xs / ys: per-tick ego world coordinates.
+        s / d: per-tick ego path coordinates — road Frenet station and
+            lateral when a road is present, zeros in the no-road
+            per-tick-frame fallback (where each tick's gate works in
+            that tick's own ego frame and the ego sits at its origin).
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    s: np.ndarray
+    d: np.ndarray
+
+
+@dataclass(frozen=True)
 class ThreatAssessor:
     """Decides whether an actor is a collision threat to the ego.
 
@@ -387,6 +416,23 @@ class ThreatAssessor:
         fully_ahead = stations >= ego_s + half_lengths
         return bool(np.any(laterally_overlapping & fully_ahead))
 
+    def ego_path_rows(self, ego_states) -> EgoPathRows:
+        """The :class:`EgoPathRows` for a trace's tick axis.
+
+        One batched Frenet conversion (or the no-road zeros) serving
+        every per-actor gate and sampler call on these ticks — the
+        same arrays those calls derive on their own when no cache is
+        passed.
+        """
+        xs = np.array([state.position.x for state in ego_states])
+        ys = np.array([state.position.y for state in ego_states])
+        if self.road is not None:
+            s, d = self.road.to_frenet_batch(xs, ys)
+        else:
+            s = np.zeros(xs.shape)
+            d = np.zeros(xs.shape)
+        return EgoPathRows(xs=xs, ys=ys, s=s, d=d)
+
     def could_collide_trace(
         self,
         ego_states,
@@ -394,6 +440,7 @@ class ThreatAssessor:
         actor_trajectory: StateTrajectory,
         actor_spec: VehicleSpec,
         t0s: np.ndarray,
+        ego_rows: EgoPathRows | None = None,
     ) -> np.ndarray:
         """Vectorized collision gate over every tick of a trace.
 
@@ -410,6 +457,8 @@ class ThreatAssessor:
             ego_spec / actor_trajectory / actor_spec: as in
                 :meth:`assess`.
             t0s: the estimation instants.
+            ego_rows: optional precomputed :meth:`ego_path_rows` for
+                these ticks (the cross-actor ego-side cache).
 
         Returns:
             Boolean array: whether the actor could collide at each tick.
@@ -422,6 +471,7 @@ class ThreatAssessor:
             actor_trajectory.end_time,
             actor_spec,
             t0s,
+            ego_rows=ego_rows,
         )
 
     def could_collide_futures(
@@ -510,6 +560,7 @@ class ThreatAssessor:
         end_times,
         actor_spec: VehicleSpec,
         t0s: np.ndarray,
+        ego_rows: EgoPathRows | None = None,
     ) -> np.ndarray:
         """The collision gate over (tick,) rows — the shared kernel.
 
@@ -526,17 +577,13 @@ class ThreatAssessor:
         """
         if not self.params.gate_lateral:
             return np.ones(t0s.shape, dtype=bool)
-        ego_xs = np.array([state.position.x for state in ego_states])
-        ego_ys = np.array([state.position.y for state in ego_states])
         # Per-tick ego path coordinates. With a road these are absolute
         # Frenet coordinates; without one, each tick's gate works in
         # that tick's ego heading frame — where the ego itself sits at
         # the origin, exactly as the scalar fallback computes it.
-        if self.road is not None:
-            ego_s, ego_d = self.road.to_frenet_batch(ego_xs, ego_ys)
-        else:
-            ego_s = np.zeros(t0s.shape)
-            ego_d = np.zeros(t0s.shape)
+        if ego_rows is None:
+            ego_rows = self.ego_path_rows(ego_states)
+        ego_s, ego_d = ego_rows.s, ego_rows.d
         overlap_width = (
             (ego_spec.width + actor_spec.width) / 2.0 + self.params.lateral_margin
         )
@@ -583,6 +630,7 @@ class ThreatAssessor:
         actor_spec: VehicleSpec,
         t0s: np.ndarray,
         rel_times: np.ndarray,
+        ego_rows: EgoPathRows | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Threat quantities over (tick, instant) rows — the shared kernel.
 
@@ -614,8 +662,9 @@ class ThreatAssessor:
             mask_queries = t0s[:, None] + grid[indices][None, :]
             queries = np.concatenate([queries, mask_queries], axis=1)
         xs, ys, speeds = sampler(queries)
-        ego_xs = np.array([state.position.x for state in ego_states])
-        ego_ys = np.array([state.position.y for state in ego_states])
+        if ego_rows is None:
+            ego_rows = self.ego_path_rows(ego_states)
+        ego_xs, ego_ys = ego_rows.xs, ego_rows.ys
         distances = np.hypot(
             xs[:, :n_rel] - ego_xs[:, None], ys[:, :n_rel] - ego_ys[:, None]
         )
@@ -638,7 +687,7 @@ class ThreatAssessor:
             # to_frenet build_threat calls (the road/lane.py contract),
             # so a corridor-edge tick lands on the same side in both
             # backends without a per-tick scalar fallback.
-            _, ego_lateral = self.road.to_frenet_batch(ego_xs, ego_ys)
+            ego_lateral = ego_rows.d
             overlap_width = (
                 (ego_spec.width + actor_spec.width) / 2.0
                 + self.params.lateral_margin
@@ -657,6 +706,7 @@ class ThreatAssessor:
         actor_spec: VehicleSpec,
         t0s: np.ndarray,
         rel_times: np.ndarray,
+        ego_rows: EgoPathRows | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`TrajectoryThreat.sample` across many ticks.
 
@@ -675,6 +725,8 @@ class ThreatAssessor:
                 :meth:`assess`.
             t0s: the queried estimation instants (``ego_states``-aligned).
             rel_times: scan instants relative to each tick.
+            ego_rows: optional precomputed :meth:`ego_path_rows` for
+                these ticks (the cross-actor ego-side cache).
 
         Returns:
             ``(s_n, v_an)`` arrays of shape ``(len(t0s), len(rel_times))``.
@@ -686,4 +738,5 @@ class ThreatAssessor:
             actor_spec,
             t0s,
             rel_times,
+            ego_rows=ego_rows,
         )

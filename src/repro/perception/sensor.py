@@ -125,42 +125,100 @@ class CameraRig:
             ``(len(ego_states), len(actor_positions))`` whose columns
             follow the mapping's iteration order.
         """
-        tick_count = len(ego_states)
-        ids = list(actor_positions)
-        if not ids:
-            return {
-                camera.name: np.zeros((tick_count, 0), dtype=bool)
-                for camera in self._cameras
-            }
-        xs = np.stack(
-            [np.asarray(actor_positions[a][0], dtype=float) for a in ids],
-            axis=1,
-        )
-        ys = np.stack(
-            [np.asarray(actor_positions[a][1], dtype=float) for a in ids],
-            axis=1,
-        )
-        tables: dict[str, np.ndarray] = {}
-        for camera in self._cameras:
-            origin_x = np.empty(tick_count)
-            origin_y = np.empty(tick_count)
-            rot_c = np.empty(tick_count)
-            rot_s = np.empty(tick_count)
-            for i, ego_state in enumerate(ego_states):
-                frame = camera.world_frame(ego_state)
-                origin_x[i] = frame.origin.x
-                origin_y[i] = frame.origin.y
-                # The constants Frame2.to_local derives per point.
-                rot_c[i] = math.cos(-frame.heading)
-                rot_s[i] = math.sin(-frame.heading)
-            dx = xs - origin_x[:, None]
-            dy = ys - origin_y[:, None]
-            local_x = rot_c[:, None] * dx - rot_s[:, None] * dy
-            local_y = rot_s[:, None] * dx + rot_c[:, None] * dy
-            tables[camera.name] = camera.fov.contains_local_batch(
-                local_x, local_y
+        return self.visibility_traces([(ego_states, actor_positions)])[0]
+
+    def visibility_traces(
+        self,
+        blocks: Sequence[
+            tuple[
+                Sequence[VehicleState],
+                Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
+            ]
+        ],
+    ) -> list[dict[str, np.ndarray]]:
+        """:meth:`visibility_trace` for a stack of traces at once.
+
+        The cross-trace lift of the Equation 5 grouping kernel: the
+        per-camera frame constants are derived in one pass over the
+        *concatenated* tick axis of every block — with each tick's ego
+        body frame composed once and shared by all cameras — and each
+        trace's membership table is then one
+        :meth:`~repro.geometry.fov.AngularSector.contains_local_batch`
+        call against its own actor arrays (actor sets differ per trace,
+        so the tables cannot share columns). Per tick and per camera
+        the scalar trigonometry is exactly :meth:`visible_actors`'s
+        frame composition, so every table entry is bit-identical to a
+        single-trace :meth:`visibility_trace` build.
+
+        Args:
+            blocks: per trace, the ``(ego_states, actor_positions)``
+                pair :meth:`visibility_trace` takes.
+
+        Returns:
+            One per-camera table dict per block, in block order.
+        """
+        offsets = [0]
+        for ego_states, _ in blocks:
+            offsets.append(offsets[-1] + len(ego_states))
+        total = offsets[-1]
+        # Frame constants for every (camera, tick) pair: the tick's ego
+        # body frame composes once, each camera mounts into it — the
+        # same Frame2 arithmetic world_frame() runs per camera.
+        origin_x = {camera.name: np.empty(total) for camera in self._cameras}
+        origin_y = {camera.name: np.empty(total) for camera in self._cameras}
+        rot_c = {camera.name: np.empty(total) for camera in self._cameras}
+        rot_s = {camera.name: np.empty(total) for camera in self._cameras}
+        i = 0
+        for ego_states, _ in blocks:
+            for ego_state in ego_states:
+                base = ego_state.frame()
+                for camera in self._cameras:
+                    frame = base.compose(camera.mount)
+                    origin_x[camera.name][i] = frame.origin.x
+                    origin_y[camera.name][i] = frame.origin.y
+                    # The constants Frame2.to_local derives per point.
+                    rot_c[camera.name][i] = math.cos(-frame.heading)
+                    rot_s[camera.name][i] = math.sin(-frame.heading)
+                i += 1
+
+        out: list[dict[str, np.ndarray]] = []
+        for block_index, (ego_states, actor_positions) in enumerate(blocks):
+            lo, hi = offsets[block_index], offsets[block_index + 1]
+            tick_count = hi - lo
+            ids = list(actor_positions)
+            if not ids:
+                out.append(
+                    {
+                        camera.name: np.zeros((tick_count, 0), dtype=bool)
+                        for camera in self._cameras
+                    }
+                )
+                continue
+            xs = np.stack(
+                [np.asarray(actor_positions[a][0], dtype=float) for a in ids],
+                axis=1,
             )
-        return tables
+            ys = np.stack(
+                [np.asarray(actor_positions[a][1], dtype=float) for a in ids],
+                axis=1,
+            )
+            tables: dict[str, np.ndarray] = {}
+            for camera in self._cameras:
+                dx = xs - origin_x[camera.name][lo:hi, None]
+                dy = ys - origin_y[camera.name][lo:hi, None]
+                local_x = (
+                    rot_c[camera.name][lo:hi, None] * dx
+                    - rot_s[camera.name][lo:hi, None] * dy
+                )
+                local_y = (
+                    rot_s[camera.name][lo:hi, None] * dx
+                    + rot_c[camera.name][lo:hi, None] * dy
+                )
+                tables[camera.name] = camera.fov.contains_local_batch(
+                    local_x, local_y
+                )
+            out.append(tables)
+        return out
 
     def visible_actors_trace(
         self,
@@ -177,18 +235,49 @@ class CameraRig:
         """
         ids = list(actor_positions)
         tables = self.visibility_trace(ego_states, actor_positions)
-        out: list[dict[str, list[Hashable]]] = []
-        for i in range(len(ego_states)):
-            out.append(
-                {
-                    camera.name: [
-                        ids[j]
-                        for j in np.flatnonzero(tables[camera.name][i])
-                    ]
-                    for camera in self._cameras
-                }
+        return self._group_tables(ids, len(ego_states), tables)
+
+    def visible_actors_traces(
+        self,
+        blocks: Sequence[
+            tuple[
+                Sequence[VehicleState],
+                Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
+            ]
+        ],
+    ) -> list[list[dict[str, list[Hashable]]]]:
+        """:meth:`visible_actors_trace` for a stack of traces at once.
+
+        One :meth:`visibility_traces` pass, then each block's tables
+        unpack into the per-tick grouping dicts — groupings identical
+        to running :meth:`visible_actors_trace` per block.
+        """
+        all_tables = self.visibility_traces(blocks)
+        return [
+            self._group_tables(
+                list(actor_positions), len(ego_states), tables
             )
-        return out
+            for (ego_states, actor_positions), tables in zip(
+                blocks, all_tables
+            )
+        ]
+
+    def _group_tables(
+        self,
+        ids: list[Hashable],
+        tick_count: int,
+        tables: Mapping[str, np.ndarray],
+    ) -> list[dict[str, list[Hashable]]]:
+        """Bit tables to per-tick camera groupings (mapping order kept)."""
+        return [
+            {
+                camera.name: [
+                    ids[j] for j in np.flatnonzero(tables[camera.name][i])
+                ]
+                for camera in self._cameras
+            }
+            for i in range(tick_count)
+        ]
 
 
 def default_rig(

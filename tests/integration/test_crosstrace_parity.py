@@ -1,0 +1,114 @@
+"""Cross-trace campaign backend: byte-identical to per-cell batched.
+
+The acceptance bar of the ``"crosstrace"`` backend: a campaign routed
+through :func:`execute_supercell` — traces and variants solved together
+as whole-block array programs — must produce summaries (and JSONL run
+lines) *equal* to the per-cell ``"batched"`` execution, on real
+closed-loop traces including multi-actor density variants. The
+:meth:`OfflineEvaluator.evaluate_many` entry point gets the same
+treatment against one-trace-at-a-time evaluation.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import OfflineEvaluator, build_scenario
+from repro.batch import Campaign, CampaignRunner, ParamVariant
+from repro.core.evaluator import presample_trace
+from repro.core.parameters import ZhuyiParams
+
+
+def run_campaign(backend, tmp_path, **kwargs):
+    campaign = Campaign(backend=backend, **kwargs)
+    out = tmp_path / f"{backend}.jsonl"
+    result = CampaignRunner(workers=1).run(campaign, out=out)
+    assert not result.failures()
+    lines = out.read_text().splitlines()
+    # Drop the header (carries the backend tag) and footer (wall clock):
+    # every run line must match byte for byte.
+    return [line for line in lines if '"kind": "run"' in line]
+
+
+@pytest.mark.slow
+class TestCampaignParity:
+    def test_multi_variant_campaign_byte_identical(self, tmp_path):
+        base = ZhuyiParams()
+        grid = dict(
+            scenarios=("cut_in", "cut_out"),
+            seeds=(0,),
+            fprs=(30.0,),
+            variants=(
+                ParamVariant("paper"),
+                ParamVariant("c1_09", replace(base, c1=0.9)),
+                ParamVariant("c2_09", replace(base, c2=0.9)),
+            ),
+            stride=0.25,
+        )
+        batched = run_campaign("batched", tmp_path, **grid)
+        crosstrace = run_campaign("crosstrace", tmp_path, **grid)
+        assert batched == crosstrace
+        assert len(batched) == 6
+
+    def test_density_variant_campaign_byte_identical(self, tmp_path):
+        grid = dict(
+            scenarios=("cut_in_dense4",),
+            seeds=(0, 1),
+            fprs=(30.0,),
+            variants=(
+                ParamVariant("paper"),
+                ParamVariant(
+                    "tight", replace(ZhuyiParams(), c1=0.85, c2=0.9)
+                ),
+            ),
+            stride=0.25,
+        )
+        batched = run_campaign("batched", tmp_path, **grid)
+        crosstrace = run_campaign("crosstrace", tmp_path, **grid)
+        assert batched == crosstrace
+
+    def test_run_lines_carry_real_estimates(self, tmp_path):
+        lines = run_campaign(
+            "crosstrace",
+            tmp_path,
+            scenarios=("cut_in",),
+            seeds=(0,),
+            fprs=(30.0,),
+            stride=0.25,
+        )
+        (record,) = [json.loads(line) for line in lines]
+        assert record["max_fpr"] is not None
+        assert record["error"] is None
+
+
+@pytest.mark.slow
+class TestEvaluateMany:
+    def test_matches_one_trace_at_a_time(self):
+        traces, samples, roads = [], [], []
+        for name in ("cut_in", "cut_out"):
+            scenario = build_scenario(name, seed=0)
+            trace = scenario.run(fpr=30.0)
+            assert not trace.has_collision, name
+            traces.append(trace)
+            samples.append(presample_trace(trace, 0.25))
+            roads.append(scenario.road)
+
+        # evaluate_many stacks roadless jobs; evaluate one at a time as
+        # the reference with the standard batched backend.
+        block = OfflineEvaluator(
+            stride=0.25, backend="crosstrace"
+        ).evaluate_many(traces, samples=samples)
+        for trace, trace_samples, series in zip(traces, samples, block):
+            alone = OfflineEvaluator(stride=0.25, backend="batched").evaluate(
+                trace, samples=trace_samples
+            )
+            assert len(series.ticks) == len(alone.ticks)
+            for tick_a, tick_b in zip(series.ticks, alone.ticks):
+                assert tick_a.time == tick_b.time
+                assert dict(tick_a.actor_latencies) == dict(
+                    tick_b.actor_latencies
+                )
+                assert dict(tick_a.camera_estimates) == dict(
+                    tick_b.camera_estimates
+                )
