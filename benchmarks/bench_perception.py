@@ -20,10 +20,18 @@ multi-actor curved scenario; the observed numbers land well above the
 floor but shared-host clock noise swings either backend by ~2x, so only
 the floor is a hard assert.
 
+With ``--noise`` the comparison flips to stochastic perception: the
+same batched pipeline with counter-based miss/position-noise sampling
+(:mod:`repro.perception.noise`) enabled vs disabled, asserting noisy
+stays within :data:`NOISE_OVERHEAD_CEILING` of noise-free and that the
+noisy scalar reference reproduces the noisy batched series exactly;
+results go to ``benchmarks/out/perception_noise.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perception.py           # full run
     PYTHONPATH=src python benchmarks/bench_perception.py --smoke   # CI parity
+    PYTHONPATH=src python benchmarks/bench_perception.py --noise   # RNG cost
 """
 
 from __future__ import annotations
@@ -50,6 +58,17 @@ SMOKE_SCENARIOS = [
 
 #: Hard end-to-end floor asserted on every multi-actor scenario.
 MULTI_ACTOR_FLOOR = 1.5
+
+#: Hard ceiling on the cost of enabling stochastic perception
+#: (``--noise``): noisy batched must stay within this factor of
+#: noise-free batched, end to end including the counter-based draw
+#: sampling at presample time. The draws are a handful of vectorized
+#: hash passes over the (tick x actor) grid, so the observed overhead
+#: is a few percent; 1.2x is the loud-regression tripwire.
+NOISE_OVERHEAD_CEILING = 1.2
+
+#: The --noise workload's stochastic perception setting.
+NOISE_SPEC = {"miss_rate": 0.15, "position_noise": 0.3, "seed": 42}
 
 
 def series_fingerprint(series) -> str:
@@ -98,6 +117,96 @@ def run_scenario(name: str, stride: float, rounds: int = 1):
     return {backend: min(values) for backend, values in timings.items()}
 
 
+def run_noise_scenario(name: str, stride: float, rounds: int = 3):
+    """Noise-free vs noisy batched timings (plus noisy parity check).
+
+    The timed region covers presampling too: the counter-based draws
+    happen at presample time, so excluding them would hide exactly the
+    cost this benchmark exists to bound.
+    """
+    from repro.core.evaluator import OfflineEvaluator, presample_trace
+    from repro.perception.noise import PerceptionNoise
+    from repro.scenarios.catalog import build_scenario
+
+    built = build_scenario(name, seed=0)
+    trace = built.run(fpr=30.0)
+    if trace.has_collision:
+        raise RuntimeError(f"{name}: unexpected collision, cannot benchmark")
+    noise = PerceptionNoise(**NOISE_SPEC)
+    timings = {"clean": [], "noisy": []}
+    fingerprints = {}
+    for _ in range(rounds):
+        for label, spec in (("clean", None), ("noisy", noise)):
+            evaluator = OfflineEvaluator(
+                road=built.road, stride=stride, backend="batched", noise=spec
+            )
+            started = time.perf_counter()
+            samples = presample_trace(trace, stride, noise=spec)
+            series = evaluator.evaluate(trace, samples=samples)
+            timings[label].append(time.perf_counter() - started)
+            fingerprints[label] = series_fingerprint(series)
+    # The order-independence contract, spot-checked under load: the
+    # scalar reference must reproduce the noisy batched series exactly.
+    scalar = OfflineEvaluator(
+        road=built.road, stride=stride, backend="scalar", noise=noise
+    ).evaluate(trace, samples=presample_trace(trace, stride, noise=noise))
+    if series_fingerprint(scalar) != fingerprints["noisy"]:
+        raise AssertionError(
+            f"{name}: noisy batched series diverged from the scalar reference"
+        )
+    return {label: min(values) for label, values in timings.items()}
+
+
+def run_noise_benchmark(scenarios, stride: float, smoke: bool) -> int:
+    rows = []
+    for name, _ in scenarios:
+        timings = run_noise_scenario(name, stride, rounds=1 if smoke else 3)
+        overhead = timings["noisy"] / timings["clean"]
+        rows.append(
+            {
+                "scenario": name,
+                "clean_s": round(timings["clean"], 3),
+                "noisy_s": round(timings["noisy"], 3),
+                "overhead": round(overhead, 3),
+                "parity": "identical",
+            }
+        )
+        print(
+            f"{name:36s} clean {timings['clean']:6.2f} s   "
+            f"noisy {timings['noisy']:6.2f} s   "
+            f"{overhead:5.2f}x   parity ok"
+        )
+
+    if smoke:
+        print("smoke: noisy parity identical on", [r["scenario"] for r in rows])
+        return 0
+
+    total_clean = sum(row["clean_s"] for row in rows)
+    total_noisy = sum(row["noisy_s"] for row in rows)
+    report = {
+        "stride": stride,
+        "noise": NOISE_SPEC,
+        "rows": rows,
+        "total_clean_s": round(total_clean, 3),
+        "total_noisy_s": round(total_noisy, 3),
+        "overall_overhead": round(total_noisy / total_clean, 3),
+        "overhead_ceiling": NOISE_OVERHEAD_CEILING,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "perception_noise.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"overall noise overhead {report['overall_overhead']:.2f}x "
+        f"(ceiling <= {NOISE_OVERHEAD_CEILING:.1f}x); written to {out}"
+    )
+    for row in rows:
+        assert row["overhead"] <= NOISE_OVERHEAD_CEILING, (
+            f"{row['scenario']}: noisy batched cost {row['overhead']:.2f}x "
+            f"noise-free (ceiling {NOISE_OVERHEAD_CEILING}x)"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -111,6 +220,16 @@ def main(argv=None) -> int:
         default=None,
         help="evaluation stride override (default: 0.05 full, 0.25 smoke)",
     )
+    parser.add_argument(
+        "--noise",
+        action="store_true",
+        help=(
+            "benchmark stochastic perception instead: noisy batched vs "
+            "noise-free batched (ceiling "
+            f"<= {NOISE_OVERHEAD_CEILING}x), with a noisy scalar parity "
+            "check; writes benchmarks/out/perception_noise.json"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.scenarios.catalog import density_sweep
@@ -118,6 +237,9 @@ def main(argv=None) -> int:
     density_sweep()
     scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
     stride = args.stride or (0.25 if args.smoke else 0.05)
+
+    if args.noise:
+        return run_noise_benchmark(scenarios, stride, args.smoke)
 
     rows = []
     for name, multi_actor in scenarios:

@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.core.latency import BACKENDS
 from repro.core.parameters import ZhuyiParams
 from repro.errors import ConfigurationError
+from repro.perception.noise import PerceptionNoise
 from repro.perception.sensor import ANALYZED_CAMERAS
 
 #: Variant name used when a campaign sweeps no parameter overrides.
@@ -57,6 +58,11 @@ class RunSpec:
     provisioned_fpr: float
     cameras: tuple[str, ...]
     backend: str = "batched"
+    #: The cell's evaluation-time perception noise, already re-seeded
+    #: for this (scenario, seed, fpr) cell via
+    #: :meth:`PerceptionNoise.for_cell` — a pure function of the cell
+    #: coordinates, never of the run index or shard layout.
+    noise: PerceptionNoise | None = None
 
     def resolved_params(self) -> ZhuyiParams:
         """The Zhuyi constants for this run."""
@@ -90,6 +96,13 @@ class Campaign:
             across whole blocks of cells, solved together per worker
             via :func:`repro.batch.runner.execute_supercell`.
             Summaries are byte-identical across all three.
+        noise: optional evaluation-time stochastic perception
+            (:class:`~repro.perception.noise.PerceptionNoise`). Each
+            (scenario, seed, fpr) cell evaluates under a child seed
+            derived from the root seed and the cell coordinates
+            (:meth:`PerceptionNoise.for_cell`), so cells decorrelate
+            while summaries stay byte-identical across backends,
+            shard partitions, worker counts and kill/resume cycles.
     """
 
     scenarios: tuple[str, ...]
@@ -100,6 +113,7 @@ class Campaign:
     provisioned_fpr: float = 30.0
     cameras: tuple[str, ...] = ANALYZED_CAMERAS
     backend: str = "batched"
+    noise: PerceptionNoise | None = None
 
     def __post_init__(self) -> None:
         from repro.scenarios.catalog import SCENARIOS, ensure_scenario
@@ -160,6 +174,13 @@ class Campaign:
         for scenario in self.scenarios:
             for seed in self.seeds:
                 for fpr in self.fprs:
+                    cell_noise = (
+                        None
+                        if self.noise is None
+                        else self.noise.for_cell(
+                            scenario, int(seed), float(fpr)
+                        )
+                    )
                     for variant in self.variants:
                         specs.append(
                             RunSpec(
@@ -173,6 +194,7 @@ class Campaign:
                                 provisioned_fpr=self.provisioned_fpr,
                                 cameras=tuple(self.cameras),
                                 backend=self.backend,
+                                noise=cell_noise,
                             )
                         )
         return specs
@@ -245,6 +267,7 @@ class Campaign:
             "provisioned_fpr": self.provisioned_fpr,
             "cameras": list(self.cameras),
             "backend": self.backend,
+            "noise": None if self.noise is None else self.noise.to_dict(),
         }
 
     @classmethod
@@ -270,8 +293,14 @@ class Campaign:
             cameras=tuple(data["cameras"]),
             # Headers written before the backend selector existed ran
             # the only solver there was — the scalar loop's equal-output
-            # successor — so default to it.
+            # successor — so default to it. Likewise, headers predating
+            # evaluation-time noise were always noise-free.
             backend=data.get("backend", "batched"),
+            noise=(
+                None
+                if data.get("noise") is None
+                else PerceptionNoise.from_dict(data["noise"])
+            ),
         )
 
 

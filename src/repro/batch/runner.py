@@ -83,6 +83,13 @@ def _cell_contract_error(specs: Sequence[RunSpec]) -> str | None:
             "ConfigurationError: execute_cell needs one stride per "
             f"cell (the trace is presampled once), got {sorted(strides)}"
         )
+    noises = {spec.noise for spec in specs}
+    if len(noises) > 1:
+        return (
+            "ConfigurationError: execute_cell needs one noise setting "
+            "per cell (the trace is presampled once), got "
+            f"{sorted(map(str, noises))}"
+        )
     return None
 
 
@@ -159,12 +166,15 @@ def _evaluate_cell(
     for spec in specs:
         try:
             if samples is None:
-                samples = presample_trace(trace, spec.stride)
+                samples = presample_trace(
+                    trace, spec.stride, noise=spec.noise
+                )
             evaluator = OfflineEvaluator(
                 params=spec.resolved_params(),
                 road=built.road,
                 stride=spec.stride,
                 backend=spec.backend,
+                noise=spec.noise,
             )
             series = evaluator.evaluate(trace, samples=samples)
             summaries.append(_success_summary(spec, series, trace))
@@ -275,14 +285,19 @@ def execute_supercell(cells: Sequence[Sequence[RunSpec]]) -> list[RunSummary]:
         survivors = [entry for entry in survivors if entry not in mismatched]
     if survivors:
         try:
+            # Per-cell noise rides inside the samples (detection masks
+            # and perturbed states), so cells with different derived
+            # noise seeds still share one block's kernels.
             jobs = [
                 TraceJob(
                     trace=trace,
-                    samples=presample_trace(trace, stride),
+                    samples=presample_trace(
+                        trace, stride, noise=cell_specs[0].noise
+                    ),
                     l0=trace.default_l0(),
                     road=built.road,
                 )
-                for _, _, built, trace in survivors
+                for _, cell_specs, built, trace in survivors
             ]
             block = evaluate_trace_block(jobs, variants, stride)
             for (pos, specs, _, trace), series_row in zip(survivors, block):

@@ -171,12 +171,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             or args.fprs != parser_defaults.fprs
             or args.stride != parser_defaults.stride
             or args.backend != parser_defaults.backend
+            or args.miss_rate != parser_defaults.miss_rate
+            or args.position_noise != parser_defaults.position_noise
+            or args.noise_seed != parser_defaults.noise_seed
         )
         if args.scenarios or args.shard or args.out or grid_flags_given:
             print(
                 "error: --resume takes the whole grid (scenarios, "
-                "seeds, FPRs, stride, backend, shard) and the output "
-                "path from the existing file; drop those arguments",
+                "seeds, FPRs, stride, backend, noise, shard) and the "
+                "output path from the existing file; drop those "
+                "arguments",
                 file=sys.stderr,
             )
             return 2
@@ -207,13 +211,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     scenarios = tuple(args.scenarios) if args.scenarios else tuple(SCENARIOS)
     try:
+        from repro.perception.noise import PerceptionNoise
+
         shard = _parse_shard(args.shard) if args.shard else None
+        noise = PerceptionNoise(
+            miss_rate=args.miss_rate,
+            position_noise=args.position_noise,
+            seed=args.noise_seed,
+        )
         campaign = Campaign(
             scenarios=scenarios,
             seeds=tuple(range(args.seeds)),
             fprs=tuple(float(x) for x in args.fprs.split(",")),
             stride=args.stride,
             backend=args.backend,
+            noise=noise if noise.enabled else None,
         )
         # Validates the shard index/count before any run executes.
         total = (
@@ -349,6 +361,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(default), the scalar reference loop, or crosstrace — "
         "whole blocks of cells solved through shared cross-trace "
         "kernels — identical results",
+    )
+    campaign.add_argument(
+        "--miss-rate",
+        type=float,
+        default=0.0,
+        help="evaluation-time detection miss probability per actor "
+        "tick, in [0, 1) (default 0: noise-free)",
+    )
+    campaign.add_argument(
+        "--position-noise",
+        type=float,
+        default=0.0,
+        help="evaluation-time perceived-position jitter sigma in "
+        "metres (default 0: noise-free)",
+    )
+    campaign.add_argument(
+        "--noise-seed",
+        type=int,
+        default=0,
+        help="root seed of the counter-based noise draws (each cell "
+        "derives its own child seed; default 0)",
     )
     campaign.add_argument(
         "--resume",

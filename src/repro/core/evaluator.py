@@ -14,7 +14,7 @@ columns and Figures 4-6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -26,6 +26,8 @@ from repro.core.latency import BACKENDS, LatencySearch, SearchStrategy
 from repro.core.parameters import ZhuyiParams
 from repro.core.threat import EgoPathRows, ThreatAssessor
 from repro.errors import EstimationError
+from repro.geometry.vec import Vec2
+from repro.perception.noise import PerceptionNoise
 from repro.perception.sensor import ANALYZED_CAMERAS, CameraRig, default_rig
 from repro.road.track import Road
 from repro.sim.trace import ScenarioTrace
@@ -143,6 +145,14 @@ class TraceSamples:
             tick — the same floats as ``actor_states`` positions, kept
             in array form for the batched visibility tables. ``None``
             on hand-built samples; the evaluator re-derives them.
+        detected: per-actor boolean detection masks over the ticks when
+            the samples carry injected perception noise (an undetected
+            tick contributes neither a latency demand nor a visible
+            actor); ``None`` on noise-free samples.
+        noise: the :class:`~repro.perception.noise.PerceptionNoise`
+            the samples were drawn under (``None`` when noise-free) —
+            evaluators check it against their own setting so a cached
+            sample set can never silently cross noise configurations.
     """
 
     stride: float
@@ -151,9 +161,22 @@ class TraceSamples:
     actor_states: Mapping[str, Sequence]
     actor_trajectories: Mapping[str, object]
     actor_positions: Mapping[str, tuple[np.ndarray, np.ndarray]] | None = None
+    detected: Mapping[str, np.ndarray] | None = None
+    noise: PerceptionNoise | None = None
 
 
-def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
+def effective_noise(noise: PerceptionNoise | None) -> PerceptionNoise | None:
+    """Normalize a noise setting: disabled configurations act as ``None``."""
+    if noise is not None and noise.enabled:
+        return noise
+    return None
+
+
+def presample_trace(
+    trace: ScenarioTrace,
+    stride: float,
+    noise: PerceptionNoise | None = None,
+) -> TraceSamples:
     """Sample every trajectory of a trace once at the evaluation stride.
 
     Tick times are computed as ``start + i * stride`` rather than by
@@ -162,15 +185,25 @@ def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
     final tick. Each vehicle is interpolated in one vectorized call
     instead of a bisect-based ``state_at`` per tick.
 
+    When ``noise`` is enabled the sampled actor states carry the
+    injected perception: positions perturbed by the counter-keyed
+    draws, plus per-actor detection masks. Draw keys are the tick
+    timestamps themselves (by bit pattern), so resampling any window of
+    the same grid — a resumed replay, a different shard — reproduces
+    the same injected values tick for tick.
+
     Args:
         trace: the recorded closed-loop run.
         stride: evaluation period along the trace (seconds, positive).
+        noise: optional stochastic perception to inject; a disabled
+            configuration is equivalent to ``None``.
 
     Returns:
         A :class:`TraceSamples` reusable by any parameter variant.
     """
     if stride <= 0.0:
         raise EstimationError(f"stride must be positive, got {stride}")
+    noise = effective_noise(noise)
     ego_trajectory = trace.ego_trajectory()
     actor_trajectories = {
         actor_id: trace.actor_trajectory(actor_id)
@@ -186,6 +219,19 @@ def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
         actor_id: trajectory.sample_ticks(times)
         for actor_id, trajectory in actor_trajectories.items()
     }
+    detected: dict[str, np.ndarray] | None = None
+    if noise is not None:
+        detected = {}
+        for actor_id, (states, (xs, ys)) in list(actor_ticks.items()):
+            mask, dx, dy = noise.sample_actor(actor_id, times)
+            detected[actor_id] = mask
+            xs = xs + dx
+            ys = ys + dy
+            states = [
+                replace(state, position=Vec2(float(x), float(y)))
+                for state, x, y in zip(states, xs, ys)
+            ]
+            actor_ticks[actor_id] = (states, (xs, ys))
     return TraceSamples(
         stride=stride,
         times=times,
@@ -198,6 +244,8 @@ def presample_trace(trace: ScenarioTrace, stride: float) -> TraceSamples:
             actor_id: positions
             for actor_id, (_, positions) in actor_ticks.items()
         },
+        detected=detected,
+        noise=noise,
     )
 
 
@@ -229,6 +277,12 @@ class OfflineEvaluator:
             PAPER-strategy ``search`` always solves latencies scalar
             (Eq 3 stepping is sequential by construction), though the
             visibility tables still batch.
+        noise: optional stochastic perception
+            (:class:`~repro.perception.noise.PerceptionNoise`) injected
+            into the sampled trace: undetected actors place no latency
+            demand and join no camera grouping at that tick, and
+            position noise perturbs the perceived states. Counter-keyed
+            draws keep every backend bit-identical under noise too.
     """
 
     params: ZhuyiParams = field(default_factory=ZhuyiParams)
@@ -237,6 +291,7 @@ class OfflineEvaluator:
     road: Road | None = None
     stride: float = 0.05
     backend: str = "batched"
+    noise: PerceptionNoise | None = None
 
     def __post_init__(self) -> None:
         if self.stride <= 0.0:
@@ -270,8 +325,9 @@ class OfflineEvaluator:
                 defaults to one frame period of the trace's recorded
                 FPR setting.
             samples: pre-built :func:`presample_trace` output to reuse
-                (the cross-variant cache); its stride must match the
-                evaluator's. Omitted, the trace is sampled here.
+                (the cross-variant cache); its stride and noise setting
+                must match the evaluator's. Omitted, the trace is
+                sampled here.
 
         Returns:
             The per-camera FPR series over the trace.
@@ -280,11 +336,16 @@ class OfflineEvaluator:
             l0 = trace.default_l0()
 
         if samples is None:
-            samples = presample_trace(trace, self.stride)
+            samples = presample_trace(trace, self.stride, noise=self.noise)
         elif abs(samples.stride - self.stride) > 1e-12:
             raise EstimationError(
                 f"presampled stride {samples.stride} does not match "
                 f"evaluator stride {self.stride}"
+            )
+        elif samples.noise != effective_noise(self.noise):
+            raise EstimationError(
+                f"presampled noise {samples.noise} does not match "
+                f"evaluator noise {self.noise}"
             )
 
         assessor = ThreatAssessor(params=self.params, road=self.road)
@@ -306,6 +367,15 @@ class OfflineEvaluator:
             )
             for actor_id, trajectory in actor_trajectories.items()
         }
+
+        # Injected misses gate exactly like geometric impossibility: an
+        # undetected actor places no latency demand at that tick. One
+        # AND here covers both the per-tick loop and the trace kernel.
+        if samples.detected is not None:
+            gate_tables = {
+                actor_id: table & samples.detected[actor_id]
+                for actor_id, table in gate_tables.items()
+            }
 
         # The batched backend solves the whole actors x latency-grid x
         # ticks problem through the trace-level kernel; per-tick latency
@@ -335,7 +405,7 @@ class OfflineEvaluator:
                     for actor_id, states in actor_states.items()
                 }
             visibility_tables = self.rig.visible_actors_trace(
-                ego_states, positions
+                ego_states, positions, detected=samples.detected
             )
 
         ticks = [
@@ -353,6 +423,14 @@ class OfflineEvaluator:
                 ),
                 visibility=(
                     None if visibility_tables is None else visibility_tables[i]
+                ),
+                detected=(
+                    None
+                    if samples.detected is None
+                    else {
+                        actor_id: bool(mask[i])
+                        for actor_id, mask in samples.detected.items()
+                    }
                 ),
             )
             for i in range(len(times))
@@ -407,11 +485,20 @@ class OfflineEvaluator:
                 self.evaluate(trace, l0=l0, samples=trace_samples)
                 for trace, trace_samples, l0 in zip(traces, samples, l0s)
             ]
+        for trace_samples in samples:
+            if (
+                trace_samples is not None
+                and trace_samples.noise != effective_noise(self.noise)
+            ):
+                raise EstimationError(
+                    f"presampled noise {trace_samples.noise} does not "
+                    f"match evaluator noise {self.noise}"
+                )
         jobs = [
             TraceJob(
                 trace=trace,
                 samples=(
-                    presample_trace(trace, self.stride)
+                    presample_trace(trace, self.stride, noise=self.noise)
                     if trace_samples is None
                     else trace_samples
                 ),
@@ -525,10 +612,14 @@ class OfflineEvaluator:
         l0: float,
         precomputed: dict[str, float | None] | None = None,
         visibility: Mapping[str, Sequence] | None = None,
+        detected: Mapping[str, bool] | None = None,
     ) -> EvaluationTick:
+        # An undetected actor is invisible to perception this tick: it
+        # joins no camera grouping (its gate is already off upstream).
         actor_positions = {
             actor_id: actor_states_now[actor_id].position
             for actor_id in actor_trajectories
+            if detected is None or detected[actor_id]
         }
         if precomputed is not None:
             actor_latencies = precomputed
@@ -637,7 +728,10 @@ def evaluate_trace_block(
     path for that variant group.
 
     Args:
-        jobs: the traces, presampled at ``stride``.
+        jobs: the traces, presampled at ``stride``. Noise-injected
+            samples travel self-contained — their detection masks AND
+            into the gates and visibility groupings here exactly as
+            :meth:`OfflineEvaluator.evaluate` applies them.
         variants: the parameter variants to evaluate each trace under.
         stride: evaluation period (must match every job's samples).
         rig: camera rig (the paper's five-camera default when omitted).
@@ -675,7 +769,8 @@ def evaluate_trace_block(
         [
             (job.samples.ego_states, job_positions)
             for job, job_positions in zip(jobs, positions)
-        ]
+        ],
+        detected=[job.samples.detected for job in jobs],
     )
 
     output: list[list[EvaluationSeries | None]] = [
@@ -710,6 +805,7 @@ def evaluate_trace_block(
                         road=job.road,
                         stride=stride,
                         backend="batched",
+                        noise=job.samples.noise,
                     )
                     output[j][v] = fallback.evaluate(
                         job.trace, l0=job.l0, samples=job.samples
@@ -764,6 +860,10 @@ def evaluate_trace_block(
                         samples.times,
                         ego_rows=ego_rows,
                     )
+                    if samples.detected is not None:
+                        # Injected misses gate like geometric
+                        # impossibility (same AND evaluate() applies).
+                        gate = gate & samples.detected[actor_id]
                     gated = np.flatnonzero(gate)
                     if gated.size == 0:
                         continue

@@ -36,6 +36,7 @@ from repro.core.parameters import ZhuyiParams
 from repro.core.threat import LongitudinalThreat, ThreatAssessor
 from repro.dynamics.state import VehicleSpec, VehicleState
 from repro.errors import EstimationError
+from repro.perception.noise import PerceptionNoise
 from repro.perception.sensor import CameraRig, default_rig
 from repro.perception.world_model import PerceivedActor, WorldModel
 from repro.prediction.base import (
@@ -90,6 +91,13 @@ class OnlineEstimator:
             every predicted future of every confirmed actor — in one
             :class:`repro.core.engine.LatencyEngine` call; ``"scalar"``
             loops the reference search. Bit-identical estimates.
+        noise: optional stochastic perception injected into
+            :meth:`replay` (undetected ticks drop the actor from the
+            replayed world model; position noise perturbs the perceived
+            states the predictor sees). Counter-keyed draws keep the
+            scalar and batched replays bit-identical under noise, from
+            any resume tick. Live :meth:`estimate` calls read a real
+            world model and never consult this field.
     """
 
     params: ZhuyiParams
@@ -101,6 +109,7 @@ class OnlineEstimator:
     gap_margin: float = 0.0
     assumed_actor_spec: VehicleSpec = field(default_factory=VehicleSpec)
     backend: str = "batched"
+    noise: PerceptionNoise | None = None
 
     def __post_init__(self) -> None:
         if self.gap_margin < 0.0:
@@ -220,11 +229,13 @@ class OnlineEstimator:
 
         The trace-level counterpart of calling :meth:`estimate` in a
         loop: the recorded ground truth stands in for a perfect
-        perception stack (every actor confirmed, zero staleness — the
-        replay isolates the *estimation* layer from detection noise, the
-        trace-level fault-injection style of Antonante et al. 2023), the
+        perception stack (every actor confirmed, zero staleness), the
         predictor supplies each actor's future set at every tick, and
-        Equations 4-5 aggregate exactly as they do live.
+        Equations 4-5 aggregate exactly as they do live. An estimator
+        built with ``noise`` replays an *imperfect* stack instead — the
+        trace-level fault-injection style of Antonante et al. 2023:
+        undetected actors vanish from the replayed world model for that
+        tick and perceived positions carry the counter-keyed jitter.
 
         With ``backend="batched"`` the whole replay is one array
         program: the predictor's batch protocol (``predict_trace``)
@@ -255,17 +266,20 @@ class OnlineEstimator:
         if l0 is None:
             l0 = trace.default_l0()
         # The offline evaluator's presampler supplies the tick grid and
-        # the per-tick states/positions, so replay ticks land on exactly
-        # the grid an OfflineEvaluator with stride=period evaluates.
-        samples = presample_trace(trace, period)
+        # the per-tick states/positions (noise-injected when the
+        # estimator carries a noise model), so replay ticks land on
+        # exactly the grid an OfflineEvaluator with stride=period
+        # evaluates — and draw the exact same injected perception.
+        samples = presample_trace(trace, period, noise=self.noise)
         times = samples.times
         ego_states = samples.ego_states
         actor_states = samples.actor_states
+        detected = samples.detected
 
         visibility_tables = None
         if self.backend == "batched":
             visibility_tables = self.rig.visible_actors_trace(
-                ego_states, samples.actor_positions
+                ego_states, samples.actor_positions, detected=detected
             )
 
         # The trace-level array program. (The no-road + lateral-gating
@@ -290,6 +304,10 @@ class OnlineEstimator:
             now = float(times[i])
             world = WorldModel()
             for actor_id, states in actor_states.items():
+                if detected is not None and not detected[actor_id][i]:
+                    # An injected miss: the actor never reached the
+                    # replayed world model this tick.
+                    continue
                 state = states[i]
                 world.upsert(
                     PerceivedActor(
@@ -437,11 +455,20 @@ class OnlineEstimator:
             row_slots.clear()
             pending_elements = 0
 
-        per_actor: list[tuple[str, list[tuple[TraceHypothesis, np.ndarray, np.ndarray]]]] = []
+        detected = samples.detected
+        per_actor: list[tuple[str, list[tuple[TraceHypothesis, np.ndarray, np.ndarray, np.ndarray]]]] = []
         for actor_id, hypotheses in hypotheses_by_actor.items():
             per_hypothesis = []
             for hypothesis in hypotheses:
-                active = np.flatnonzero(hypothesis.active)
+                # Injected misses drop the actor from the replayed
+                # world model for the tick: its hypotheses go inactive
+                # there, exactly as the scalar loop's skipped upsert
+                # leaves nothing to predict (rollouts are per-tick
+                # pure, so masking after the fact is equivalent).
+                active_mask = np.asarray(hypothesis.active, dtype=bool)
+                if detected is not None:
+                    active_mask = active_mask & detected[actor_id]
+                active = np.flatnonzero(active_mask)
                 threat_mask = np.zeros(n_ticks, dtype=bool)
                 # Gated-out futures contribute the most permissive
                 # latency; solved rows overwrite their slots below.
@@ -475,7 +502,9 @@ class OnlineEstimator:
                         pending_elements += gaps.size
                         if pending_elements >= row_element_budget:
                             flush_rows()
-                per_hypothesis.append((hypothesis, threat_mask, latencies))
+                per_hypothesis.append(
+                    (hypothesis, active_mask, threat_mask, latencies)
+                )
             per_actor.append((actor_id, per_hypothesis))
 
         # 4: every remaining (tick, actor, hypothesis) row through one
@@ -492,16 +521,16 @@ class OnlineEstimator:
                 # at any tick): not a threat, like the scalar loop.
                 continue
             latencies = np.stack(
-                [values for _, _, values in per_hypothesis], axis=1
+                [values for _, _, _, values in per_hypothesis], axis=1
             )
             probabilities = np.stack(
-                [h.probabilities for h, _, _ in per_hypothesis], axis=1
+                [h.probabilities for h, _, _, _ in per_hypothesis], axis=1
             )
             active = np.stack(
-                [h.active for h, _, _ in per_hypothesis], axis=1
+                [mask for _, mask, _, _ in per_hypothesis], axis=1
             )
             threat = np.stack(
-                [mask for _, mask, _ in per_hypothesis], axis=1
+                [mask for _, _, mask, _ in per_hypothesis], axis=1
             )
             rows = np.flatnonzero(threat.any(axis=1))
             if rows.size == 0:

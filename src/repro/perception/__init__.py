@@ -16,6 +16,7 @@ from repro.perception.sensor import (
     default_rig,
 )
 from repro.perception.detection import Detection, DetectionModel
+from repro.perception.noise import PerceptionNoise
 from repro.perception.tracker import ConfirmationTracker, Track
 from repro.perception.world_model import PerceivedActor, WorldModel
 from repro.perception.pipeline import PerceptionSystem
@@ -27,6 +28,7 @@ __all__ = [
     "ANALYZED_CAMERAS",
     "Detection",
     "DetectionModel",
+    "PerceptionNoise",
     "Track",
     "ConfirmationTracker",
     "PerceivedActor",

@@ -12,11 +12,15 @@ same :meth:`repro.geometry.fov.AngularSector.contains_local_batch` kernel
 the trace-level visibility tables use, and the occlusion test solves the
 slab intersection against every potential blocker at once
 (:func:`occlusion_mask`). The random stages (miss sampling, position
-noise) stay in the per-actor loop, keeping the RNG consumption order a
-pure function of the geometric verdicts. (Distances here use the
-kernels' sqrt-of-squares form; traces recorded before the array-program
-refactor could differ in last-ulp FOV/clearance boundary cases, where
-``math.hypot`` rounded differently.)
+noise) draw through the counter-based generator of
+:mod:`repro.core.rng`: every draw is a pure function of ``(seed, stream,
+camera, capture time, actor id)``, so a frame's verdicts do not depend
+on how many frames any camera captured before it — the whole frame's
+draws compute as one vectorized call, and re-simulating from any point
+of a run reproduces them bit for bit. (Traces recorded before this
+counter-keyed scheme consumed a stateful ``np.random.Generator`` in
+iteration order and drew different streams; see docs/TESTING.md's RNG
+determinism contract for the deliberate break.)
 """
 
 from __future__ import annotations
@@ -27,6 +31,15 @@ from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.rng import (
+    STREAM_MISS,
+    STREAM_NOISE_X,
+    STREAM_NOISE_Y,
+    counter_normal,
+    counter_uniform,
+    stable_key,
+    time_key,
+)
 from repro.dynamics.state import VehicleSpec, VehicleState
 from repro.errors import ConfigurationError
 from repro.geometry.boxes import PARALLEL_EPS
@@ -168,10 +181,15 @@ class DetectionModel:
         ego_state: VehicleState,
         time: float,
         actors: Mapping[Hashable, tuple[VehicleState, VehicleSpec]],
-        rng: np.random.Generator,
+        seed: int,
         in_fov: np.ndarray | None = None,
     ) -> list[Detection]:
         """Detections produced by one camera frame captured at ``time``.
+
+        Miss sampling and position noise are counter-keyed on
+        ``(seed, stream, camera name, time, actor id)`` — order-free:
+        the frame draws the same values no matter which cameras fired
+        before it or where along a run the simulation (re)started.
 
         ``in_fov`` optionally supplies the camera's FOV membership for
         this frame, aligned with ``actors`` iteration order — callers
@@ -203,24 +221,50 @@ class DetectionModel:
             for (index, _), hit in zip(target_rows, blocked):
                 occluded[index] = hit
 
+        keep = np.flatnonzero(np.asarray(in_fov, dtype=bool) & ~occluded)
+        if keep.size == 0:
+            return []
+
+        # One vectorized draw batch per frame, keyed per actor — the
+        # values are independent of the candidate set, so geometric
+        # pre-filtering cannot shift any survivor's draws.
+        camera_word = stable_key(camera.name)
+        time_word = time_key(time)
+        if self.miss_rate > 0.0 or self.position_noise > 0.0:
+            actor_words = np.array(
+                [stable_key(ids[int(index)]) for index in keep],
+                dtype=np.uint64,
+            )
+        if self.miss_rate > 0.0:
+            missed = (
+                counter_uniform(
+                    seed, STREAM_MISS, camera_word, time_word, actor_words
+                )
+                < self.miss_rate
+            )
+        else:
+            missed = np.zeros(keep.size, dtype=bool)
+        if self.position_noise > 0.0:
+            noise_x = self.position_noise * counter_normal(
+                seed, STREAM_NOISE_X, camera_word, time_word, actor_words
+            )
+            noise_y = self.position_noise * counter_normal(
+                seed, STREAM_NOISE_Y, camera_word, time_word, actor_words
+            )
+
         detections: list[Detection] = []
-        for index, actor_id in enumerate(ids):
-            if not in_fov[index] or occluded[index]:
+        for row, index in enumerate(keep):
+            if missed[row]:
                 continue
             state = states[index]
-            if self.miss_rate > 0.0 and rng.random() < self.miss_rate:
-                continue
             noise = (
-                Vec2(
-                    rng.normal(0.0, self.position_noise),
-                    rng.normal(0.0, self.position_noise),
-                )
+                Vec2(float(noise_x[row]), float(noise_y[row]))
                 if self.position_noise > 0.0
                 else Vec2(0.0, 0.0)
             )
             detections.append(
                 Detection(
-                    actor_id=actor_id,
+                    actor_id=ids[int(index)],
                     camera=camera.name,
                     time=time,
                     position=state.position + noise,

@@ -1,0 +1,143 @@
+"""Trace-level stochastic perception injection.
+
+The whole-trace engines (offline evaluation, online replay, the
+cross-trace campaign kernels) consume *recorded* ground truth — there is
+no frame pipeline to miss a detection or jitter a position. This module
+injects those failure modes at the trace level, in the fault-injection
+style of perception-monitoring work (Antonante et al.): per evaluation
+tick and actor, one fused detected/missed verdict and one position
+perturbation, drawn through the counter-based generator of
+:mod:`repro.core.rng`.
+
+Because every draw is keyed on ``(seed, stream, tick time, actor id)``
+— the time by its float64 bit pattern — the injected noise is a pure
+function of the trace grid: scalar per-tick loops, whole-trace batch
+programs, cross-trace super-cells, campaign shards and replays resumed
+from any tick all see bit-identical detections. The channel is *fused*
+(one verdict per actor per tick, no per-camera key): the trace-level
+world model carries one perceived state per actor, the product the
+camera pipeline's tracker would have fused anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.rng import (
+    STREAM_MISS,
+    STREAM_NOISE_X,
+    STREAM_NOISE_Y,
+    counter_normal,
+    counter_uniform,
+    derive_seed,
+    stable_key,
+    time_key,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PerceptionNoise:
+    """Counter-seeded stochastic perception for trace-level evaluation.
+
+    Attributes:
+        miss_rate: probability that an actor goes undetected at a tick
+            (the tick then contributes neither a threat nor a visible
+            actor, as if perception never saw it).
+        position_noise: standard deviation of the perceived position
+            jitter (metres, isotropic), applied to the actor states the
+            evaluators and predictors consume.
+        seed: root seed of the draw keys. Two equal
+            :class:`PerceptionNoise` values always inject identical
+            noise; :meth:`for_cell` derives decorrelated per-cell seeds
+            for campaign grids.
+    """
+
+    miss_rate: float = 0.0
+    position_noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.position_noise < 0.0:
+            raise ConfigurationError("position noise must be non-negative")
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ConfigurationError(
+                f"miss rate must be in [0, 1), got {self.miss_rate}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration perturbs anything at all."""
+        return self.miss_rate > 0.0 or self.position_noise > 0.0
+
+    def for_cell(self, scenario: str, seed: int, fpr: float) -> "PerceptionNoise":
+        """The same noise model re-seeded for one campaign cell.
+
+        The child seed is a pure hash of the root seed and the cell
+        coordinates, so cells never share draws while any shard
+        partition, worker count or execution order reproduces the same
+        per-cell streams.
+        """
+        return replace(
+            self,
+            seed=derive_seed(
+                self.seed, stable_key(scenario), int(seed), time_key(fpr)
+            ),
+        )
+
+    def sample_actor(
+        self, actor_id: object, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw one actor's injection over a tick grid.
+
+        Args:
+            actor_id: the actor's id (any :func:`repro.core.rng.stable_key`
+                compatible value).
+            times: tick timestamps (seconds); draws key on their float64
+                bit patterns, so any subset of a grid draws the subset
+                of the grid's values.
+
+        Returns:
+            ``(detected, dx, dy)`` arrays aligned with ``times``:
+            detection mask and position perturbation components
+            (already scaled by ``position_noise``).
+        """
+        actor_word = stable_key(actor_id)
+        time_words = time_key(np.asarray(times, dtype=np.float64))
+        if self.miss_rate > 0.0:
+            detected = (
+                counter_uniform(self.seed, STREAM_MISS, time_words, actor_word)
+                >= self.miss_rate
+            )
+        else:
+            detected = np.ones(np.shape(times), dtype=bool)
+        if self.position_noise > 0.0:
+            dx = self.position_noise * counter_normal(
+                self.seed, STREAM_NOISE_X, time_words, actor_word
+            )
+            dy = self.position_noise * counter_normal(
+                self.seed, STREAM_NOISE_Y, time_words, actor_word
+            )
+        else:
+            dx = np.zeros(np.shape(times))
+            dy = np.zeros(np.shape(times))
+        return detected, dx, dy
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (campaign JSONL headers)."""
+        return {
+            "miss_rate": self.miss_rate,
+            "position_noise": self.position_noise,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerceptionNoise":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            miss_rate=float(data["miss_rate"]),
+            position_noise=float(data["position_noise"]),
+            seed=int(data["seed"]),
+        )

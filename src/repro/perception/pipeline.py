@@ -50,7 +50,11 @@ class PerceptionSystem:
         confirmation_hits: the tracker's ``K``.
         latency_factor: processing latency as a multiple of the frame
             period (1.0 reproduces the paper's ``l0 = 1/FPR``).
-        seed: RNG seed for detection noise.
+        seed: root seed for detection noise. Draws are counter-keyed
+            (:mod:`repro.core.rng`) on ``(seed, camera, capture time,
+            actor)`` — no generator state lives here, so equal inputs
+            always draw equal noise; :meth:`reset` restores the
+            scheduling/tracking state for a bit-identical re-run.
     """
 
     def __init__(
@@ -74,7 +78,9 @@ class PerceptionSystem:
         )
         self.world_model = WorldModel()
         self._latency_factor = latency_factor
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self._confirmation_hits = confirmation_hits
+        self._max_misses = max_misses
         self._fpr: dict[str, float] = {}
         self._next_capture: dict[str, float] = {}
         self._frames_captured: dict[str, int] = {
@@ -92,6 +98,7 @@ class PerceptionSystem:
         for name, rate in rates.items():
             self.set_fpr(name, rate)
             self._next_capture[name] = 0.0
+        self._initial_fpr = dict(self._fpr)
 
     # ------------------------------------------------------------------
     # configuration
@@ -125,6 +132,28 @@ class PerceptionSystem:
     def _check_camera(self, camera: str) -> None:
         if camera not in self.rig:
             raise ConfigurationError(f"unknown camera {camera!r}")
+
+    def reset(self) -> None:
+        """Return the pipeline to its just-constructed state.
+
+        Clears the capture schedule, pending frames, tracker and world
+        model, and restores the construction-time camera rates. Because
+        detection draws are counter-keyed on the capture times rather
+        than consumed from a stateful generator, a reset pipeline
+        stepped through the same inputs reproduces every detection bit
+        for bit — the regression the old ``self._rng`` design could not
+        satisfy (its draw stream carried across runs).
+        """
+        self.tracker = ConfirmationTracker(
+            confirmation_hits=self._confirmation_hits,
+            max_misses=self._max_misses,
+        )
+        self.world_model = WorldModel()
+        self._fpr = dict(self._initial_fpr)
+        self._next_capture = {name: 0.0 for name in self._fpr}
+        self._frames_captured = {name: 0 for name in self.rig.names}
+        self._pending = []
+        self._sequence = itertools.count()
 
     # ------------------------------------------------------------------
     # simulation hook
@@ -185,7 +214,7 @@ class PerceptionSystem:
             # does not recompute the same geometry.
             detections = tuple(
                 self.detection_model.detect(
-                    frame_camera, ego_state, now, actors, self._rng,
+                    frame_camera, ego_state, now, actors, self.seed,
                     in_fov=in_fov,
                 )
             )

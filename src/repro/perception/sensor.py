@@ -224,6 +224,7 @@ class CameraRig:
         self,
         ego_states: Sequence[VehicleState],
         actor_positions: Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
+        detected: Mapping[Hashable, np.ndarray] | None = None,
     ) -> list[dict[str, list[Hashable]]]:
         """Batched :meth:`visible_actors` over every tick of a trace.
 
@@ -231,11 +232,14 @@ class CameraRig:
         ...}) for i in ticks]`` — identical groupings, identical ordering
         (camera lists carry actors in the mapping's iteration order) —
         computed through the :meth:`visibility_trace` array kernel
-        instead of a per-tick Python loop.
+        instead of a per-tick Python loop. An optional ``detected``
+        mask (per actor, one bool per tick) drops undetected actors
+        from the groupings, exactly as if they had been removed from
+        that tick's ``actor_positions`` mapping.
         """
         ids = list(actor_positions)
         tables = self.visibility_trace(ego_states, actor_positions)
-        return self._group_tables(ids, len(ego_states), tables)
+        return self._group_tables(ids, len(ego_states), tables, detected)
 
     def visible_actors_traces(
         self,
@@ -245,20 +249,24 @@ class CameraRig:
                 Mapping[Hashable, tuple[np.ndarray, np.ndarray]],
             ]
         ],
+        detected: Sequence[Mapping[Hashable, np.ndarray] | None] | None = None,
     ) -> list[list[dict[str, list[Hashable]]]]:
         """:meth:`visible_actors_trace` for a stack of traces at once.
 
         One :meth:`visibility_traces` pass, then each block's tables
         unpack into the per-tick grouping dicts — groupings identical
-        to running :meth:`visible_actors_trace` per block.
+        to running :meth:`visible_actors_trace` per block, including
+        its optional per-block ``detected`` masking.
         """
         all_tables = self.visibility_traces(blocks)
+        if detected is None:
+            detected = [None] * len(blocks)
         return [
             self._group_tables(
-                list(actor_positions), len(ego_states), tables
+                list(actor_positions), len(ego_states), tables, block_detected
             )
-            for (ego_states, actor_positions), tables in zip(
-                blocks, all_tables
+            for (ego_states, actor_positions), tables, block_detected in zip(
+                blocks, all_tables, detected
             )
         ]
 
@@ -267,8 +275,20 @@ class CameraRig:
         ids: list[Hashable],
         tick_count: int,
         tables: Mapping[str, np.ndarray],
+        detected: Mapping[Hashable, np.ndarray] | None = None,
     ) -> list[dict[str, list[Hashable]]]:
         """Bit tables to per-tick camera groupings (mapping order kept)."""
+        if detected is not None and ids:
+            # Detection masks AND into every camera's column — an
+            # undetected actor is indistinguishable from one outside
+            # the FOV for the Equation 5 grouping.
+            mask = np.stack(
+                [np.asarray(detected[actor_id], dtype=bool) for actor_id in ids],
+                axis=1,
+            )
+            tables = {
+                name: table & mask for name, table in tables.items()
+            }
         return [
             {
                 camera.name: [

@@ -141,7 +141,10 @@ class BuiltScenario:
             detection_model=detection,
             fpr=fpr,
             confirmation_hits=confirmation_hits,
-            seed=self.seed + 7_919,  # decorrelate noise from choreography
+            # Decorrelate detection noise from the choreography jitter:
+            # the offset keeps the counter-keyed perception draws on a
+            # different root seed than build_actors' generator.
+            seed=self.seed + 7_919,
         )
         planner = Planner(
             config=PlannerConfig(

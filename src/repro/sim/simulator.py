@@ -6,6 +6,13 @@ from the perceived world model, the ego integrates one bicycle step,
 scripted actors advance their choreography, and collisions are checked.
 Hooks (e.g. the Zhuyi-based online safety system) run after perception
 so they can both read the world model and retune camera rates.
+
+Stochastic perception (miss sampling, position noise) draws through the
+counter-based generator of :mod:`repro.core.rng`, keyed on the frame's
+capture time rather than consumed from a stateful stream — so a run is a
+pure function of its inputs, two simulators built alike agree bit for
+bit, and re-simulating from any recorded instant reproduces the draws
+the original run made from that instant on.
 """
 
 from __future__ import annotations

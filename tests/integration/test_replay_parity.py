@@ -22,6 +22,7 @@ from repro.core.aggregation import (
 )
 from repro.core.online import OnlineEstimator
 from repro.core.parameters import ZhuyiParams
+from repro.perception.noise import PerceptionNoise
 from repro.prediction.base import PredictedTrajectory
 from repro.prediction.constant_accel import ConstantAccelerationPredictor
 from repro.prediction.maneuver import ManeuverPredictor
@@ -234,3 +235,55 @@ class TestReplayConfigurations:
         times = np.array([tick.time for tick in series.ticks])
         start = trace.steps[0].time
         assert np.array_equal(times, start + 0.25 * np.arange(times.size))
+
+
+@pytest.mark.slow
+class TestNoisyReplayParity:
+    """Stochastic perception rides the same exact-equality contract.
+
+    With counter-based draws (keyed on timestamp bits and actor id, see
+    ``repro/core/rng.py``) the scalar loop and the batched array program
+    sample identical misses and position perturbations, so noisy replay
+    parity is *equality*, not statistics.
+    """
+
+    NOISE = PerceptionNoise(miss_rate=0.15, position_noise=0.3, seed=42)
+
+    def test_noisy_scalar_batched_identical(self):
+        scenario, trace = build_trace("cut_in", seed=1)
+        series = replay_both(scenario, trace, noise=self.NOISE)
+        assert_series_identical(series["scalar"], series["batched"])
+
+    def test_noisy_dense_variant_identical(self):
+        density_sweep()
+        scenario, trace = build_trace("cut_in_dense4")
+        series = replay_both(scenario, trace, noise=self.NOISE)
+        assert_series_identical(series["scalar"], series["batched"])
+        per_tick = [len(t.actor_latencies) for t in series["batched"].ticks]
+        assert max(per_tick) >= 3
+
+    def test_miss_only_and_noise_only_channels(self):
+        scenario, trace = build_trace("cut_out")
+        for noise in (
+            PerceptionNoise(miss_rate=0.3, seed=7),
+            PerceptionNoise(position_noise=0.5, seed=7),
+        ):
+            series = replay_both(scenario, trace, period=0.5, noise=noise)
+            assert_series_identical(series["scalar"], series["batched"])
+
+    def test_noise_actually_perturbs(self):
+        # Guard against a silently disabled noise path: strong miss
+        # sampling must change what the estimator sees somewhere.
+        scenario, trace = build_trace("cut_in")
+        clean = maneuver_estimator(scenario, "batched").replay(
+            trace, period=0.25
+        )
+        noisy = maneuver_estimator(
+            scenario,
+            "batched",
+            noise=PerceptionNoise(miss_rate=0.4, position_noise=0.75, seed=7),
+        ).replay(trace, period=0.25)
+        assert any(
+            dict(a.actor_latencies) != dict(b.actor_latencies)
+            for a, b in zip(clean.ticks, noisy.ticks)
+        )

@@ -1,6 +1,5 @@
 """Per-frame detection: FOV, occlusion, noise, misses."""
 
-import numpy as np
 import pytest
 
 from repro.dynamics.state import VehicleSpec, VehicleState
@@ -19,50 +18,96 @@ def rig():
     return default_rig()
 
 
-@pytest.fixture
-def rng():
-    return np.random.default_rng(0)
-
-
 SPEC = VehicleSpec()
 
 
 class TestBasicDetection:
-    def test_detects_actor_in_fov(self, rig, rng):
+    def test_detects_actor_in_fov(self, rig):
         model = DetectionModel(position_noise=0.0)
         detections = model.detect(
             rig["front_120"], vstate(0), 1.0,
-            {"a": (vstate(50), SPEC)}, rng,
+            {"a": (vstate(50), SPEC)}, seed=0,
         )
         assert [d.actor_id for d in detections] == ["a"]
         assert detections[0].time == 1.0
         assert detections[0].position == Vec2(50, 0)
 
-    def test_ignores_actor_outside_fov(self, rig, rng):
+    def test_ignores_actor_outside_fov(self, rig):
         model = DetectionModel()
         detections = model.detect(
             rig["front_120"], vstate(0), 0.0,
-            {"behind": (vstate(-50), SPEC)}, rng,
+            {"behind": (vstate(-50), SPEC)}, seed=0,
         )
         assert detections == []
 
     def test_noise_perturbs_position(self, rig):
         model = DetectionModel(position_noise=0.5)
-        rng = np.random.default_rng(7)
         detections = model.detect(
             rig["front_120"], vstate(0), 0.0,
-            {"a": (vstate(50), SPEC)}, rng,
+            {"a": (vstate(50), SPEC)}, seed=7,
         )
         assert detections[0].position != Vec2(50, 0)
         assert detections[0].position.distance_to(Vec2(50, 0)) < 3.0
 
-    def test_carries_true_kinematics(self, rig, rng):
+    def test_noise_varies_over_time_and_actors(self, rig):
+        model = DetectionModel(position_noise=0.5)
+        at = lambda t: model.detect(  # noqa: E731 - tiny local helper
+            rig["front_120"], vstate(0), t,
+            {"a": (vstate(50), SPEC), "b": (vstate(40, 3.0), SPEC)}, seed=7,
+        )
+        first, second = at(0.0), at(0.1)
+        assert first[0].position != first[1].position - Vec2(-10.0, 3.0)
+        assert first[0].position != second[0].position
+
+    def test_carries_true_kinematics(self, rig):
         model = DetectionModel(position_noise=0.0)
         detections = model.detect(
             rig["front_120"], vstate(0), 0.0,
-            {"a": (vstate(50, speed=17.5), SPEC)}, rng,
+            {"a": (vstate(50, speed=17.5), SPEC)}, seed=0,
         )
         assert detections[0].true_speed == 17.5
+
+
+class TestCounterKeyedDraws:
+    """The order-independence contract of the detection draws."""
+
+    def test_repeat_call_is_bit_identical(self, rig):
+        model = DetectionModel(position_noise=0.5, miss_rate=0.3)
+        args = (
+            rig["front_120"], vstate(0), 1.5,
+            {"a": (vstate(50), SPEC), "b": (vstate(40, 3.0), SPEC)},
+        )
+        first = model.detect(*args, seed=11)
+        second = model.detect(*args, seed=11)
+        assert first == second
+
+    def test_draws_independent_of_candidate_set(self, rig):
+        # Removing one actor must not shift another actor's draws — the
+        # stateful-generator failure mode this scheme eliminates.
+        model = DetectionModel(position_noise=0.5)
+        both = model.detect(
+            rig["front_120"], vstate(0), 1.5,
+            {"a": (vstate(50), SPEC), "b": (vstate(40, 3.0), SPEC)}, seed=3,
+        )
+        alone = model.detect(
+            rig["front_120"], vstate(0), 1.5,
+            {"b": (vstate(40, 3.0), SPEC)}, seed=3,
+        )
+        b_in_both = next(d for d in both if d.actor_id == "b")
+        assert alone == [b_in_both]
+
+    def test_seed_and_camera_separate_streams(self, rig):
+        model = DetectionModel(position_noise=0.5)
+        actors = {"a": (vstate(30), SPEC)}
+        base = model.detect(rig["front_120"], vstate(0), 0.5, actors, seed=0)
+        other_seed = model.detect(
+            rig["front_120"], vstate(0), 0.5, actors, seed=1
+        )
+        other_camera = model.detect(
+            rig["front_60"], vstate(0), 0.5, actors, seed=0
+        )
+        assert base[0].position != other_seed[0].position
+        assert base[0].position != other_camera[0].position
 
 
 class TestMissRate:
@@ -72,20 +117,21 @@ class TestMissRate:
 
     def test_high_miss_rate_drops_frames(self, rig):
         model = DetectionModel(miss_rate=0.9)
-        rng = np.random.default_rng(3)
         hits = 0
-        for _ in range(200):
+        # Distinct capture times draw independently (one frozen instant
+        # would repeat the same verdict 200 times).
+        for frame in range(200):
             hits += len(
                 model.detect(
-                    rig["front_120"], vstate(0), 0.0,
-                    {"a": (vstate(50), SPEC)}, rng,
+                    rig["front_120"], vstate(0), 0.01 * frame,
+                    {"a": (vstate(50), SPEC)}, seed=3,
                 )
             )
         assert 2 <= hits <= 50
 
 
 class TestOcclusion:
-    def test_blocked_by_vehicle_between(self, rig, rng):
+    def test_blocked_by_vehicle_between(self, rig):
         model = DetectionModel(position_noise=0.0, occlusion=True)
         actors = {
             "blocker": (vstate(25), SPEC),
@@ -93,11 +139,11 @@ class TestOcclusion:
         }
         ids = {
             d.actor_id
-            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, 0)
         }
         assert ids == {"blocker"}
 
-    def test_adjacent_lane_not_blocking(self, rig, rng):
+    def test_adjacent_lane_not_blocking(self, rig):
         model = DetectionModel(position_noise=0.0, occlusion=True)
         actors = {
             "beside": (vstate(25, 3.5), SPEC),
@@ -105,11 +151,11 @@ class TestOcclusion:
         }
         ids = {
             d.actor_id
-            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, 0)
         }
         assert ids == {"beside", "visible"}
 
-    def test_occlusion_off_sees_through(self, rig, rng):
+    def test_occlusion_off_sees_through(self, rig):
         model = DetectionModel(position_noise=0.0, occlusion=False)
         actors = {
             "blocker": (vstate(25), SPEC),
@@ -117,11 +163,11 @@ class TestOcclusion:
         }
         ids = {
             d.actor_id
-            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, 0)
         }
         assert ids == {"blocker", "hidden"}
 
-    def test_reveal_after_lateral_shift(self, rig, rng):
+    def test_reveal_after_lateral_shift(self, rig):
         # The cut-out mechanism: once the blocker moves ~a lane over, the
         # obstacle behind it becomes visible.
         model = DetectionModel(position_noise=0.0, occlusion=True)
@@ -131,7 +177,7 @@ class TestOcclusion:
         }
         ids = {
             d.actor_id
-            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, rng)
+            for d in model.detect(rig["front_120"], vstate(0), 0.0, actors, 0)
         }
         assert "obstacle" in ids
 
