@@ -1,0 +1,160 @@
+"""Cold vs warm trace-store campaign benchmark (and the CI parity smoke).
+
+Runs the same multi-actor campaign twice against one
+:class:`~repro.store.TraceStore` — cold (empty store: every cell
+simulates and records) and warm (every cell loads its memory-mapped
+bundle and skips the closed loop) — asserts the streamed JSONL files
+are byte-identical line for line (footer wall-clock aside) and records
+the measured wall-clock speedup under ``benchmarks/out/``.
+
+Target (1-core container): >= 2x asserted as the hard floor on the
+dense-traffic trio at ``workers=1``. Simulation dominates those cells
+— an 8-actor closed loop steps planners, dynamics and collision
+checks for every background vehicle at 20 Hz — while the warm path
+pays only road construction plus the (shared) evaluation, so the
+measured split is typically far above the floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py           # full
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke   # CI
+
+``--smoke`` runs a coarse-stride grid and only asserts cold/warm JSONL
+parity — it exists so store drift fails CI rather than benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Hard floor asserted on the full dense-trio campaign.
+STORE_FLOOR = 2.0
+
+FULL_SCENARIOS = (
+    "cut_in_dense8",
+    "cut_out_dense8",
+    "vehicle_following_dense8",
+)
+FULL_SEEDS = (0, 1)
+SMOKE_SCENARIOS = ("cut_in", "cut_out")
+SMOKE_SEEDS = (0,)
+
+
+def run_campaign(store_dir: Path, scenarios, seeds, stride: float):
+    """One timed campaign against the store; returns (elapsed, lines)."""
+    from repro.batch import Campaign, CampaignRunner
+    from repro.store import TraceStore
+
+    campaign = Campaign(
+        scenarios=scenarios, seeds=seeds, fprs=(30.0,), stride=stride
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "campaign.jsonl"
+        runner = CampaignRunner(workers=1, store=TraceStore(store_dir))
+        started = time.perf_counter()
+        result = runner.run(campaign, out=out)
+        elapsed = time.perf_counter() - started
+        lines = out.read_text().splitlines()
+    if result.failures():
+        raise RuntimeError(
+            "campaign runs failed: "
+            + "; ".join(s.error for s in result.failures())
+        )
+    return elapsed, lines
+
+
+def assert_jsonl_identical(cold: list[str], warm: list[str]) -> int:
+    """Byte-compare the two campaign files; returns the run-line count.
+
+    Only the footer's wall clock may differ; the header carries the
+    same grid in both runs and every run line must match exactly.
+    """
+    if len(cold) != len(warm):
+        raise AssertionError(
+            f"line counts diverged: {len(cold)} cold vs {len(warm)} warm"
+        )
+    for number, (line_c, line_w) in enumerate(zip(cold, warm)):
+        if json.loads(line_c).get("kind") == "completed":
+            continue
+        if line_c != line_w:
+            raise AssertionError(
+                f"line {number} diverged:\n  cold: {line_c}\n"
+                f"  warm: {line_w}"
+            )
+    return sum(1 for line in cold if '"kind": "run"' in line)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid, JSONL parity assert only (the CI job)",
+    )
+    parser.add_argument(
+        "--stride",
+        type=float,
+        default=None,
+        help="evaluation stride override (default: 0.05 full, 0.25 smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
+    seeds = SMOKE_SEEDS if args.smoke else FULL_SEEDS
+    stride = args.stride or (0.25 if args.smoke else 0.05)
+
+    with tempfile.TemporaryDirectory() as store_tmp:
+        store_dir = Path(store_tmp) / "store"
+        cold_s, cold_lines = run_campaign(
+            store_dir, scenarios, seeds, stride
+        )
+        warm_s, warm_lines = run_campaign(
+            store_dir, scenarios, seeds, stride
+        )
+    runs = assert_jsonl_identical(cold_lines, warm_lines)
+    speedup = cold_s / warm_s
+    print(
+        f"{len(scenarios)} scenarios x {len(seeds)} seeds "
+        f"({runs} runs, stride {stride:g}):  "
+        f"cold {cold_s:6.2f} s   warm {warm_s:6.2f} s   "
+        f"{speedup:5.2f}x   JSONL identical"
+    )
+
+    if args.smoke:
+        print(f"smoke: warm campaign JSONL byte-identical over {runs} runs")
+        return 0
+
+    report = {
+        "stride": stride,
+        "scenarios": list(scenarios),
+        "seeds": list(seeds),
+        "runs": runs,
+        "workers": 1,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+        "floor": STORE_FLOOR,
+        "parity": "identical",
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "store_speedup.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"warm-store speedup {speedup:.2f}x at workers=1 "
+        f"(floor >= {STORE_FLOOR:.1f}x); written to {out}"
+    )
+    assert speedup >= STORE_FLOOR, (
+        f"only {speedup:.2f}x (floor {STORE_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -468,6 +468,29 @@ class CampaignWriter:
         return writer
 
     @classmethod
+    def create_raw(
+        cls,
+        path: str | Path,
+        header: Mapping,
+        atomic: bool = False,
+    ) -> "CampaignWriter":
+        """Start a fresh file with a caller-supplied header line.
+
+        The generic face of :meth:`create`, for streams that follow the
+        same write protocol — header first, flushed record lines,
+        fsynced ``completed`` footer — but are not campaign summaries
+        (``repro replay`` uses it for its re-estimation rows).
+        ``atomic`` stages and renames exactly as in :meth:`create`.
+        """
+        final = Path(path)
+        target = (
+            final.with_name(final.name + ".tmp") if atomic else final
+        )
+        writer = cls(final, target.open("w"), target=target)
+        writer._emit(dict(header))
+        return writer
+
+    @classmethod
     def append_to(cls, path: str | Path) -> "CampaignWriter":
         """Continue a partial file (header already present) in place."""
         return cls(path, Path(path).open("a"))
@@ -475,6 +498,10 @@ class CampaignWriter:
     def write(self, summary: RunSummary) -> None:
         """Append one run line and flush it to disk."""
         self._emit({"kind": "run", **summary.to_dict()})
+
+    def write_row(self, record: Mapping) -> None:
+        """Append one caller-shaped record line and flush it to disk."""
+        self._emit(dict(record))
 
     def finish(self, workers: int, elapsed: float) -> None:
         """Append the ``completed`` footer — the campaign ran fully.

@@ -29,10 +29,14 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.batch.campaign import Campaign, RunSpec
+
+if TYPE_CHECKING:  # runtime never needs the class, only the object
+    from repro.store import TraceStore
 from repro.batch.results import CampaignResult, CampaignWriter, RunSummary
 from repro.core.evaluator import (
     OfflineEvaluator,
@@ -95,20 +99,35 @@ def _cell_contract_error(specs: Sequence[RunSpec]) -> str | None:
 
 def _simulate_cell(
     specs: Sequence[RunSpec],
+    store: "TraceStore | None" = None,
 ) -> tuple[list[RunSummary] | None, object, object]:
-    """Simulate one validated cell's closed-loop trace.
+    """Simulate (or load) one validated cell's closed-loop trace.
 
     Returns ``(early, built, trace)``: ``early`` carries the per-spec
     summaries when the cell ends before evaluation (simulation failure,
     or the paper's collided-run N/A convention), else ``None`` with the
     built scenario and clean trace to evaluate.
+
+    With a ``store``, the cell consults it before simulating — the
+    simulate-once path. A hit replaces ``built.run()`` (the dominant
+    cost; ``build_scenario`` still runs for the road geometry, which is
+    cheap and not recorded) with a memory-mapped column load whose
+    evaluation is byte-identical to the fresh trace's. A miss simulates
+    and records before returning, collisions included, so repeat
+    campaigns skip even the colliding cells.
     """
     from repro.scenarios.catalog import build_scenario
 
     cell = (specs[0].scenario, specs[0].seed, specs[0].fpr)
     try:
         built = build_scenario(cell[0], seed=cell[1])
-        trace = built.run(fpr=cell[2])
+        trace = None
+        if store is not None:
+            trace = store.get(store.key(*cell))
+        if trace is None:
+            trace = built.run(fpr=cell[2])
+            if store is not None:
+                store.put(store.key(*cell), trace)
     except Exception as exc:  # noqa: BLE001 - campaign-level failure capture
         error = f"{type(exc).__name__}: {exc}"
         return [_failure_summary(spec, error) for spec in specs], None, None
@@ -189,7 +208,24 @@ def _evaluate_cell(
     return summaries
 
 
-def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
+def _close_trace(trace: object) -> None:
+    """Release a store-backed trace's memmap handles, if it has any.
+
+    Fresh in-memory traces have no ``close``; column-backed ones
+    (:class:`repro.store.ColumnarTrace`) drop their column references
+    and close the bundle's file descriptors deterministically — what
+    keeps a long sharded campaign's open-FD count flat instead of
+    growing per warm cell.
+    """
+    close = getattr(trace, "close", None)
+    if close is not None:
+        close()
+
+
+def execute_cell(
+    specs: Sequence[RunSpec],
+    store: "TraceStore | None" = None,
+) -> list[RunSummary]:
     """Run one (scenario, seed, fpr) cell for every requested variant.
 
     The closed-loop simulation depends only on the cell coordinates —
@@ -198,11 +234,16 @@ def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
     its trace once, presamples the trajectories once (also
     param-independent) and evaluates per variant. With a single variant
     this is exactly the old one-run-one-simulation path; with N
-    variants it is the cross-variant trace cache.
+    variants it is the cross-variant trace cache. A ``store`` extends
+    the cache across campaigns: the cell loads its recorded trace when
+    present and records it otherwise (see :func:`_simulate_cell`), with
+    byte-identical summaries either way.
 
     Args:
         specs: the cell's runs — same scenario, seed, fpr and stride,
             one per variant, in grid order.
+        store: optional :class:`repro.store.TraceStore` to consult
+            before simulating and to record misses into.
 
     Returns:
         One summary per spec, in the given order. Never raises: a
@@ -216,13 +257,19 @@ def execute_cell(specs: Sequence[RunSpec]) -> list[RunSummary]:
     contract_error = _cell_contract_error(specs)
     if contract_error is not None:
         return [_failure_summary(spec, contract_error) for spec in specs]
-    early, built, trace = _simulate_cell(specs)
-    if early is not None:
-        return early
-    return _evaluate_cell(specs, built, trace)
+    early, built, trace = _simulate_cell(specs, store)
+    try:
+        if early is not None:
+            return early
+        return _evaluate_cell(specs, built, trace)
+    finally:
+        _close_trace(trace)
 
 
-def execute_supercell(cells: Sequence[Sequence[RunSpec]]) -> list[RunSummary]:
+def execute_supercell(
+    cells: Sequence[Sequence[RunSpec]],
+    store: "TraceStore | None" = None,
+) -> list[RunSummary]:
     """Run a block of cells through the cross-trace evaluation kernel.
 
     The ``"crosstrace"`` backend's unit of work: each cell still
@@ -252,21 +299,38 @@ def execute_supercell(cells: Sequence[Sequence[RunSpec]]) -> list[RunSummary]:
     """
     results: list[list[RunSummary]] = [[] for _ in cells]
     survivors: list[tuple[int, Sequence[RunSpec], object, object]] = []
-    for pos, specs in enumerate(cells):
-        if not specs:
-            continue
-        contract_error = _cell_contract_error(specs)
-        if contract_error is not None:
-            results[pos] = [
-                _failure_summary(spec, contract_error) for spec in specs
-            ]
-            continue
-        early, built, trace = _simulate_cell(specs)
-        if early is not None:
-            results[pos] = early
-        else:
-            survivors.append((pos, specs, built, trace))
+    opened: list[object] = []
+    try:
+        for pos, specs in enumerate(cells):
+            if not specs:
+                continue
+            contract_error = _cell_contract_error(specs)
+            if contract_error is not None:
+                results[pos] = [
+                    _failure_summary(spec, contract_error) for spec in specs
+                ]
+                continue
+            early, built, trace = _simulate_cell(specs, store)
+            if trace is not None:
+                opened.append(trace)
+            if early is not None:
+                results[pos] = early
+            else:
+                survivors.append((pos, specs, built, trace))
+        results = _evaluate_supercell(results, survivors)
+    finally:
+        # Drop block-local views before closing store-backed handles.
+        survivors = []
+        for trace in opened:
+            _close_trace(trace)
+    return [summary for cell_result in results for summary in cell_result]
 
+
+def _evaluate_supercell(
+    results: list[list[RunSummary]],
+    survivors: list[tuple[int, Sequence[RunSpec], object, object]],
+) -> list[list[RunSummary]]:
+    """Evaluate a supercell's surviving traces through the block kernel."""
     if survivors:
         lead = survivors[0][1]
         variants = [spec.resolved_params() for spec in lead]
@@ -312,7 +376,7 @@ def execute_supercell(cells: Sequence[Sequence[RunSpec]]) -> list[RunSummary]:
             # granularity instead of failing the whole block.
             for pos, specs, built, trace in survivors:
                 results[pos] = _evaluate_cell(specs, built, trace)
-    return [summary for cell_result in results for summary in cell_result]
+    return results
 
 
 def execute_run(spec: RunSpec) -> RunSummary:
@@ -432,11 +496,19 @@ class CampaignRunner:
             the shared cross-trace kernels. 1 degenerates to per-cell
             execution; larger blocks amortize more but hold more traces
             in a worker's memory at once. Other backends ignore it.
+        store: optional :class:`repro.store.TraceStore`. Cells consult
+            it before simulating and record their traces on miss, so a
+            campaign only ever simulates each ``(scenario, seed, fpr)``
+            once across all runs sharing the store. The store is plain
+            picklable state (a root path plus version pins): parallel
+            workers each open bundles read-only via memmap, no trace
+            bytes cross the process boundary.
     """
 
     workers: int = 1
     max_pending: int = 256
     supercell: int = 4
+    store: "TraceStore | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -628,16 +700,26 @@ class CampaignRunner:
         for worker-crash failure capture.
         """
         cells = _group_cells(specs)
+        run_cell = (
+            execute_cell
+            if self.store is None
+            else partial(execute_cell, store=self.store)
+        )
         if specs and specs[0].backend == "crosstrace":
+            run_block = (
+                execute_supercell
+                if self.store is None
+                else partial(execute_supercell, store=self.store)
+            )
             return [
                 (
-                    execute_supercell,
+                    run_block,
                     block,
                     [spec for cell in block for spec in cell],
                 )
                 for block in _group_supercells(cells, self.supercell)
             ]
-        return [(execute_cell, cell, list(cell)) for cell in cells]
+        return [(run_cell, cell, list(cell)) for cell in cells]
 
     def _run_sequential(
         self,

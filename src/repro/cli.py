@@ -6,7 +6,10 @@ Commands:
 * ``mrf <scenario>`` — minimum-required-FPR search.
 * ``sweep [gap]`` — Figure 8 style sensitivity heatmap.
 * ``campaign [scenarios ...]`` — batch scenario x seed x FPR sweep,
-  with streaming ``--out``, ``--resume`` and ``--shard I/N``.
+  with streaming ``--out``, ``--resume``, ``--shard I/N`` and the
+  simulate-once ``--store DIR``.
+* ``replay`` — re-estimate recorded traces from a store under new
+  parameter/predictor/aggregator variants, without simulating.
 * ``campaign-merge <parts ...>`` — recombine shard JSONL files.
 * ``scenarios`` — list the catalog.
 
@@ -141,6 +144,18 @@ def _print_campaign_result(
     return 1 if result.failures() else 0
 
 
+def _store(args: argparse.Namespace):
+    """The campaign's :class:`~repro.store.TraceStore`, if one was asked
+    for. Constructed lazily so ``repro campaign`` without ``--store``
+    never imports (or fingerprints) the store package. An executor
+    setting like ``--workers``, so it composes with ``--resume``."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.store import TraceStore
+
+    return TraceStore(args.store)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.batch import (
         Campaign,
@@ -185,7 +200,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            runner = CampaignRunner(workers=args.workers)
+            runner = CampaignRunner(workers=args.workers, store=_store(args))
             partial = CampaignResult.load_jsonl(args.resume)
             reusable = len(partial.resume_cache(retry_failed=args.retry_failed))
             todo = len(partial.expected_runs()) - reusable
@@ -231,7 +246,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         total = (
             campaign.size if shard is None else len(campaign.shard(*shard))
         )
-        runner = CampaignRunner(workers=args.workers)
+        runner = CampaignRunner(workers=args.workers, store=_store(args))
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -259,6 +274,98 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         print(f"campaign written to {args.out}")
     return code
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.batch import CampaignResult
+    from repro.errors import TraceError
+    from repro.perception.noise import PerceptionNoise
+    from repro.store import (
+        ReplayPlan,
+        ReplayService,
+        ReplayVariant,
+        TraceStore,
+    )
+
+    if args.resume and not args.out:
+        print("error: --resume needs --out", file=sys.stderr)
+        return 2
+
+    try:
+        store = TraceStore(args.store)
+        variants = tuple(
+            ReplayVariant(
+                name=spec,
+                predictor=spec.split(":", 1)[0],
+                aggregator=(
+                    spec.split(":", 1)[1] if ":" in spec else None
+                ),
+            )
+            for spec in (args.online or ())
+        )
+        if args.from_campaign:
+            campaign = CampaignResult.load_jsonl(args.from_campaign).campaign
+            plan = ReplayPlan.from_campaign(
+                campaign, variants=variants or None
+            )
+        else:
+            noise = PerceptionNoise(
+                miss_rate=args.miss_rate,
+                position_noise=args.position_noise,
+                seed=args.noise_seed,
+            )
+            plan = ReplayPlan.from_store(
+                store,
+                variants=variants or (ReplayVariant(name="default"),),
+                stride=args.stride,
+                backend=args.backend,
+                noise=noise if noise.enabled else None,
+            )
+        shard = _parse_shard(args.shard) if args.shard else None
+        total = plan.size if shard is None else len(plan.shard(*shard))
+        shard_note = "" if shard is None else f" (shard {shard[0]}/{shard[1]})"
+        print(
+            f"Replay: {len(plan.cells)} stored cell(s) x "
+            f"{len(plan.variants)} variant(s){shard_note}, "
+            f"{total} row(s) from {args.store} ..."
+        )
+
+        def progress(done: int, count: int, row: dict) -> None:
+            if args.quiet:
+                return
+            outcome = (
+                "FAILED" if row.get("error")
+                else "collision" if row.get("collided")
+                else f"max FPR {row['max_fpr']:.1f}"
+            )
+            print(
+                f"  [{done}/{count}] {row['scenario']} seed={row['seed']} "
+                f"fpr={row['fpr']:g} [{row['variant']}]: {outcome}"
+            )
+
+        rows = ReplayService(store=store).run(
+            plan,
+            out=args.out,
+            shard=shard,
+            progress=progress,
+            resume=args.resume,
+        )
+    except (ConfigurationError, TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = [row for row in rows if row.get("error")]
+    print(f"{len(rows)} row(s) replayed; {len(failures)} failure(s)")
+    if failures:
+        for row in failures[:5]:
+            print(
+                f"  {row['scenario']} seed={row['seed']} "
+                f"fpr={row['fpr']:g} [{row['variant']}]: {row['error']}",
+                file=sys.stderr,
+            )
+    if args.out:
+        print(f"replay written to {args.out}")
+    return 1 if failures else 0
 
 
 def _cmd_campaign_merge(args: argparse.Namespace) -> int:
@@ -409,7 +516,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="register cut-out/cut-in ego-speed variants first",
     )
     campaign.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="simulate-once trace store: cells load their recorded "
+        "trace from DIR instead of re-simulating, and record it there "
+        "on a miss (composes with --resume and --shard)",
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-estimate recorded traces from a store (no simulation)",
+    )
+    replay.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="trace store to replay from (see campaign --store)",
+    )
+    replay.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="stream rows to a JSONL file (with a PATH.heartbeat "
+        "sidecar refreshed as rows finish)",
+    )
+    replay.add_argument(
+        "--from-campaign",
+        default=None,
+        metavar="FILE",
+        help="adopt the grid, variants and settings of a recorded "
+        "campaign JSONL: the replay reproduces its estimation rows "
+        "from the store alone",
+    )
+    replay.add_argument(
+        "--online",
+        action="append",
+        default=None,
+        metavar="PREDICTOR[:AGGREGATOR]",
+        help="add an online-estimator variant: cv, ca or maneuver, "
+        "optionally with max, mean, percentile or percentile:Q "
+        "(repeatable; default without --online/--from-campaign is one "
+        "offline default-parameter variant)",
+    )
+    replay.add_argument(
+        "--stride", type=float, default=0.05, help="estimation cadence (s)"
+    )
+    replay.add_argument(
+        "--backend",
+        choices=["batched", "scalar", "crosstrace"],
+        default="batched",
+        help="evaluation backend (identical results)",
+    )
+    replay.add_argument(
+        "--miss-rate", type=float, default=0.0,
+        help="replay-time detection miss probability (default 0)",
+    )
+    replay.add_argument(
+        "--position-noise", type=float, default=0.0,
+        help="replay-time position jitter sigma in metres (default 0)",
+    )
+    replay.add_argument(
+        "--noise-seed", type=int, default=0,
+        help="root seed of the counter-based noise draws (default 0)",
+    )
+    replay.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="replay only cell-stripe I of N (each shard heartbeats "
+        "and resumes independently)",
+    )
+    replay.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse the rows already present in --out and execute "
+        "only the remainder",
+    )
+    replay.add_argument(
+        "--quiet", action="store_true", help="suppress per-row progress lines"
     )
 
     merge = sub.add_parser(
@@ -438,6 +626,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
         "campaign-merge": _cmd_campaign_merge,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 

@@ -209,8 +209,10 @@ def presample_trace(
         actor_id: trace.actor_trajectory(actor_id)
         for actor_id in trace.actor_ids()
     }
-    start = trace.steps[0].time
-    end = trace.steps[-1].time
+    # time_span (not steps[0]/steps[-1]) keeps the store's column-backed
+    # traces on their zero-copy path: the span comes straight from the
+    # memory-mapped time column, no step objects materialize.
+    start, end = trace.time_span()
     count = time_grid_count(end - start, stride)
     times = start + stride * np.arange(count)
     # One interpolation pass per actor yields both the state objects

@@ -108,22 +108,94 @@ class StateTrajectory:
             if later.time - earlier.time <= 0.0:
                 raise ConfigurationError("trajectory timestamps must be distinct")
         self._times = [ts.time for ts in ordered]
-        self._states = [ts.state for ts in ordered]
+        self._states_cache = [ts.state for ts in ordered]
         # Array views for vectorized interpolation (the latency search
         # samples thousands of points per evaluation tick).
         self._t = np.array(self._times)
-        self._x = np.array([s.position.x for s in self._states])
-        self._y = np.array([s.position.y for s in self._states])
-        self._speed = np.array([s.speed for s in self._states])
-        self._accel = np.array([s.accel for s in self._states])
+        self._x = np.array([s.position.x for s in self._states_cache])
+        self._y = np.array([s.position.y for s in self._states_cache])
+        self._speed = np.array([s.speed for s in self._states_cache])
+        self._accel = np.array([s.accel for s in self._states_cache])
         # Unwrapped headings interpolate along the shorter arc between
         # consecutive samples, matching the scalar ``state_at``.
-        self._heading = np.unwrap(np.array([s.heading for s in self._states]))
-        last = self._states[-1]
+        self._heading_raw = np.array([s.heading for s in self._states_cache])
+        self._heading = np.unwrap(self._heading_raw)
+        last = self._states_cache[-1]
         self._end_velocity = (
             np.cos(last.heading) * last.speed,
             np.sin(last.heading) * last.speed,
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        headings: np.ndarray,
+        speeds: np.ndarray,
+        accels: np.ndarray,
+    ) -> "StateTrajectory":
+        """Adopt column arrays as a trajectory without copying them.
+
+        The zero-copy path of the trace store: memory-mapped bundle
+        columns become the interpolation knots directly — no per-sample
+        :class:`TimedState` objects are built, and the per-sample
+        :class:`VehicleState` list materializes lazily only if a scalar
+        query (``state_at`` / ``samples``) asks for it. ``headings``
+        are the *raw* recorded values (wrapping happens here, exactly
+        as the sample-based constructor does), so interpolation and
+        lazily materialized states are bit-identical to a trajectory
+        built from the equivalent samples.
+
+        Args:
+            times: strictly ascending timestamps (seconds).
+            xs / ys / headings / speeds / accels: per-sample columns,
+                same length as ``times``. Adopted, not copied — callers
+                must not mutate them.
+        """
+        t = np.asarray(times, dtype=float)
+        if t.ndim != 1 or t.size == 0:
+            raise ConfigurationError("a trajectory needs at least one sample")
+        if t.size > 1 and not np.all(np.diff(t) > 0.0):
+            raise ConfigurationError("trajectory timestamps must be distinct")
+        columns = [np.asarray(col, dtype=float) for col in (xs, ys, headings, speeds, accels)]
+        for col in columns:
+            if col.shape != t.shape:
+                raise ConfigurationError(
+                    f"trajectory column shape {col.shape} != time shape {t.shape}"
+                )
+        self = cls.__new__(cls)
+        # The ndarray doubles as the bisect sequence ``state_at`` uses.
+        self._times = t
+        self._states_cache = None
+        self._t = t
+        self._x, self._y, self._heading_raw, self._speed, self._accel = columns
+        self._heading = np.unwrap(self._heading_raw)
+        last_heading = float(self._heading_raw[-1])
+        last_speed = float(self._speed[-1])
+        self._end_velocity = (
+            np.cos(last_heading) * last_speed,
+            np.sin(last_heading) * last_speed,
+        )
+        return self
+
+    @property
+    def _states(self) -> Sequence[VehicleState]:
+        """Per-sample states; array-adopted trajectories build lazily."""
+        if self._states_cache is None:
+            self._states_cache = [
+                VehicleState(
+                    position=Vec2(float(x), float(y)),
+                    heading=float(h),
+                    speed=float(v),
+                    accel=float(a),
+                )
+                for x, y, h, v, a in zip(
+                    self._x, self._y, self._heading_raw, self._speed, self._accel
+                )
+            ]
+        return self._states_cache
 
     @property
     def start_time(self) -> float:

@@ -66,7 +66,28 @@ class ScenarioTrace:
         self.seed = seed
         self.ego_spec = ego_spec if ego_spec is not None else VehicleSpec()
         self.actor_specs = dict(actor_specs) if actor_specs else {}
-        self.metadata = dict(metadata) if metadata else {}
+        # Serialization is lossless only for what JSON can key and
+        # value: non-string actor ids would be silently stringified by
+        # ``json.dumps`` (diverging from the collision payloads, which
+        # keep their native type), and metadata holding tuples or numpy
+        # scalars would come back as different types. Rejecting ids and
+        # canonicalizing metadata here makes the in-memory trace equal
+        # its own round trip, bit for bit.
+        for step in self.steps:
+            _check_actor_ids(step.actors)
+            _check_actor_ids(step.camera_fprs, kind="camera id")
+        _check_actor_ids(self.actor_specs)
+        for event in self.collisions:
+            if not isinstance(event.actor_id, str):
+                raise TraceError(
+                    "collision actor ids must be strings, got "
+                    f"{event.actor_id!r}"
+                )
+        self.metadata = (
+            _canonical_metadata(metadata, where="metadata")
+            if metadata
+            else {}
+        )
         self._ego_trajectory: StateTrajectory | None = None
         self._actor_trajectories: dict[str, StateTrajectory] = {}
 
@@ -77,7 +98,18 @@ class ScenarioTrace:
     @property
     def duration(self) -> float:
         """Simulated time covered (seconds)."""
-        return self.steps[-1].time - self.steps[0].time
+        start, end = self.time_span()
+        return end - start
+
+    def time_span(self) -> tuple[float, float]:
+        """``(first, last)`` recorded step times.
+
+        The evaluation layers read the trace span through this hook
+        instead of ``steps[0]``/``steps[-1]`` so column-backed traces
+        (:class:`repro.store.ColumnarTrace`) can answer without
+        materializing their step objects.
+        """
+        return self.steps[0].time, self.steps[-1].time
 
     @property
     def has_collision(self) -> bool:
@@ -231,6 +263,56 @@ class ScenarioTrace:
         except json.JSONDecodeError as exc:
             raise TraceError(f"invalid trace JSON in {path}: {exc}") from exc
         return cls.from_dict(data)
+
+
+def _check_actor_ids(mapping: Mapping, kind: str = "actor id") -> None:
+    """Reject non-string keys before JSON would silently stringify them."""
+    for key in mapping:
+        if not isinstance(key, str):
+            raise TraceError(
+                f"trace {kind}s must be strings, got {key!r} "
+                f"({type(key).__name__}); JSON round-trips would "
+                "silently convert it"
+            )
+
+
+def _canonical_metadata(value: object, where: str) -> object:
+    """``value`` in JSON-canonical form, or :class:`TraceError`.
+
+    JSON-canonical means the value survives ``json.dumps`` →
+    ``json.loads`` as an *equal object*: dicts with string keys, lists
+    (tuples are converted — that is the canonicalization), strings,
+    bools, ints, floats (numpy scalars collapse to their Python
+    equivalents) and ``None``. Anything else — sets, arrays, arbitrary
+    objects — fails loudly here instead of silently mutating (or
+    crashing) at save time.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    # Numpy scalars json-fail (or worse, change type); collapse them.
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return _canonical_metadata(item(), where)
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_metadata(entry, f"{where}[{pos}]")
+            for pos, entry in enumerate(value)
+        ]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise TraceError(
+                    f"trace {where} keys must be strings, got {key!r}"
+                )
+            out[key] = _canonical_metadata(entry, f"{where}[{key!r}]")
+        return out
+    raise TraceError(
+        f"trace {where} value {value!r} ({type(value).__name__}) "
+        "does not survive a JSON round trip"
+    )
 
 
 def _state_to_dict(state: VehicleState) -> dict:

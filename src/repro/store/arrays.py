@@ -1,0 +1,393 @@
+"""Columnar traces: exact ``ScenarioTrace`` <-> array conversion.
+
+A :class:`TraceArrays` holds one recorded run as a handful of numpy
+columns — the representation the trace store persists (and memory-maps
+back) — plus the JSON-sized remainder (specs, metadata, collisions,
+vocabularies). The conversion is *exact* in both directions: every
+float keeps its bit pattern, every mapping keeps its iteration order,
+so a trace evaluated from its columns produces byte-identical summaries
+to the freshly simulated original. That exactness is what lets warm
+store-backed campaigns honor the campaign engine's byte-parity
+contract.
+
+:class:`ColumnarTrace` is the zero-copy consumer: a ``ScenarioTrace``
+whose trajectories adopt the columns directly
+(:meth:`StateTrajectory.from_arrays`) and whose step objects
+materialize only if something scalar asks for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dynamics.state import StateTrajectory, VehicleSpec, VehicleState
+from repro.errors import TraceError
+from repro.geometry.vec import Vec2
+from repro.sim.collision import CollisionEvent
+from repro.sim.trace import ScenarioTrace, TraceStep
+
+#: Ego column row order (and the per-actor column row order).
+STATE_ROWS = ("x", "y", "heading", "speed", "accel")
+
+
+def _state_columns(states: Sequence[VehicleState]) -> np.ndarray:
+    return np.array(
+        [
+            [s.position.x for s in states],
+            [s.position.y for s in states],
+            [s.heading for s in states],
+            [s.speed for s in states],
+            [s.accel for s in states],
+        ],
+        dtype=float,
+    )
+
+
+def _state_at(columns: np.ndarray, col: int) -> VehicleState:
+    return VehicleState(
+        position=Vec2(float(columns[0, col]), float(columns[1, col])),
+        heading=float(columns[2, col]),
+        speed=float(columns[3, col]),
+        accel=float(columns[4, col]),
+    )
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """One scenario trace in columnar form.
+
+    Attributes:
+        scenario / dt / nominal_fpr / seed / ego_spec / actor_specs /
+            metadata / collisions: the trace's scalar payload, verbatim.
+        times: ``(S,)`` step timestamps.
+        ego: ``(5, S)`` ego state columns in :data:`STATE_ROWS` order.
+        actor_order: actor ids in first-appearance order — the per-step
+            mapping iteration order (validated at conversion).
+        actor_masks: ``(A, S)`` bool, actor ``a`` present at step ``s``.
+        actor_columns: ``(5, total)`` per-actor state columns for the
+            *present* steps only, actors concatenated in order.
+        actor_offsets: ``(A + 1,)`` slice bounds into ``actor_columns``.
+        mode_vocab / mode_codes: planner modes as a vocabulary plus an
+            ``(S,)`` code column.
+        camera_vocab / camera_codes / camera_values / camera_offsets:
+            per-step camera FPR mappings in ragged form — step ``s``
+            owns ``codes/values[camera_offsets[s]:camera_offsets[s+1]]``
+            in the step's own key order.
+    """
+
+    scenario: str
+    dt: float
+    nominal_fpr: float | None
+    seed: int | None
+    ego_spec: VehicleSpec
+    actor_specs: dict[str, VehicleSpec]
+    metadata: dict
+    collisions: tuple[CollisionEvent, ...]
+    times: np.ndarray
+    ego: np.ndarray
+    actor_order: tuple[str, ...]
+    actor_masks: np.ndarray
+    actor_columns: np.ndarray
+    actor_offsets: tuple[int, ...]
+    mode_vocab: tuple[str, ...]
+    mode_codes: np.ndarray
+    camera_vocab: tuple[str, ...]
+    camera_codes: np.ndarray
+    camera_values: np.ndarray
+    camera_offsets: np.ndarray
+
+    # ------------------------------------------------------------------
+    # conversion: trace -> arrays
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: ScenarioTrace) -> "TraceArrays":
+        """Columnarize a trace, exactly.
+
+        Raises:
+            TraceError: when the trace is not representable losslessly —
+                per-step actor iteration order inconsistent with the
+                global first-appearance order (nothing the simulator
+                produces; the guard keeps the conversion honest).
+        """
+        steps = trace.steps
+        times = np.array([step.time for step in steps], dtype=float)
+        ego = _state_columns([step.ego for step in steps])
+
+        order: dict[str, int] = {}
+        for step in steps:
+            for actor_id in step.actors:
+                order.setdefault(actor_id, len(order))
+        actor_order = tuple(order)
+        masks = np.zeros((len(actor_order), len(steps)), dtype=bool)
+        per_actor: dict[str, list[VehicleState]] = {a: [] for a in actor_order}
+        for pos, step in enumerate(steps):
+            last_rank = -1
+            for actor_id, state in step.actors.items():
+                rank = order[actor_id]
+                if rank <= last_rank:
+                    raise TraceError(
+                        "trace step actor order is inconsistent with "
+                        "first-appearance order; the columnar form "
+                        "cannot represent it losslessly"
+                    )
+                last_rank = rank
+                masks[rank, pos] = True
+                per_actor[actor_id].append(state)
+        offsets = [0]
+        blocks = []
+        for actor_id in actor_order:
+            states = per_actor[actor_id]
+            offsets.append(offsets[-1] + len(states))
+            if states:
+                blocks.append(_state_columns(states))
+        actor_columns = (
+            np.concatenate(blocks, axis=1)
+            if blocks
+            else np.zeros((5, 0), dtype=float)
+        )
+
+        mode_index: dict[str, int] = {}
+        mode_codes = np.empty(len(steps), dtype=np.int32)
+        for pos, step in enumerate(steps):
+            mode_codes[pos] = mode_index.setdefault(
+                step.planner_mode, len(mode_index)
+            )
+
+        camera_index: dict[str, int] = {}
+        camera_codes: list[int] = []
+        camera_values: list[float] = []
+        camera_offsets = np.zeros(len(steps) + 1, dtype=np.int64)
+        for pos, step in enumerate(steps):
+            for camera, value in step.camera_fprs.items():
+                camera_codes.append(
+                    camera_index.setdefault(camera, len(camera_index))
+                )
+                camera_values.append(value)
+            camera_offsets[pos + 1] = len(camera_codes)
+
+        return cls(
+            scenario=trace.scenario,
+            dt=trace.dt,
+            nominal_fpr=trace.nominal_fpr,
+            seed=trace.seed,
+            ego_spec=trace.ego_spec,
+            actor_specs=dict(trace.actor_specs),
+            metadata=dict(trace.metadata),
+            collisions=tuple(trace.collisions),
+            times=times,
+            ego=ego,
+            actor_order=actor_order,
+            actor_masks=masks,
+            actor_columns=actor_columns,
+            actor_offsets=tuple(offsets),
+            mode_vocab=tuple(mode_index),
+            mode_codes=mode_codes,
+            camera_vocab=tuple(camera_index),
+            camera_codes=np.array(camera_codes, dtype=np.int32),
+            camera_values=np.array(camera_values, dtype=float),
+            camera_offsets=camera_offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # conversion: arrays -> trace
+    # ------------------------------------------------------------------
+
+    def build_steps(self) -> list[TraceStep]:
+        """Materialize the per-step objects (the expensive direction)."""
+        steps: list[TraceStep] = []
+        cursors = list(self.actor_offsets[:-1])
+        cam_codes = self.camera_codes
+        cam_values = self.camera_values
+        for pos in range(self.times.shape[0]):
+            actors: dict[str, VehicleState] = {}
+            for rank, actor_id in enumerate(self.actor_order):
+                if self.actor_masks[rank, pos]:
+                    actors[actor_id] = _state_at(
+                        self.actor_columns, cursors[rank]
+                    )
+                    cursors[rank] += 1
+            lo, hi = self.camera_offsets[pos], self.camera_offsets[pos + 1]
+            camera_fprs = {
+                self.camera_vocab[cam_codes[i]]: float(cam_values[i])
+                for i in range(lo, hi)
+            }
+            steps.append(
+                TraceStep(
+                    time=float(self.times[pos]),
+                    ego=_state_at(self.ego, pos),
+                    actors=actors,
+                    planner_mode=self.mode_vocab[self.mode_codes[pos]],
+                    camera_fprs=camera_fprs,
+                )
+            )
+        return steps
+
+    def to_trace(self) -> ScenarioTrace:
+        """The fully materialized inverse of :meth:`from_trace`."""
+        return ScenarioTrace(
+            scenario=self.scenario,
+            dt=self.dt,
+            steps=self.build_steps(),
+            collisions=self.collisions,
+            nominal_fpr=self.nominal_fpr,
+            seed=self.seed,
+            ego_spec=self.ego_spec,
+            actor_specs=self.actor_specs,
+            metadata=self.metadata,
+        )
+
+    def lazy_trace(
+        self, closer: Callable[[], None] | None = None
+    ) -> "ColumnarTrace":
+        """The zero-copy view: trajectories adopt the columns directly."""
+        return ColumnarTrace(self, closer=closer)
+
+    # ------------------------------------------------------------------
+    # column access
+    # ------------------------------------------------------------------
+
+    def ego_trajectory(self) -> StateTrajectory:
+        """The ego trajectory over the adopted columns (no copies)."""
+        x, y, heading, speed, accel = self.ego
+        return StateTrajectory.from_arrays(
+            self.times, x, y, heading, speed, accel
+        )
+
+    def actor_trajectory(self, actor_id: str) -> StateTrajectory:
+        """One actor's trajectory over its column slice.
+
+        Dense actors (present at every step — the simulator's case)
+        adopt the shared time column as a view; sparse actors gather
+        their present-step times once.
+        """
+        try:
+            rank = self.actor_order.index(actor_id)
+        except ValueError:
+            raise TraceError(
+                f"actor {actor_id!r} does not appear in trace"
+            ) from None
+        lo, hi = self.actor_offsets[rank], self.actor_offsets[rank + 1]
+        if hi == lo:
+            raise TraceError(f"actor {actor_id!r} does not appear in trace")
+        mask = self.actor_masks[rank]
+        times = self.times if bool(mask.all()) else self.times[mask]
+        x, y, heading, speed, accel = self.actor_columns[:, lo:hi]
+        return StateTrajectory.from_arrays(times, x, y, heading, speed, accel)
+
+
+class ColumnarTrace(ScenarioTrace):
+    """A :class:`ScenarioTrace` served from columns, steps on demand.
+
+    Everything the evaluation layers touch — trajectories, the time
+    span, actor ids, specs, collisions, metadata — answers straight
+    from the (possibly memory-mapped) columns; the per-step
+    ``TraceStep`` objects exist only if code explicitly walks
+    ``trace.steps``. :meth:`close` releases the column references (and
+    the underlying memmap handles, via the store's ``closer``)
+    deterministically; a closed trace raises on further column access.
+    """
+
+    def __init__(
+        self,
+        arrays: TraceArrays,
+        closer: Callable[[], None] | None = None,
+    ):
+        # Deliberately no super().__init__: the parent constructor
+        # demands materialized steps (and validates them); the columns
+        # were validated when the bundle was recorded.
+        self._arrays: TraceArrays | None = arrays
+        self._closer = closer
+        self.scenario = arrays.scenario
+        self.dt = arrays.dt
+        self.collisions = list(arrays.collisions)
+        self.nominal_fpr = arrays.nominal_fpr
+        self.seed = arrays.seed
+        self.ego_spec = arrays.ego_spec
+        self.actor_specs = dict(arrays.actor_specs)
+        self.metadata = dict(arrays.metadata)
+        self._ego_trajectory = None
+        self._actor_trajectories = {}
+        self._steps: list[TraceStep] | None = None
+
+    @property
+    def columns(self) -> TraceArrays:
+        """The backing columns; :class:`TraceError` once closed."""
+        if self._arrays is None:
+            raise TraceError("columnar trace is closed")
+        return self._arrays
+
+    @property
+    def steps(self) -> list[TraceStep]:  # type: ignore[override]
+        if self._steps is None:
+            self._steps = self.columns.build_steps()
+        return self._steps
+
+    def time_span(self) -> tuple[float, float]:
+        times = self.columns.times
+        return float(times[0]), float(times[-1])
+
+    def actor_ids(self) -> list[str]:
+        return list(self.columns.actor_order)
+
+    def ego_trajectory(self) -> StateTrajectory:
+        if self._ego_trajectory is None:
+            self._ego_trajectory = self.columns.ego_trajectory()
+        return self._ego_trajectory
+
+    def actor_trajectory(self, actor_id: str) -> StateTrajectory:
+        if actor_id not in self._actor_trajectories:
+            self._actor_trajectories[actor_id] = self.columns.actor_trajectory(
+                actor_id
+            )
+        return self._actor_trajectories[actor_id]
+
+    def close(self) -> None:
+        """Release column references (and memmap handles) now.
+
+        Safe to call more than once. The evaluation results built from
+        this trace (summaries, series) carry no views into the columns,
+        so closing after a cell completes cannot invalidate them.
+        """
+        self._arrays = None
+        self._ego_trajectory = None
+        self._actor_trajectories = {}
+        self._steps = None
+        closer, self._closer = self._closer, None
+        if closer is not None:
+            closer()
+
+
+def trace_arrays_equal(a: TraceArrays, b: TraceArrays) -> bool:
+    """Bit-exact equality of two columnar traces (test helper)."""
+
+    def eq(x: np.ndarray, y: np.ndarray) -> bool:
+        return x.shape == y.shape and bool(
+            np.array_equal(x, y)
+        )
+
+    return (
+        a.scenario == b.scenario
+        and a.dt == b.dt
+        and a.nominal_fpr == b.nominal_fpr
+        and a.seed == b.seed
+        and a.ego_spec == b.ego_spec
+        and a.actor_specs == b.actor_specs
+        and a.metadata == b.metadata
+        and a.collisions == b.collisions
+        and a.actor_order == b.actor_order
+        and a.actor_offsets == b.actor_offsets
+        and a.mode_vocab == b.mode_vocab
+        and a.camera_vocab == b.camera_vocab
+        and eq(a.times, b.times)
+        and eq(a.ego, b.ego)
+        and eq(a.actor_masks, b.actor_masks)
+        and eq(a.actor_columns, b.actor_columns)
+        and eq(np.asarray(a.mode_codes), np.asarray(b.mode_codes))
+        and eq(np.asarray(a.camera_codes), np.asarray(b.camera_codes))
+        and eq(a.camera_values, b.camera_values)
+        and eq(np.asarray(a.camera_offsets), np.asarray(b.camera_offsets))
+    )

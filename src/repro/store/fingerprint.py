@@ -1,0 +1,59 @@
+"""Code fingerprinting: which source tree produced a stored trace.
+
+A trace is a pure function of ``(scenario, seed, fpr)`` *and* of the
+simulation code: the catalog choreography, the closed-loop simulator,
+the integrators, perception sampling, planning. The store keys bundles
+by a digest of exactly those modules, so editing any of them silently
+invalidates every recorded trace (a lookup under the new fingerprint
+misses and re-simulates) while estimation-side changes — evaluator,
+engine, batch, CLI — keep the cache warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+
+#: Packages / modules (relative to ``repro``) whose source participates
+#: in the closed-loop simulation and therefore in the trace bytes.
+#: Estimation layers (core engine/evaluator, batch, analysis) are
+#: deliberately absent: they consume traces, they never shape them.
+SIM_SOURCES = (
+    "actors",
+    "dynamics",
+    "geometry",
+    "perception",
+    "planning",
+    "road",
+    "scenarios",
+    "sim",
+    "core/rng.py",
+    "errors.py",
+    "units.py",
+)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hex digest of the simulation-shaping source files.
+
+    Deterministic across processes and machines running the same tree:
+    files are hashed in sorted relative-path order, content-only (no
+    mtimes, no absolute paths).
+    """
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for entry in SIM_SOURCES:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            if not file.is_file():
+                continue
+            digest.update(file.relative_to(root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(file.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()[:16]
