@@ -1,0 +1,134 @@
+"""Fuzz-search determinism benchmark (and the CI fuzz smoke).
+
+Runs the same micro evolutionary search twice against one shared
+:class:`~repro.store.TraceStore` — once at ``workers=1`` and once at
+``workers=2`` — and asserts the determinism contract end to end:
+byte-identical ``archive.json`` / ``search.json``, identical run lines
+in every generation campaign file, a monotone ``best_so_far``
+trajectory (elitism makes regression impossible), and a best genome
+whose fitness strictly exceeds the base scenario's. Records the search
+summary under ``benchmarks/out/fuzz_search.json`` and copies the
+archive to ``benchmarks/out/fuzz_archive.json`` so the worst genomes
+found by CI are themselves an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz.py           # full
+    PYTHONPATH=src python benchmarks/bench_fuzz.py --smoke   # CI
+
+``--smoke`` shrinks the search to the 2-generation micro grid the
+integration suite uses; the assertions are identical — it exists so
+fuzz drift fails CI rather than benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SMOKE = dict(population=4, generations=2, elite=1, tournament=2, stride=0.5)
+FULL = dict(population=8, generations=4, elite=2, tournament=3, stride=0.25)
+
+
+def run_search(out_dir: Path, workers: int, store_dir: Path, knobs):
+    """One timed search; returns (elapsed, result)."""
+    from repro.batch import CampaignRunner
+    from repro.fuzz import FuzzConfig, run_fuzz
+    from repro.store import TraceStore
+
+    config = FuzzConfig(family="cut_out", seed=7, **knobs)
+    runner = CampaignRunner(workers=workers, store=TraceStore(store_dir))
+    started = time.perf_counter()
+    result = run_fuzz(config, out_dir=out_dir, runner=runner)
+    return time.perf_counter() - started, result
+
+
+def run_lines(path: Path) -> list[str]:
+    return [
+        line
+        for line in path.read_text().splitlines()
+        if '"kind": "run"' in line
+    ]
+
+
+def assert_deterministic(first, second) -> None:
+    if first.archive_path.read_bytes() != second.archive_path.read_bytes():
+        raise AssertionError("archive.json diverged across worker counts")
+    if first.search_path.read_bytes() != second.search_path.read_bytes():
+        raise AssertionError("search.json diverged across worker counts")
+    for mine, theirs in zip(
+        first.generation_files, second.generation_files, strict=True
+    ):
+        if run_lines(mine) != run_lines(theirs):
+            raise AssertionError(f"run lines diverged: {mine.name}")
+
+
+def assert_search_quality(result) -> None:
+    trajectory = [g["best_so_far"] for g in result.per_generation]
+    if trajectory != sorted(trajectory):
+        raise AssertionError(f"best_so_far not monotone: {trajectory}")
+    if result.best is None or result.base_fitness is None:
+        raise AssertionError("search produced no scored genome")
+    if result.best["fitness"] <= result.base_fitness:
+        raise AssertionError(
+            f"best fitness {result.best['fitness']} does not exceed "
+            f"base {result.base_fitness}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="micro search, same assertions (the CI job)",
+    )
+    args = parser.parse_args(argv)
+    knobs = SMOKE if args.smoke else FULL
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        store_dir = root / "store"
+        solo_s, solo = run_search(root / "solo", 1, store_dir, knobs)
+        duo_s, duo = run_search(root / "duo", 2, store_dir, knobs)
+        assert_deterministic(solo, duo)
+        assert_search_quality(solo)
+
+        OUT_DIR.mkdir(exist_ok=True)
+        shutil.copy(solo.archive_path, OUT_DIR / "fuzz_archive.json")
+        report = {
+            "mode": "smoke" if args.smoke else "full",
+            "config": solo.config.to_dict(),
+            "base_fitness": solo.base_fitness,
+            "best": solo.best,
+            "per_generation": solo.per_generation,
+            "workers_1_s": round(solo_s, 3),
+            "workers_2_s": round(duo_s, 3),
+            "determinism": "identical",
+        }
+    out = OUT_DIR / "fuzz_search.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    best = solo.best
+    print(
+        f"fuzz {report['mode']}: {knobs['population']} genomes x "
+        f"{knobs['generations']} generations   "
+        f"workers=1 {solo_s:6.2f} s   workers=2 {duo_s:6.2f} s   "
+        "archives identical"
+    )
+    print(
+        f"best {best['name']} fitness {best['fitness']:.3f} "
+        f"(base {solo.base_fitness:.3f}); written to {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,11 @@ Commands:
 * ``mrf <scenario>`` — minimum-required-FPR search.
 * ``sweep [gap]`` — Figure 8 style sensitivity heatmap.
 * ``campaign [scenarios ...]`` — batch scenario x seed x FPR sweep,
-  with streaming ``--out``, ``--resume``, ``--shard I/N`` and the
-  simulate-once ``--store DIR``.
+  with streaming ``--out``, ``--resume``, ``--shard I/N``, the
+  simulate-once ``--store DIR`` and ``--fuzz-archive`` genome loading.
+* ``fuzz <family>`` — evolutionary worst-case scenario search; each
+  generation runs as a campaign, worst genomes are archived as
+  reproducible catalog entries.
 * ``replay`` — re-estimate recorded traces from a store under new
   parameter/predictor/aggregator variants, without simulating.
 * ``campaign-merge <parts ...>`` — recombine shard JSONL files.
@@ -19,6 +22,7 @@ See docs/CAMPAIGNS.md for campaign workflows and exit codes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -156,6 +160,27 @@ def _store(args: argparse.Namespace):
     return TraceStore(args.store)
 
 
+def _load_fuzz_archives(paths) -> int | None:
+    """Register ``--fuzz-archive`` genomes; an exit code on failure.
+
+    Also exports ``REPRO_FUZZ_RECIPES`` so spawn-method workers (and any
+    process re-validating the grid from a JSONL header) can resolve the
+    fuzzed names themselves.
+    """
+    from repro.scenarios.fuzzed import RECIPES_ENV, load_fuzzed_archive
+
+    names: list[str] = []
+    try:
+        for path in paths:
+            names.extend(load_fuzzed_archive(path))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    os.environ[RECIPES_ENV] = os.pathsep.join(str(p) for p in paths)
+    print(f"fuzz archive: {len(names)} scenario(s) registered")
+    return None
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.batch import (
         Campaign,
@@ -170,6 +195,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.expand_speeds:
         added = speed_sweep()
         print(f"speed sweep: {len(added)} variant scenario(s) registered")
+
+    if args.fuzz_archive:
+        code = _load_fuzz_archives(args.fuzz_archive)
+        if code is not None:
+            return code
 
     if args.retry_failed and not args.resume:
         print(
@@ -274,6 +304,81 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         print(f"campaign written to {args.out}")
     return code
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.batch import CampaignRunner
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    # --smoke is a CI-sized preset: any explicitly given flag wins.
+    def preset(value, smoke_default, full_default):
+        if value is not None:
+            return value
+        return smoke_default if args.smoke else full_default
+
+    try:
+        config = FuzzConfig(
+            family=args.family,
+            population=preset(args.population, 4, 16),
+            generations=preset(args.generations, 2, 8),
+            elite=preset(args.elite, 1, 2),
+            tournament=preset(args.tournament, 2, 3),
+            mutation_scale=args.mutation_scale,
+            seed=args.seed,
+            fitness=args.fitness,
+            sim_seeds=tuple(range(args.seeds)),
+            fprs=tuple(float(x) for x in args.fprs.split(",")),
+            stride=preset(args.stride, 0.5, 0.05),
+            backend=args.backend,
+            archive_size=args.archive_size,
+        )
+        runner = CampaignRunner(workers=args.workers, store=_store(args))
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"Fuzz search: family {config.family!r}, {config.population} "
+        f"genome(s) x {config.generations} generation(s), fitness "
+        f"{config.fitness!r}, backend {config.backend!r}, seed "
+        f"{config.seed} -> {args.out}"
+    )
+    try:
+        result = run_fuzz(
+            config,
+            args.out,
+            runner=runner,
+            progress=None if args.quiet else print,
+        )
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    best = result.best
+    if best is None:
+        print(
+            "error: no genome produced a usable fitness "
+            "(every run failed)",
+            file=sys.stderr,
+        )
+        return 1
+    base = (
+        "unknown"
+        if result.base_fitness is None
+        else f"{result.base_fitness:.3f}"
+    )
+    verdict = (
+        "exceeds"
+        if result.base_fitness is not None
+        and best["fitness"] > result.base_fitness
+        else "does not exceed"
+    )
+    print(
+        f"best: {best['name']} fitness {best['fitness']:.3f} "
+        f"({verdict} base {base})"
+    )
+    print(f"archive written to {result.archive_path}")
+    return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -407,6 +512,12 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return code
 
 
+def _fuzz_family_names() -> list[str]:
+    from repro.scenarios.fuzzed import FUZZ_FAMILIES
+
+    return list(FUZZ_FAMILIES)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -524,7 +635,135 @@ def build_parser() -> argparse.ArgumentParser:
         "on a miss (composes with --resume and --shard)",
     )
     campaign.add_argument(
+        "--fuzz-archive",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="register the fuzzed genomes recorded in a repro-fuzz "
+        "archive/recipes JSON first, so its fuzzed_<family>_<digest> "
+        "scenario names are runnable (repeatable; composes with "
+        "--resume and --shard)",
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="evolutionary worst-case scenario search "
+        "(generations run as campaigns)",
+    )
+    fuzz.add_argument(
+        "family",
+        choices=sorted(_fuzz_family_names()),
+        help="fuzzable scenario family",
+    )
+    fuzz.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory: gen_<NNN>.jsonl generation campaigns, "
+        "recipe sidecars, archive.json and search.json; re-running "
+        "with the same seed/config resumes and reproduces byte-"
+        "identically",
+    )
+    fuzz.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="genomes per generation (default 16; 4 with --smoke)",
+    )
+    fuzz.add_argument(
+        "--generations",
+        type=int,
+        default=None,
+        help="generations to run (default 8; 2 with --smoke)",
+    )
+    fuzz.add_argument(
+        "--elite",
+        type=int,
+        default=None,
+        help="top genomes copied unchanged each generation "
+        "(default 2; 1 with --smoke)",
+    )
+    fuzz.add_argument(
+        "--tournament",
+        type=int,
+        default=None,
+        help="tournament selection size (default 3; 2 with --smoke)",
+    )
+    fuzz.add_argument(
+        "--mutation-scale",
+        type=float,
+        default=0.15,
+        help="Gaussian mutation sigma as a fraction of each gene's "
+        "range (default 0.15)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the whole search trajectory (default 0)",
+    )
+    fuzz.add_argument(
+        "--fitness",
+        choices=["latency", "mrf_margin", "disagreement"],
+        default="latency",
+        help="fitness function: peak estimated FPR demand (default), "
+        "demand margin above the provisioned rate, or peak "
+        "backend-vs-scalar disagreement (parity bug hunt)",
+    )
+    fuzz.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="scenario jitter seeds 0..N-1 per genome (default 1)",
+    )
+    fuzz.add_argument(
+        "--fprs",
+        default="30",
+        help="comma-separated fixed FPR settings per genome (default 30)",
+    )
+    fuzz.add_argument(
+        "--stride",
+        type=float,
+        default=None,
+        help="evaluation stride in seconds (default 0.05; 0.5 with "
+        "--smoke)",
+    )
+    fuzz.add_argument(
+        "--backend",
+        choices=["batched", "scalar", "crosstrace"],
+        default="batched",
+        help="latency backend generations evaluate under",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    fuzz.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="simulate-once trace store: elites and re-discovered "
+        "genomes re-evaluate from recorded traces (see campaign "
+        "--store)",
+    )
+    fuzz.add_argument(
+        "--archive-size",
+        type=int,
+        default=5,
+        help="worst-case genomes kept in archive.json (default 5)",
+    )
+    fuzz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized preset: 4 genomes x 2 generations at stride "
+        "0.5 (explicit flags still win)",
+    )
+    fuzz.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-generation progress lines",
     )
 
     replay = sub.add_parser(
@@ -626,6 +865,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
         "campaign-merge": _cmd_campaign_merge,
+        "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
     }
     return handlers[args.command](args)

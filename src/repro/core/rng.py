@@ -202,3 +202,10 @@ STREAM_MISS = stable_key("perception.miss")
 STREAM_NOISE_X = stable_key("perception.noise.x")
 STREAM_NOISE_Y = stable_key("perception.noise.y")
 STREAM_DERIVE = stable_key("seed.derive")
+# The evolutionary scenario search draws its whole trajectory from
+# these three channels keyed by (generation, slot, gene) coordinates,
+# so a fuzz run is a pure function of its root seed — independent of
+# worker counts, resume points and evaluation order.
+STREAM_FUZZ_INIT = stable_key("fuzz.init")
+STREAM_FUZZ_SELECT = stable_key("fuzz.select")
+STREAM_FUZZ_MUTATE = stable_key("fuzz.mutate")

@@ -1,0 +1,54 @@
+"""Adversarial scenario search: evolutionary fuzzing of the catalog.
+
+The catalog's worst cases live *between* its hand-written entries; this
+package searches for them. A :class:`~repro.scenarios.fuzzed.ParamSpace`
+declares each family's mutable genes (gaps, speeds, trigger times,
+maneuver durations, decelerations, actor counts, curvature) with typed
+bounds; :func:`run_fuzz` evolves genomes under tournament selection,
+elitism and bounded Gaussian mutation — every stochastic choice a
+counter-RNG draw keyed by (generation, slot, gene) — and evaluates each
+generation as an ordinary :class:`~repro.batch.campaign.Campaign`, so
+the search inherits workers, backends, the simulate-once trace store,
+kill-safety and resume from the campaign layer for free.
+
+Quickstart::
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(family="cut_out", population=8, generations=4)
+    result = run_fuzz(config, out_dir="fuzz_out")
+    print(result.best)  # worst-case genome found, archived on disk
+
+See ``repro fuzz --help`` for the CLI face and docs/CAMPAIGNS.md
+("Fuzzing") for the workflow, fitness choices and archive layout.
+"""
+
+from repro.fuzz.evolve import (
+    FuzzConfig,
+    FuzzResult,
+    initial_population,
+    mutate,
+    next_population,
+    run_fuzz,
+    tournament_pick,
+)
+from repro.fuzz.fitness import (
+    FITNESS_CHOICES,
+    score_disagreement,
+    score_key,
+    score_rows,
+)
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzResult",
+    "run_fuzz",
+    "initial_population",
+    "mutate",
+    "next_population",
+    "tournament_pick",
+    "FITNESS_CHOICES",
+    "score_rows",
+    "score_disagreement",
+    "score_key",
+]

@@ -1,0 +1,117 @@
+"""Fitness functions: campaign run rows -> one scalar per genome.
+
+A genome's fitness is computed from the streamed JSONL rows of the
+generation campaign it ran in — never from in-memory simulation state —
+so fitness is exactly as reproducible, resumable and backend-independent
+as campaign files themselves are.
+
+Three fitness functions, selected by name:
+
+* ``latency`` (default): the scenario's peak estimated FPR demand — the
+  paper's "estimated latency requirement". Searching for its maximum
+  finds the catalog's hardest perception workloads.
+* ``mrf_margin``: peak demand *above the rate the run provisioned*
+  (``max_fpr - fpr``); positive means the scenario violates its
+  provision — the minimum-required-FPR story's failure margin.
+* ``disagreement``: peak ``|max_fpr|`` difference between the
+  configured backend and the scalar reference for identical cells — an
+  adversarial search for backend-parity breaks (it should flatline at
+  0.0; any positive fitness is a found bug).
+
+Collisions score ``2 x provisioned_fpr`` — beyond any estimable demand,
+so the search treats "no latency can save this" as the worst case it
+can find. Failed rows (captured errors) contribute nothing; a genome
+with only failed rows has fitness ``None`` and dies out of the
+population — which is why the scenario-parameter hygiene checks
+(bounded jitter fractions, clamped stations) matter: they keep mutation
+from wasting generations on degenerate geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batch.results import RunSummary
+from repro.errors import ConfigurationError
+
+#: Fitness function names accepted by the search and the CLI.
+FITNESS_CHOICES = ("latency", "mrf_margin", "disagreement")
+
+
+def _collision_score(provisioned_fpr: float) -> float:
+    return 2.0 * provisioned_fpr
+
+
+def score_rows(
+    rows: Sequence[RunSummary],
+    fitness: str,
+    provisioned_fpr: float,
+) -> float | None:
+    """One genome's fitness from its campaign rows.
+
+    Args:
+        rows: the genome scenario's run summaries (any seed/FPR cells).
+        fitness: ``"latency"`` or ``"mrf_margin"``; ``"disagreement"``
+            needs two row sets — use :func:`score_disagreement`.
+        provisioned_fpr: the campaign's provision (collision score).
+
+    Returns:
+        The maximum per-row score, or ``None`` when no row is usable
+        (every run failed).
+    """
+    if fitness not in ("latency", "mrf_margin"):
+        raise ConfigurationError(
+            f"unknown row fitness {fitness!r}; "
+            f"choose from {FITNESS_CHOICES}"
+        )
+    values: list[float] = []
+    for row in rows:
+        if not row.ok:
+            continue
+        if row.collided:
+            demand = _collision_score(provisioned_fpr)
+        elif row.max_fpr is not None:
+            demand = float(row.max_fpr)
+        else:
+            continue
+        if fitness == "mrf_margin":
+            demand -= float(row.fpr)
+        values.append(demand)
+    return max(values) if values else None
+
+
+def score_disagreement(
+    rows: Sequence[RunSummary],
+    reference_rows: Sequence[RunSummary],
+) -> float | None:
+    """Peak ``|max_fpr|`` difference between two backends' row sets.
+
+    Rows pair by (seed, fpr, variant) cell. The simulation layer is
+    shared, so paired rows must agree on the collision outcome — a
+    mismatch *is* a parity break and scores infinite disagreement
+    rather than being skipped.
+    """
+    reference = {
+        (row.seed, row.fpr, row.variant): row
+        for row in reference_rows
+        if row.ok
+    }
+    values: list[float] = []
+    for row in rows:
+        if not row.ok:
+            continue
+        other = reference.get((row.seed, row.fpr, row.variant))
+        if other is None:
+            continue
+        if row.collided != other.collided:
+            return float("inf")
+        if row.collided:
+            values.append(0.0)
+        elif row.max_fpr is not None and other.max_fpr is not None:
+            values.append(abs(float(row.max_fpr) - float(other.max_fpr)))
+    return max(values) if values else None
+
+
+def score_key(score: float | None) -> float:
+    """Ordering key treating unusable genomes as worst."""
+    return float("-inf") if score is None else score

@@ -16,6 +16,16 @@ from repro.scenarios.catalog import (
     density_sweep,
     speed_sweep,
 )
+from repro.scenarios.fuzzed import (
+    FUZZ_FAMILIES,
+    FuzzFamily,
+    GeneSpec,
+    ParamSpace,
+    fuzzed_name,
+    fuzzed_recipes,
+    load_fuzzed_archive,
+    register_fuzzed,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -28,4 +38,12 @@ __all__ = [
     "build_scenario",
     "density_sweep",
     "speed_sweep",
+    "FUZZ_FAMILIES",
+    "FuzzFamily",
+    "GeneSpec",
+    "ParamSpace",
+    "fuzzed_name",
+    "fuzzed_recipes",
+    "load_fuzzed_archive",
+    "register_fuzzed",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.actors.vehicle import Actor
 from repro.dynamics.state import VehicleSpec, VehicleState
+from repro.core.rng import derive_seed
 from repro.errors import ConfigurationError
 from repro.geometry.vec import Vec2
 from repro.perception.detection import DetectionModel
@@ -38,6 +39,12 @@ def jittered(
     """``value`` scaled by a uniform factor in ``[1-fraction, 1+fraction]``."""
     if fraction < 0.0:
         raise ConfigurationError("jitter fraction must be non-negative")
+    if fraction > 1.0:
+        # A fraction above 1 lets the factor go negative, silently
+        # flipping the sign of gaps, durations and decelerations.
+        raise ConfigurationError(
+            f"jitter fraction must be <= 1.0, got {fraction}"
+        )
     if fraction == 0.0:
         return value
     return value * (1.0 + rng.uniform(-fraction, fraction))
@@ -108,6 +115,17 @@ class BuiltScenario:
         rng = np.random.default_rng(self.seed)
         return self.spec.build_actors(self.road, rng)
 
+    @property
+    def perception_seed(self) -> int:
+        """Root seed for the counter-keyed perception draws.
+
+        Derived through the seed-derivation stream rather than by an
+        additive offset: ``seed + 7919`` would make scenario seed
+        ``s + 7919``'s choreography generator collide with seed ``s``'s
+        perception root.
+        """
+        return derive_seed(self.seed, "perception")
+
     def run(
         self,
         fpr: float | Mapping[str, float] = 30.0,
@@ -142,9 +160,9 @@ class BuiltScenario:
             fpr=fpr,
             confirmation_hits=confirmation_hits,
             # Decorrelate detection noise from the choreography jitter:
-            # the offset keeps the counter-keyed perception draws on a
-            # different root seed than build_actors' generator.
-            seed=self.seed + 7_919,
+            # the derived stream keeps the counter-keyed perception
+            # draws off build_actors' generator for every seed pair.
+            seed=self.perception_seed,
         )
         planner = Planner(
             config=PlannerConfig(

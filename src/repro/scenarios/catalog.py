@@ -52,7 +52,13 @@ def _curved_road() -> Road:
 
 
 def _cut_out_actors(
-    road: Road, rng: np.random.Generator, ego_speed_mph: float
+    road: Road,
+    rng: np.random.Generator,
+    ego_speed_mph: float,
+    lead_gap: float | None = None,
+    bail_out_gap: float | None = None,
+    duration: float = 1.8,
+    cruise_before: float = 2.5,
 ) -> list[Actor]:
     """Lead cuts out of the ego's lane, revealing a static obstacle.
 
@@ -60,13 +66,19 @@ def _cut_out_actors(
     is the ego's only option. The bail-out gap is chosen so the obstacle
     is revealed near-critically: at 40 mph the scenario is survivable
     only with a fast perception reaction (the paper's hardest MRF).
+    The gap/maneuver keywords default to the Table 1 tuning; the fuzz
+    families override them per genome (same draw order either way, so
+    defaults reproduce the original choreography bit-exactly).
     """
     speed = mph_to_mps(ego_speed_mph)
-    lead_gap = jittered(rng, 0.3 * speed + 20.0, 0.05)
+    if lead_gap is None:
+        lead_gap = 0.3 * speed + 20.0
     # Slightly tighter bail-out at low speed keeps the 20 mph variant's
     # demand above its MRF even in gently-driven high-FPR traces.
-    bail_out_gap = jittered(rng, 22.0 if speed < 12.0 else 26.0, 0.05)
-    cruise_before = 2.5  # seconds of steady driving before the bail-out
+    if bail_out_gap is None:
+        bail_out_gap = 22.0 if speed < 12.0 else 26.0
+    lead_gap = jittered(rng, lead_gap, 0.05)
+    bail_out_gap = jittered(rng, bail_out_gap, 0.05)
     obstacle_gap = lead_gap + bail_out_gap + speed * cruise_before
     lead = Actor(
         actor_id="lead",
@@ -74,7 +86,7 @@ def _cut_out_actors(
         behavior=TriggeredLaneChange(
             trigger=WhenActorGapBelow(target_id="obstacle", gap=bail_out_gap),
             target_lane=0,
-            duration=jittered(rng, 1.8, 0.08),
+            duration=jittered(rng, duration, 0.08),
             then=Cruise(target_speed=speed),
         ),
         lane=1,
@@ -285,20 +297,25 @@ _register(
 
 
 def _vehicle_following_actors(
-    road: Road, rng: np.random.Generator
+    road: Road,
+    rng: np.random.Generator,
+    ego_speed_mph: float = 70.0,
+    lead_gap: float = 50.0,
+    brake_time: float = 4.0,
+    decel: float = 3.0,
 ) -> list[Actor]:
-    speed = mph_to_mps(70.0)
+    speed = mph_to_mps(ego_speed_mph)
     return [
         Actor(
             actor_id="lead",
             road=road,
             behavior=SuddenBrake(
-                trigger=AtTime(time=jittered(rng, 4.0, 0.15)),
-                decel=jittered(rng, 3.0, 0.1),
+                trigger=AtTime(time=jittered(rng, brake_time, 0.15)),
+                decel=jittered(rng, decel, 0.1),
                 cruise_speed=speed,
             ),
             lane=1,
-            station=_EGO_START + jittered(rng, 50.0, 0.04),
+            station=_EGO_START + jittered(rng, lead_gap, 0.04),
             speed=speed,
         )
     ]
@@ -636,6 +653,9 @@ def _background_actors(
             station = (
                 ego_station + queue_offset + jittered(rng, 30.0, 0.15) * rank
             )
+            # Small (or negative) queue_offset genes must not place the
+            # queue off the road start, mirroring the odd-branch clamp.
+            station = max(station, 4.0)
             speed = 0.0
         else:
             lane = side_lanes[rank % len(side_lanes)]
@@ -738,6 +758,9 @@ _DENSITY_NAME = re.compile(
     r"_dense(\d+)$"
 )
 
+#: Shape of a fuzzed-variant name, e.g. ``fuzzed_cut_out_1a2b3c4d5e``.
+_FUZZED_NAME = re.compile(r"^fuzzed_[a-z0-9_]+_[0-9a-f]{10}$")
+
 
 def ensure_scenario(name: str) -> bool:
     """Make ``name`` registered, deriving sweep variants on demand.
@@ -763,6 +786,15 @@ def ensure_scenario(name: str) -> bool:
             counts=(int(match.group(2)),), families=(match.group(1),)
         )
         return name in SCENARIOS
+    if _FUZZED_NAME.match(name) is not None:
+        # Unlike sweep names, a fuzzed digest name does not carry its own
+        # recipe; resolution consults the in-process recipe table and the
+        # REPRO_FUZZ_RECIPES archive (how spawn workers and campaign
+        # reloads rebuild fuzzed genomes). Imported lazily: fuzzed.py
+        # imports this module.
+        from repro.scenarios.fuzzed import resolve_fuzzed
+
+        return resolve_fuzzed(name)
     return False
 
 

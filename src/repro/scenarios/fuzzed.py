@@ -1,0 +1,555 @@
+"""Fuzzable scenario families: the genome <-> :class:`ScenarioSpec` binding.
+
+The evolutionary search (:mod:`repro.fuzz`) mutates *genomes* — flat
+``{gene name: value}`` mappings — not scenario objects. This module owns
+the mapping between the two worlds:
+
+* A :class:`GeneSpec` declares one mutable scenario parameter with typed
+  bounds; a :class:`ParamSpace` is an ordered tuple of genes plus the
+  canonicalization rules (rounding, integer coercion, bounds checks)
+  that make a genome hashable and reproducible.
+* A :class:`FuzzFamily` binds a space to a catalog base scenario and a
+  builder that turns a canonical genome into a :class:`ScenarioSpec`.
+* :func:`register_fuzzed` registers a genome as a first-class catalog
+  entry named ``fuzzed_<family>_<digest>`` — the digest is a content
+  hash of the canonical genome, so the same parameters always produce
+  the same name, in any process, forever. It sits next to
+  ``speed_sweep`` / ``density_sweep`` as the third catalog expander.
+* Unlike sweep names, a digest is not self-describing, so fuzzed
+  recipes travel as JSON (:func:`fuzzed_recipes` payloads and the fuzz
+  archive): :func:`resolve_fuzzed` — called from
+  ``catalog.ensure_scenario`` — rebuilds a fuzzed entry from the
+  in-process recipe table or from the archive file named by the
+  ``REPRO_FUZZ_RECIPES`` environment variable. That is how spawn-method
+  workers and later ``repro campaign --fuzz-archive`` sessions replay a
+  discovered worst case without the search that found it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.road.track import Road, three_lane_curved_road
+from repro.scenarios import catalog
+from repro.scenarios.base import ScenarioSpec
+from repro.units import mph_to_mps
+
+#: Environment variable naming fuzz recipe/archive JSON file(s)
+#: (``os.pathsep``-separated) consulted when resolving a fuzzed name.
+RECIPES_ENV = "REPRO_FUZZ_RECIPES"
+
+#: Hex digits of the canonical-genome digest used in fuzzed names.
+DIGEST_LEN = 10
+
+#: Decimal places a float gene is rounded to during canonicalization
+#: (what both the digest and the rebuilt scenario see).
+GENE_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class GeneSpec:
+    """One mutable scenario parameter with typed bounds.
+
+    Attributes:
+        name: gene key in the genome mapping.
+        low: inclusive lower bound.
+        high: inclusive upper bound.
+        default: the search's starting value (slot 0 of generation 0).
+        integer: whether values are coerced to integers (actor counts).
+    """
+
+    name: str
+    low: float
+    high: float
+    default: float
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("gene name must be non-empty")
+        if not self.low < self.high:
+            raise ConfigurationError(
+                f"gene {self.name!r} bounds must satisfy low < high, "
+                f"got [{self.low}, {self.high}]"
+            )
+        if self.integer and (
+            self.low != int(self.low) or self.high != int(self.high)
+        ):
+            raise ConfigurationError(
+                f"integer gene {self.name!r} needs integral bounds"
+            )
+        if not self.low <= self.default <= self.high:
+            raise ConfigurationError(
+                f"gene {self.name!r} default {self.default} outside "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def quantize(self, value: float) -> float | int:
+        """Clip ``value`` into bounds and snap it onto the gene's grid.
+
+        Floats round to :data:`GENE_DECIMALS` places, integers to whole
+        numbers — the representation the digest hashes, so two runs that
+        compute the same value through different float paths still agree
+        on the scenario name.
+        """
+        clipped = min(max(float(value), self.low), self.high)
+        if self.integer:
+            return int(min(max(round(clipped), self.low), self.high))
+        return round(clipped, GENE_DECIMALS)
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """An ordered, validated set of genes."""
+
+    genes: tuple[GeneSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.genes:
+            raise ConfigurationError("a ParamSpace needs at least one gene")
+        names = [gene.name for gene in self.genes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate gene names in {names}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Gene names in declaration order (the mutation key order)."""
+        return tuple(gene.name for gene in self.genes)
+
+    def defaults(self) -> dict[str, float | int]:
+        """The family's starting genome."""
+        return {gene.name: gene.quantize(gene.default) for gene in self.genes}
+
+    def canonical(self, params: Mapping[str, float]) -> dict[str, float | int]:
+        """Validate and normalize a genome for digesting and building.
+
+        Every gene must be present, nothing extra, every value within
+        bounds (quantization may only snap it onto the value grid, not
+        move it inside the range — an out-of-range genome is a caller
+        bug, not something to silently repair).
+        """
+        extra = sorted(set(params) - set(self.names))
+        if extra:
+            raise ConfigurationError(f"unknown gene(s) {extra}")
+        canonical: dict[str, float | int] = {}
+        for gene in self.genes:
+            if gene.name not in params:
+                raise ConfigurationError(f"missing gene {gene.name!r}")
+            value = float(params[gene.name])
+            if not np.isfinite(value):
+                raise ConfigurationError(
+                    f"gene {gene.name!r} value must be finite, got {value!r}"
+                )
+            rounded = round(value, GENE_DECIMALS)
+            if not gene.low <= rounded <= gene.high:
+                raise ConfigurationError(
+                    f"gene {gene.name!r} value {value} outside "
+                    f"[{gene.low}, {gene.high}]"
+                )
+            canonical[gene.name] = gene.quantize(value)
+        return canonical
+
+
+@dataclass(frozen=True)
+class FuzzFamily:
+    """A fuzzable scenario family: base entry, gene space, spec builder.
+
+    Attributes:
+        name: family key (also the middle of fuzzed scenario names).
+        base_scenario: the catalog entry whose fitness a search must
+            beat — always evaluated alongside each generation.
+        description: one-line summary for docs and CLI listings.
+        space: the family's gene space.
+        build_spec: canonical genome -> :class:`ScenarioSpec` factory
+            (called with the digest name and the canonical params).
+    """
+
+    name: str
+    base_scenario: str
+    description: str
+    space: ParamSpace
+    build_spec: Callable[[str, Mapping[str, float]], ScenarioSpec]
+
+
+def _digest(family: str, params: Mapping[str, float]) -> str:
+    payload = json.dumps(
+        {"family": family, "params": dict(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:DIGEST_LEN]
+
+
+def fuzzed_name(family: str, params: Mapping[str, float]) -> str:
+    """The catalog name a canonical genome registers under."""
+    space = get_family(family).space
+    return f"fuzzed_{family}_{_digest(family, space.canonical(params))}"
+
+
+# ----------------------------------------------------------------------
+# family spec builders
+# ----------------------------------------------------------------------
+
+
+def _build_cut_out(name: str, params: Mapping[str, float]) -> ScenarioSpec:
+    p = dict(params)
+
+    def build(road: Road, rng: np.random.Generator) -> list:
+        actors = catalog._cut_out_actors(
+            road,
+            rng,
+            ego_speed_mph=p["ego_speed_mph"],
+            lead_gap=p["lead_gap"],
+            bail_out_gap=p["bail_out_gap"],
+            duration=p["duration"],
+            cruise_before=p["cruise_before"],
+        )
+        count = int(p["actor_count"])
+        if count:
+            actors += catalog._background_actors(
+                road,
+                rng,
+                count,
+                ego_speed=mph_to_mps(p["ego_speed_mph"]),
+                ego_lane=1,
+                ego_station=catalog._EGO_START,
+                queue_offset=p["queue_offset"],
+            )
+        return actors
+
+    return ScenarioSpec(
+        name=name,
+        description="cut-out fuzz variant (evolutionary search genome)",
+        ego_speed_mph=p["ego_speed_mph"],
+        ego_lane=1,
+        ego_station=catalog._EGO_START,
+        activity={"front": True, "right": True, "left": True},
+        paper_mrf="-",
+        build_road=catalog._straight_road,
+        build_actors=build,
+        duration=35.0,
+    )
+
+
+def _build_challenging_cut_in(
+    name: str, params: Mapping[str, float]
+) -> ScenarioSpec:
+    p = dict(params)
+
+    def build(road: Road, rng: np.random.Generator) -> list:
+        return catalog._cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=p["ego_speed_mph"],
+            actor_speed_mph=p["ego_speed_mph"] - p["speed_delta_mph"],
+            trigger_gap=p["trigger_gap"],
+            # start = trigger + extra keeps the cutter ahead of its own
+            # trigger distance for every genome the bounds allow.
+            start_gap=p["trigger_gap"] + p["start_extra"],
+            duration=p["duration"],
+            with_left_blocker=True,
+            blocker_station_offset=p["blocker_offset"],
+        )
+
+    return ScenarioSpec(
+        name=name,
+        description=(
+            "challenging cut-in fuzz variant (evolutionary search genome)"
+        ),
+        ego_speed_mph=p["ego_speed_mph"],
+        ego_lane=1,
+        ego_station=catalog._EGO_START,
+        activity={"front": True, "right": True, "left": False},
+        paper_mrf="-",
+        build_road=catalog._straight_road,
+        build_actors=build,
+        duration=35.0,
+    )
+
+
+def _build_vehicle_following(
+    name: str, params: Mapping[str, float]
+) -> ScenarioSpec:
+    p = dict(params)
+
+    def build(road: Road, rng: np.random.Generator) -> list:
+        return catalog._vehicle_following_actors(
+            road,
+            rng,
+            ego_speed_mph=p["ego_speed_mph"],
+            lead_gap=p["lead_gap"],
+            brake_time=p["brake_time"],
+            decel=p["decel"],
+        )
+
+    return ScenarioSpec(
+        name=name,
+        description=(
+            "vehicle-following fuzz variant (evolutionary search genome)"
+        ),
+        ego_speed_mph=p["ego_speed_mph"],
+        ego_lane=1,
+        ego_station=catalog._EGO_START,
+        activity={"front": True, "right": False, "left": False},
+        paper_mrf="-",
+        build_road=catalog._straight_road,
+        build_actors=build,
+        duration=35.0,
+    )
+
+
+def _build_cut_in_curved(
+    name: str, params: Mapping[str, float]
+) -> ScenarioSpec:
+    p = dict(params)
+    ego_station = 40.0
+
+    def build_road() -> Road:
+        # Curvature is a gene: each genome carves its own arc radius.
+        return three_lane_curved_road(
+            entry_length=150.0,
+            radius=p["radius"],
+            arc_length=1400.0,
+            turn_left=False,
+        )
+
+    def build(road: Road, rng: np.random.Generator) -> list:
+        return catalog._cut_in_actors(
+            road,
+            rng,
+            ego_speed_mph=p["ego_speed_mph"],
+            actor_speed_mph=p["ego_speed_mph"] - p["speed_delta_mph"],
+            trigger_gap=p["trigger_gap"],
+            start_gap=p["trigger_gap"] + p["start_extra"],
+            duration=p["duration"],
+            with_left_blocker=True,
+            blocker_station_offset=-2.0,
+            ego_station=ego_station,
+        )
+
+    return ScenarioSpec(
+        name=name,
+        description=(
+            "curved-road cut-in fuzz variant (evolutionary search genome)"
+        ),
+        ego_speed_mph=p["ego_speed_mph"],
+        ego_lane=1,
+        ego_station=ego_station,
+        activity={"front": True, "right": True, "left": True},
+        paper_mrf="-",
+        build_road=build_road,
+        build_actors=build,
+        duration=40.0,
+    )
+
+
+#: The fuzzable families. Bounds bracket the Table 1 tunings (defaults
+#: are the base scenarios' values) while staying physical: speeds and
+#: gaps positive, cut-in start strictly past the trigger, blocker
+#: behind the ego, curve radii drivable at the speed bounds.
+FUZZ_FAMILIES: dict[str, FuzzFamily] = {
+    family.name: family
+    for family in (
+        FuzzFamily(
+            name="cut_out",
+            base_scenario="cut_out",
+            description=(
+                "cut-out reveal: gaps, maneuver timing and background "
+                "traffic around the 20 mph Table 1 baseline"
+            ),
+            space=ParamSpace(
+                genes=(
+                    GeneSpec("ego_speed_mph", 15.0, 55.0, 20.0),
+                    GeneSpec("lead_gap", 12.0, 45.0, 22.7),
+                    GeneSpec("bail_out_gap", 14.0, 40.0, 22.0),
+                    GeneSpec("duration", 1.0, 3.0, 1.8),
+                    GeneSpec("cruise_before", 1.0, 4.0, 2.5),
+                    GeneSpec("actor_count", 0, 6, 0, integer=True),
+                    GeneSpec("queue_offset", -40.0, 150.0, 60.0),
+                )
+            ),
+            build_spec=_build_cut_out,
+        ),
+        FuzzFamily(
+            name="challenging_cut_in",
+            base_scenario="challenging_cut_in",
+            description=(
+                "close cut-in with left blocker: speeds, trigger/start "
+                "gaps, maneuver duration, blocker placement"
+            ),
+            space=ParamSpace(
+                genes=(
+                    GeneSpec("ego_speed_mph", 35.0, 70.0, 60.0),
+                    GeneSpec("speed_delta_mph", 8.0, 30.0, 20.0),
+                    GeneSpec("trigger_gap", 14.0, 40.0, 26.0),
+                    GeneSpec("start_extra", 8.0, 35.0, 19.0),
+                    GeneSpec("duration", 1.2, 3.2, 2.2),
+                    GeneSpec("blocker_offset", -14.0, -2.0, -9.0),
+                )
+            ),
+            build_spec=_build_challenging_cut_in,
+        ),
+        FuzzFamily(
+            name="vehicle_following",
+            base_scenario="vehicle_following",
+            description=(
+                "lead-brakes-to-stop: following gap, brake onset and "
+                "deceleration around the 70 mph baseline"
+            ),
+            space=ParamSpace(
+                genes=(
+                    GeneSpec("ego_speed_mph", 30.0, 70.0, 70.0),
+                    GeneSpec("lead_gap", 18.0, 65.0, 50.0),
+                    GeneSpec("brake_time", 1.5, 6.0, 4.0),
+                    GeneSpec("decel", 2.0, 8.0, 3.0),
+                )
+            ),
+            build_spec=_build_vehicle_following,
+        ),
+        FuzzFamily(
+            name="challenging_cut_in_curved",
+            base_scenario="challenging_cut_in_curved",
+            description=(
+                "curved-road cut-in: arc radius (curvature gene), speeds "
+                "and gap geometry on the composite Frenet road"
+            ),
+            space=ParamSpace(
+                genes=(
+                    GeneSpec("radius", 150.0, 600.0, 350.0),
+                    GeneSpec("ego_speed_mph", 25.0, 50.0, 40.0),
+                    GeneSpec("speed_delta_mph", 6.0, 25.0, 14.0),
+                    GeneSpec("trigger_gap", 12.0, 30.0, 20.0),
+                    GeneSpec("start_extra", 8.0, 28.0, 18.0),
+                    GeneSpec("duration", 1.2, 3.2, 2.2),
+                )
+            ),
+            build_spec=_build_cut_in_curved,
+        ),
+    )
+}
+
+
+def get_family(name: str) -> FuzzFamily:
+    """Look up a fuzz family or fail with the catalog of choices."""
+    try:
+        return FUZZ_FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fuzz family {name!r}; "
+            f"choose from {sorted(FUZZ_FAMILIES)}"
+        ) from None
+
+
+#: Process-local recipes for every fuzzed entry registered here:
+#: ``name -> {"family": ..., "params": ...}``. What :func:`resolve_fuzzed`
+#: and recipe files are built from.
+_FUZZED_RECIPES: dict[str, dict] = {}
+
+
+def register_fuzzed(family: str, params: Mapping[str, float]) -> str:
+    """Register a genome as the catalog entry ``fuzzed_<family>_<digest>``.
+
+    Idempotent, like ``speed_sweep`` / ``density_sweep``: the digest is
+    a pure function of the canonical genome, so re-registering the same
+    parameters returns the existing entry. Returns the scenario name.
+    """
+    fam = get_family(family)
+    canonical = fam.space.canonical(params)
+    name = f"fuzzed_{family}_{_digest(family, canonical)}"
+    _FUZZED_RECIPES[name] = {"family": family, "params": canonical}
+    if name not in catalog.SCENARIOS:
+        catalog._register(fam.build_spec(name, canonical))
+    return name
+
+
+def fuzzed_recipe(name: str) -> dict:
+    """The ``{"family", "params"}`` recipe behind a registered name."""
+    try:
+        recipe = _FUZZED_RECIPES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{name!r} is not a registered fuzzed scenario"
+        ) from None
+    return {"family": recipe["family"], "params": dict(recipe["params"])}
+
+
+def fuzzed_recipes(names: list[str] | None = None) -> dict:
+    """A JSON-ready recipes payload for ``names`` (default: all known)."""
+    if names is None:
+        names = sorted(_FUZZED_RECIPES)
+    entries = [
+        {"name": name, **fuzzed_recipe(name)} for name in names
+    ]
+    return {"kind": "fuzz_recipes", "schema": 1, "entries": entries}
+
+
+def load_fuzzed_archive(path: str | os.PathLike) -> list[str]:
+    """Register every genome recorded in a recipes or archive JSON file.
+
+    Accepts both the per-generation recipe sidecars and the final fuzz
+    archive — anything with an ``entries`` list of
+    ``{"name", "family", "params"}`` records. Each entry's recorded name
+    must match the digest recomputed from its parameters, so a corrupted
+    or hand-edited archive fails loudly instead of silently rebuilding a
+    different scenario under a trusted name. Returns the names, in file
+    order.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable fuzz archive {path}: {exc}")
+    entries = payload.get("entries") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise ConfigurationError(
+            f"fuzz archive {path} has no 'entries' list"
+        )
+    names: list[str] = []
+    for entry in entries:
+        try:
+            recorded = entry["name"]
+            family = entry["family"]
+            params = entry["params"]
+        except (TypeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"malformed fuzz archive entry in {path}: {entry!r}"
+            ) from exc
+        name = register_fuzzed(family, params)
+        if name != recorded:
+            raise ConfigurationError(
+                f"fuzz archive {path} entry {recorded!r} does not match "
+                f"its parameters (rebuilt as {name!r}); refusing a "
+                "tampered or corrupted archive"
+            )
+        names.append(name)
+    return names
+
+
+def resolve_fuzzed(name: str) -> bool:
+    """Make a fuzzed ``name`` registered, if any known recipe matches.
+
+    Resolution order: already registered, the in-process recipe table,
+    then the archive file(s) named by ``REPRO_FUZZ_RECIPES``
+    (``os.pathsep``-separated). Returns whether the name is registered
+    afterwards — the ``ensure_scenario`` contract.
+    """
+    if name in catalog.SCENARIOS:
+        return True
+    recipe = _FUZZED_RECIPES.get(name)
+    if recipe is not None:
+        register_fuzzed(recipe["family"], recipe["params"])
+        return name in catalog.SCENARIOS
+    archives = os.environ.get(RECIPES_ENV, "")
+    for path in archives.split(os.pathsep):
+        if path and os.path.exists(path):
+            load_fuzzed_archive(path)
+            if name in catalog.SCENARIOS:
+                return True
+    return name in catalog.SCENARIOS

@@ -1,0 +1,126 @@
+"""End-to-end fuzz search: deterministic, resumable, archive-portable.
+
+The acceptance bar for ``repro fuzz``: a micro evolutionary search must
+(a) find and archive a genome whose fitness strictly exceeds its base
+scenario's, (b) reproduce its archive and generation campaigns
+byte-identically across worker counts and across a resume over the same
+output directory, and (c) emit archive entries that a clean process can
+rebuild through ``ensure_scenario`` and run under every campaign
+backend with identical results. One shared trace store keeps the whole
+module to a handful of unique simulations.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import Campaign, CampaignRunner
+from repro.core.latency import BACKENDS
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.scenarios.catalog import SCENARIOS, ensure_scenario
+from repro.scenarios.fuzzed import _FUZZED_RECIPES, RECIPES_ENV
+from repro.store import TraceStore
+
+MICRO = dict(
+    family="cut_out",
+    population=3,
+    generations=2,
+    elite=1,
+    tournament=2,
+    seed=5,
+    stride=0.5,
+)
+
+
+def run_lines(path):
+    # Drop the header (campaign metadata) and footer (wall clock): the
+    # determinism contract covers every run line, byte for byte.
+    return [
+        line
+        for line in path.read_text().splitlines()
+        if '"kind": "run"' in line
+    ]
+
+
+def search(out_dir, workers, store):
+    runner = CampaignRunner(workers=workers, store=store)
+    return run_fuzz(FuzzConfig(**MICRO), out_dir=out_dir, runner=runner)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    return TraceStore(tmp_path_factory.mktemp("fuzz") / "store")
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory, store):
+    return search(tmp_path_factory.mktemp("fuzz") / "search", 1, store)
+
+
+@pytest.mark.slow
+class TestFuzzSearch:
+    def test_best_strictly_exceeds_the_base(self, result):
+        assert result.best is not None
+        assert result.base_fitness is not None
+        assert result.best["fitness"] > result.base_fitness
+        payload = json.loads(result.search_path.read_text())
+        assert payload["exceeds_base"] is True
+
+    def test_best_so_far_is_monotone(self, result):
+        trajectory = [g["best_so_far"] for g in result.per_generation]
+        assert len(trajectory) == MICRO["generations"]
+        assert trajectory == sorted(trajectory)
+
+    def test_byte_identical_across_worker_counts(
+        self, result, tmp_path, store
+    ):
+        other = search(tmp_path / "search", 2, store)
+        assert (
+            other.archive_path.read_bytes()
+            == result.archive_path.read_bytes()
+        )
+        assert (
+            other.search_path.read_bytes()
+            == result.search_path.read_bytes()
+        )
+        for mine, theirs in zip(
+            result.generation_files, other.generation_files, strict=True
+        ):
+            assert run_lines(mine) == run_lines(theirs)
+
+    def test_rerun_over_same_directory_reproduces(self, result, store):
+        before = result.archive_path.read_bytes()
+        again = search(result.archive_path.parent, 1, store)
+        assert again.archive_path.read_bytes() == before
+        assert [e["name"] for e in again.archive] == [
+            e["name"] for e in result.archive
+        ]
+
+    def test_archive_rebuilds_and_runs_on_every_backend(
+        self, result, store, tmp_path, monkeypatch
+    ):
+        name = result.best["name"]
+        # Forget the in-process registration: a later session only has
+        # the archive file, reached through the env-var search path.
+        SCENARIOS.pop(name, None)
+        _FUZZED_RECIPES.pop(name, None)
+        monkeypatch.setenv(RECIPES_ENV, str(result.archive_path))
+        assert ensure_scenario(name)
+
+        lines = {}
+        for backend in sorted(BACKENDS):
+            campaign = Campaign(
+                scenarios=(name,),
+                seeds=(0,),
+                fprs=(30.0,),
+                stride=MICRO["stride"],
+                backend=backend,
+            )
+            out = tmp_path / f"{backend}.jsonl"
+            run = CampaignRunner(workers=1, store=store).run(
+                campaign, out=out
+            )
+            assert not run.failures()
+            lines[backend] = run_lines(out)
+        assert lines["scalar"] == lines["batched"]
+        assert lines["crosstrace"] == lines["batched"]

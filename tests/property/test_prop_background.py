@@ -1,0 +1,54 @@
+"""Property-based tests: background-actor placement stays on the road.
+
+The fuzz search drives ``queue_offset`` as low as -40 m and the ego
+station toward the road start, so ``_background_actors`` must clamp
+*both* the stopped queue (even slots) and the cruising platoon (odd
+slots) to a station of at least 4 m — a vehicle spawned before the road
+origin has an undefined pose. The strategy ranges mirror the fuzz gene
+bounds in ``repro/scenarios/fuzzed.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.catalog import _background_actors, _straight_road
+
+ROAD = _straight_road()
+
+
+@st.composite
+def placements(draw):
+    return dict(
+        rng_seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        count=draw(st.integers(min_value=1, max_value=8)),
+        ego_speed=draw(st.floats(min_value=5.0, max_value=35.0)),
+        ego_lane=draw(st.integers(min_value=0, max_value=2)),
+        ego_station=draw(st.floats(min_value=4.0, max_value=120.0)),
+        queue_offset=draw(st.floats(min_value=-40.0, max_value=150.0)),
+    )
+
+
+class TestBackgroundPlacement:
+    @settings(max_examples=200, deadline=None)
+    @given(placements())
+    def test_every_station_is_clamped_on_road(self, params):
+        rng = np.random.default_rng(params.pop("rng_seed"))
+        count = params.pop("count")
+        actors = _background_actors(ROAD, rng, count, **params)
+        assert len(actors) == count
+        for actor in actors:
+            assert actor.station >= 4.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(placements())
+    def test_queue_is_stopped_and_platoon_moves(self, params):
+        rng = np.random.default_rng(params.pop("rng_seed"))
+        count = params.pop("count")
+        actors = _background_actors(ROAD, rng, count, **params)
+        for i, actor in enumerate(actors):
+            if i % 2 == 0:
+                assert actor.speed == 0.0
+            else:
+                assert actor.speed > 0.0
+                assert actor.lane != params["ego_lane"]

@@ -1,5 +1,7 @@
 """CLI surface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -327,3 +329,91 @@ class TestCampaignMergeCommand:
         target = tmp_path / "no" / "dir" / "m.jsonl"
         assert main(["campaign-merge", str(a), "--out", str(target)]) == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz", "cut_out", "--out", "d"])
+        assert args.family == "cut_out"
+        assert args.out == "d"
+        # Population/generations/elite/tournament/stride stay None so
+        # --smoke (or the full preset) can fill them in.
+        assert args.population is None
+        assert args.generations is None
+        assert args.stride is None
+        assert args.fitness == "latency"
+        assert args.mutation_scale == 0.15
+        assert args.seed == 0
+        assert args.workers == 1
+        assert args.archive_size == 5
+        assert not args.smoke
+
+    def test_parser_smoke_and_overrides(self):
+        args = build_parser().parse_args(
+            ["fuzz", "vehicle_following", "--out", "d", "--smoke",
+             "--population", "6", "--fitness", "mrf_margin",
+             "--backend", "crosstrace"]
+        )
+        assert args.smoke
+        assert args.population == 6
+        assert args.fitness == "mrf_margin"
+        assert args.backend == "crosstrace"
+
+    def test_parser_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "warp", "--out", "d"])
+
+    def test_parser_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "cut_out"])
+
+    def test_bad_config_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "cut_out", "--out", str(tmp_path), "--smoke",
+             "--elite", "10"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_fprs_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "cut_out", "--out", str(tmp_path), "--smoke",
+             "--fprs", "abc"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_campaign_fuzz_archive_unreadable_exits_two(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["campaign", "cut_in",
+             "--fuzz-archive", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_fuzz_archive_registers_and_reports(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.cli import _load_fuzz_archives
+        from repro.scenarios.fuzzed import (
+            FUZZ_FAMILIES,
+            RECIPES_ENV,
+            fuzzed_recipes,
+            register_fuzzed,
+        )
+
+        monkeypatch.delenv(RECIPES_ENV, raising=False)
+        name = register_fuzzed(
+            "cut_out", FUZZ_FAMILIES["cut_out"].space.defaults()
+        )
+        path = tmp_path / "archive.json"
+        path.write_text(json.dumps(fuzzed_recipes([name])))
+        assert _load_fuzz_archives([str(path)]) is None
+        out = capsys.readouterr().out
+        assert "1 scenario(s) registered" in out
+        # Later workers resolve the same names through the env var.
+        assert str(path) in os.environ[RECIPES_ENV]

@@ -1,0 +1,242 @@
+"""The genome <-> ScenarioSpec binding: spaces, digests, archives.
+
+Fuzzed catalog entries must be *reproducible identities*: the digest
+name is a pure function of the canonical genome, registration is
+idempotent, and an archive file rebuilds exactly the entries it
+recorded — with tampering detected, not silently rebuilt under a
+trusted name.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import build_scenario
+from repro.scenarios.catalog import SCENARIOS, ensure_scenario
+from repro.scenarios.fuzzed import (
+    FUZZ_FAMILIES,
+    RECIPES_ENV,
+    GeneSpec,
+    ParamSpace,
+    _FUZZED_RECIPES,
+    fuzzed_name,
+    fuzzed_recipe,
+    fuzzed_recipes,
+    get_family,
+    load_fuzzed_archive,
+    register_fuzzed,
+    resolve_fuzzed,
+)
+
+
+class TestGeneSpec:
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            GeneSpec("gap", 10.0, 10.0, 10.0)
+
+    def test_default_must_lie_inside_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneSpec("gap", 0.0, 1.0, 2.0)
+
+    def test_integer_gene_needs_integral_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneSpec("count", 0.5, 4.0, 1.0, integer=True)
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            GeneSpec("", 0.0, 1.0, 0.5)
+
+    def test_quantize_clips_and_rounds(self):
+        gene = GeneSpec("gap", 10.0, 20.0, 15.0)
+        assert gene.quantize(25.0) == 20.0
+        assert gene.quantize(5.0) == 10.0
+        assert gene.quantize(12.3456789) == 12.345679
+
+    def test_quantize_integer_rounds_to_int(self):
+        gene = GeneSpec("count", 0, 6, 0, integer=True)
+        assert gene.quantize(2.7) == 3
+        assert isinstance(gene.quantize(2.7), int)
+        assert gene.quantize(9.9) == 6
+
+
+class TestParamSpace:
+    SPACE = ParamSpace(
+        genes=(
+            GeneSpec("gap", 10.0, 20.0, 15.0),
+            GeneSpec("count", 0, 4, 1, integer=True),
+        )
+    )
+
+    def test_needs_genes(self):
+        with pytest.raises(ConfigurationError):
+            ParamSpace(genes=())
+
+    def test_rejects_duplicate_names(self):
+        gene = GeneSpec("gap", 0.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            ParamSpace(genes=(gene, gene))
+
+    def test_defaults_are_canonical(self):
+        assert self.SPACE.defaults() == {"gap": 15.0, "count": 1}
+
+    def test_canonical_rejects_unknown_gene(self):
+        with pytest.raises(ConfigurationError, match="unknown gene"):
+            self.SPACE.canonical({"gap": 12.0, "count": 1, "bogus": 3.0})
+
+    def test_canonical_rejects_missing_gene(self):
+        with pytest.raises(ConfigurationError, match="missing gene"):
+            self.SPACE.canonical({"gap": 12.0})
+
+    def test_canonical_rejects_out_of_bounds(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            self.SPACE.canonical({"gap": 9.0, "count": 1})
+
+    def test_canonical_rejects_non_finite(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            self.SPACE.canonical({"gap": float("nan"), "count": 1})
+
+
+class TestFamilies:
+    def test_every_family_has_a_registered_base(self):
+        for family in FUZZ_FAMILIES.values():
+            assert family.base_scenario in SCENARIOS
+
+    def test_unknown_family_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            get_family("nope")
+
+    @pytest.mark.parametrize("family", sorted(FUZZ_FAMILIES))
+    def test_default_genome_builds_actors(self, family):
+        name = register_fuzzed(
+            family, FUZZ_FAMILIES[family].space.defaults()
+        )
+        built = build_scenario(name, seed=0)
+        actors = built.build_actors()
+        assert actors
+        assert len({actor.actor_id for actor in actors}) == len(actors)
+
+    @pytest.mark.parametrize("family", sorted(FUZZ_FAMILIES))
+    def test_bound_corners_build_actors(self, family):
+        space = FUZZ_FAMILIES[family].space
+        for corner in ("low", "high"):
+            genome = {
+                gene.name: getattr(gene, corner) for gene in space.genes
+            }
+            name = register_fuzzed(family, genome)
+            assert build_scenario(name, seed=1).build_actors()
+
+
+class TestRegistration:
+    def test_digest_name_is_order_independent(self):
+        space = FUZZ_FAMILIES["vehicle_following"].space
+        params = space.defaults()
+        shuffled = dict(reversed(list(params.items())))
+        assert fuzzed_name("vehicle_following", params) == fuzzed_name(
+            "vehicle_following", shuffled
+        )
+
+    def test_register_is_idempotent(self):
+        params = FUZZ_FAMILIES["cut_out"].space.defaults()
+        name = register_fuzzed("cut_out", params)
+        assert register_fuzzed("cut_out", params) == name
+        assert name.startswith("fuzzed_cut_out_")
+        assert name in SCENARIOS
+
+    def test_nearby_genomes_get_distinct_names(self):
+        params = FUZZ_FAMILIES["cut_out"].space.defaults()
+        other = dict(params, lead_gap=params["lead_gap"] + 0.5)
+        assert register_fuzzed("cut_out", params) != register_fuzzed(
+            "cut_out", other
+        )
+
+    def test_recipe_round_trips(self):
+        params = FUZZ_FAMILIES["cut_out"].space.defaults()
+        name = register_fuzzed("cut_out", params)
+        recipe = fuzzed_recipe(name)
+        assert recipe["family"] == "cut_out"
+        assert recipe["params"] == params
+
+    def test_recipe_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            fuzzed_recipe("fuzzed_cut_out_0000000000")
+
+    def test_ensure_scenario_unknown_digest_is_false(self):
+        assert not ensure_scenario("fuzzed_cut_out_ffffffffff")
+
+
+class TestArchive:
+    def _archive_file(self, tmp_path, names):
+        path = tmp_path / "archive.json"
+        path.write_text(json.dumps(fuzzed_recipes(names)))
+        return path
+
+    def test_archive_round_trip(self, tmp_path):
+        params = dict(
+            FUZZ_FAMILIES["challenging_cut_in"].space.defaults(),
+            trigger_gap=17.5,
+        )
+        name = register_fuzzed("challenging_cut_in", params)
+        path = self._archive_file(tmp_path, [name])
+        # Forget the entry entirely, then rebuild it from the file.
+        SCENARIOS.pop(name)
+        _FUZZED_RECIPES.pop(name)
+        assert load_fuzzed_archive(path) == [name]
+        assert name in SCENARIOS
+        assert build_scenario(name, seed=0).build_actors()
+
+    def test_archive_tamper_is_detected(self, tmp_path):
+        name = register_fuzzed(
+            "cut_out", FUZZ_FAMILIES["cut_out"].space.defaults()
+        )
+        payload = fuzzed_recipes([name])
+        payload["entries"][0]["params"]["lead_gap"] += 1.0
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="does not match"):
+            load_fuzzed_archive(path)
+
+    def test_archive_without_entries_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ConfigurationError, match="entries"):
+            load_fuzzed_archive(path)
+
+    def test_unreadable_archive_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_fuzzed_archive(path)
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_fuzzed_archive(tmp_path / "missing.json")
+
+    def test_resolve_via_environment_archive(self, tmp_path, monkeypatch):
+        params = dict(
+            FUZZ_FAMILIES["vehicle_following"].space.defaults(),
+            decel=6.25,
+        )
+        name = register_fuzzed("vehicle_following", params)
+        path = self._archive_file(tmp_path, [name])
+        SCENARIOS.pop(name)
+        _FUZZED_RECIPES.pop(name)
+        monkeypatch.setenv(
+            RECIPES_ENV,
+            os.pathsep.join([str(tmp_path / "absent.json"), str(path)]),
+        )
+        # ensure_scenario's fuzzed branch walks the env var's archives.
+        assert ensure_scenario(name)
+        assert name in SCENARIOS
+
+    def test_resolve_from_recipe_table(self):
+        params = dict(
+            FUZZ_FAMILIES["cut_out"].space.defaults(), bail_out_gap=17.0
+        )
+        name = register_fuzzed("cut_out", params)
+        SCENARIOS.pop(name)  # recipe survives; registry entry dropped
+        assert resolve_fuzzed(name)
+        assert name in SCENARIOS
+
+    def test_resolve_unknown_without_env_is_false(self, monkeypatch):
+        monkeypatch.delenv(RECIPES_ENV, raising=False)
+        assert not resolve_fuzzed("fuzzed_cut_out_eeeeeeeeee")

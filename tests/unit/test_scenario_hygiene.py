@@ -1,0 +1,77 @@
+"""Scenario-parameter hygiene: jitter bounds and the perception seed.
+
+Regression coverage for two silent-corruption bugs: a jitter fraction
+above 1.0 can flip the sign of gaps and decelerations (the factor
+``1 + U(-f, f)`` goes negative), and the old additive perception seed
+(``seed + 7919``) collided scenario seed ``s + 7919``'s choreography
+generator with seed ``s``'s perception stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import derive_seed
+from repro.errors import ConfigurationError
+from repro.scenarios import build_scenario
+from repro.scenarios.base import jittered
+from repro.scenarios.catalog import SCENARIOS
+
+
+class TestJittered:
+    def test_fraction_above_one_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError, match="<= 1.0"):
+            jittered(rng, 10.0, 1.2)
+
+    def test_fraction_of_exactly_one_is_allowed(self):
+        rng = np.random.default_rng(0)
+        assert jittered(rng, 10.0, 1.0) >= 0.0
+
+    def test_negative_fraction_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            jittered(rng, 10.0, -0.1)
+
+    def test_zero_fraction_returns_value_without_a_draw(self):
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state
+        assert jittered(rng, 42.0, 0.0) == 42.0
+        assert rng.bit_generator.state == before
+
+    def test_factor_stays_within_band(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            value = jittered(rng, 10.0, 0.25)
+            assert 7.5 <= value <= 12.5
+
+
+class TestPerceptionSeed:
+    def test_derived_through_the_seed_stream(self):
+        built = build_scenario("cut_in", seed=123)
+        assert built.perception_seed == derive_seed(123, "perception")
+        assert built.perception_seed != 123 + 7_919
+
+    def test_no_collision_with_offset_scenario_seeds(self):
+        # The old additive offset made seed s+7919's choreography
+        # generator share a root with seed s's perception stream.
+        built = build_scenario("cut_in", seed=5)
+        offset = build_scenario("cut_in", seed=5 + 7_919)
+        assert built.perception_seed != offset.seed
+        assert built.perception_seed != offset.perception_seed
+
+    def test_distinct_seeds_decorrelate(self):
+        seeds = {build_scenario("cut_in", seed=s).perception_seed
+                 for s in range(32)}
+        assert len(seeds) == 32
+
+
+class TestCatalogCallSites:
+    """Every catalog builder must survive the tightened jitter guard."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("seed", [0, 1, 1_000])
+    def test_all_scenarios_build(self, name, seed):
+        actors = build_scenario(name, seed=seed).build_actors()
+        assert actors
+        for actor in actors:
+            assert actor.station >= 0.0
