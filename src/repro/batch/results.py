@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Mapping, Sequence
 
+from repro import ioutil
 from repro.batch.campaign import Campaign, RunSpec
 from repro.errors import ConfigurationError, TraceError
 
@@ -450,7 +451,10 @@ class CampaignWriter:
         it over ``path`` only after :meth:`finish` — so rewriting an
         existing partial (resume's canonical-rewrite path) can never
         destroy it: a crash mid-rewrite leaves the original untouched
-        and discards the temp file on close.
+        and discards the temp file on close. Without ``atomic``, the
+        file is published via :func:`repro.ioutil.atomic_create_stream`
+        with the header already on the device, so kill-during-create
+        can never leave a torn header under the final name.
         """
         header: dict = {
             "kind": "campaign",
@@ -459,13 +463,7 @@ class CampaignWriter:
         }
         if shard is not None:
             header["shard"] = {"index": shard[0], "count": shard[1]}
-        final = Path(path)
-        target = (
-            final.with_name(final.name + ".tmp") if atomic else final
-        )
-        writer = cls(final, target.open("w"), target=target)
-        writer._emit(header)
-        return writer
+        return cls._open_fresh(Path(path), header, atomic)
 
     @classmethod
     def create_raw(
@@ -482,13 +480,33 @@ class CampaignWriter:
         (``repro replay`` uses it for its re-estimation rows).
         ``atomic`` stages and renames exactly as in :meth:`create`.
         """
-        final = Path(path)
-        target = (
-            final.with_name(final.name + ".tmp") if atomic else final
+        return cls._open_fresh(Path(path), dict(header), atomic)
+
+    @classmethod
+    def _open_fresh(
+        cls, final: Path, header: dict, atomic: bool
+    ) -> "CampaignWriter":
+        """Shared creation path: a fresh stream whose header cannot tear.
+
+        Non-atomic streams go through
+        :func:`repro.ioutil.atomic_create_stream`: the header line is
+        fsynced and renamed into place before the append handle opens,
+        so a file visible at ``final`` always has a complete header.
+        Atomic streams accumulate in ``<final>.tmp`` instead and only
+        replace ``final`` at :meth:`close` after :meth:`finish` — the
+        temp file is discarded on any other exit, so its bare open can
+        never publish torn content under the final name.
+        """
+        if atomic:
+            target = final.with_name(final.name + ".tmp")
+            handle = target.open("w")  # reprolint: disable=IO005 -- staged .tmp: committed by rename only after the finish-time fsync; a torn temp is discarded at close, never published
+            writer = cls(final, handle, target=target)
+            writer._emit(header)
+            return writer
+        handle = ioutil.atomic_create_stream(
+            final, json.dumps(header) + "\n"
         )
-        writer = cls(final, target.open("w"), target=target)
-        writer._emit(dict(header))
-        return writer
+        return cls(final, handle)
 
     @classmethod
     def append_to(cls, path: str | Path) -> "CampaignWriter":
@@ -530,20 +548,9 @@ class CampaignWriter:
                 # The temp file's contents are already on the device
                 # (finish fsyncs before setting _finished); making the
                 # rename itself durable needs the directory entry
-                # synced too. Filesystems that cannot fsync a
-                # directory just keep the rename's normal semantics.
+                # synced too.
                 os.replace(self._target, self._path)
-                try:
-                    fd = os.open(self._path.parent, os.O_RDONLY)
-                except OSError:
-                    pass
-                else:
-                    try:
-                        os.fsync(fd)
-                    except OSError:
-                        pass
-                    finally:
-                        os.close(fd)
+                ioutil.fsync_dir(self._path.parent)
             else:
                 self._target.unlink(missing_ok=True)
 

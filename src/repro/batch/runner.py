@@ -23,6 +23,11 @@ A run that raises is captured as a failed :class:`RunSummary`
 surfaces the same way.
 """
 
+# reprolint: disable-file=DET002 -- perf_counter here times campaign
+# execution for the `completed` footer and CampaignResult.elapsed only;
+# run summaries are pure functions of their RunSpec and never see it
+# (the resume byte-parity tests would catch any leak).
+
 from __future__ import annotations
 
 import time

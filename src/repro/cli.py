@@ -28,6 +28,7 @@ import sys
 import numpy as np
 
 from repro import OfflineEvaluator, SCENARIO_NAMES, build_scenario
+from repro.core.latency import BACKENDS
 from repro.analysis.report import format_table, render_heatmap
 from repro.analysis.sensitivity import sweep_min_fpr
 from repro.errors import ConfigurationError
@@ -512,6 +513,12 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _fuzz_family_names() -> list[str]:
     from repro.scenarios.fuzzed import FUZZ_FAMILIES
 
@@ -573,7 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--backend",
-        choices=["batched", "scalar", "crosstrace"],
+        choices=list(BACKENDS),
         default="batched",
         help="latency-solver backend: the batched array kernel "
         "(default), the scalar reference loop, or crosstrace — "
@@ -733,7 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--backend",
-        choices=["batched", "scalar", "crosstrace"],
+        choices=list(BACKENDS),
         default="batched",
         help="latency backend generations evaluate under",
     )
@@ -806,7 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--backend",
-        choices=["batched", "scalar", "crosstrace"],
+        choices=list(BACKENDS),
         default="batched",
         help="evaluation backend (identical results)",
     )
@@ -853,6 +860,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged result as JSONL",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & contract linter (rules DET001-PAR006)",
+        description=(
+            "AST-based static analysis enforcing the repo's "
+            "determinism and durability contracts; see docs/TESTING.md "
+            "'Determinism contract — lint rules'"
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -867,6 +887,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign-merge": _cmd_campaign_merge,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

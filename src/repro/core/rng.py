@@ -196,16 +196,71 @@ def derive_seed(seed: int, *keys: object) -> int:
     return int(counter_hash(seed, STREAM_DERIVE, *keys)[()])
 
 
+#: The central stream-tag registry: every named draw channel and seed-
+#: derivation key used anywhere in the codebase, tag → key word. The
+#: RNG004 lint rule (``repro.lint``) statically checks that every
+#: stream/derivation literal in ``src/`` resolves here, and
+#: :func:`register_stream` hard-errors if two distinct tags ever hash
+#: to the same key word — a collision would silently correlate two
+#: channels that every recorded result assumes are independent.
+STREAM_REGISTRY: dict[str, np.uint64] = {}
+
+
+def register_stream(name: str) -> np.uint64:
+    """Register a named draw channel; returns its key word.
+
+    The single place stream tags come from. Registration is idempotent
+    for a given name; registering a *different* name whose FNV-1a word
+    collides with an existing tag raises — the two channels would share
+    every draw, which no test could tell apart from correct behavior.
+
+    Args:
+        name: the channel's descriptive dotted name (e.g.
+            ``"perception.miss"``).
+
+    Returns:
+        The tag's key word, as :func:`stable_key` computes it.
+
+    Raises:
+        ConfigurationError: on a non-string/empty name or a key-word
+            collision with a previously registered tag.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"stream tags are non-empty strings, got {name!r}"
+        )
+    word = stable_key(name)
+    if name in STREAM_REGISTRY:
+        return STREAM_REGISTRY[name]
+    for other, other_word in STREAM_REGISTRY.items():
+        if other_word == word:
+            raise ConfigurationError(
+                f"stream tag {name!r} collides with {other!r}: both hash "
+                f"to key word {int(word):#018x}"
+            )
+    STREAM_REGISTRY[name] = word
+    return word
+
+
+def registered_streams() -> dict[str, int]:
+    """A snapshot of the registry, tag → key word as a Python int."""
+    return {name: int(word) for name, word in STREAM_REGISTRY.items()}
+
+
 #: Stream tags — FNV-1a words of descriptive channel names. Distinct
 #: streams over the same (seed, keys) never share draws.
-STREAM_MISS = stable_key("perception.miss")
-STREAM_NOISE_X = stable_key("perception.noise.x")
-STREAM_NOISE_Y = stable_key("perception.noise.y")
-STREAM_DERIVE = stable_key("seed.derive")
+STREAM_MISS = register_stream("perception.miss")
+STREAM_NOISE_X = register_stream("perception.noise.x")
+STREAM_NOISE_Y = register_stream("perception.noise.y")
+STREAM_DERIVE = register_stream("seed.derive")
 # The evolutionary scenario search draws its whole trajectory from
 # these three channels keyed by (generation, slot, gene) coordinates,
 # so a fuzz run is a pure function of its root seed — independent of
 # worker counts, resume points and evaluation order.
-STREAM_FUZZ_INIT = stable_key("fuzz.init")
-STREAM_FUZZ_SELECT = stable_key("fuzz.select")
-STREAM_FUZZ_MUTATE = stable_key("fuzz.mutate")
+STREAM_FUZZ_INIT = register_stream("fuzz.init")
+STREAM_FUZZ_SELECT = register_stream("fuzz.select")
+STREAM_FUZZ_MUTATE = register_stream("fuzz.mutate")
+# Seed-derivation keys (the string literals handed to derive_seed):
+# "perception" roots a scenario's counter-keyed perception draws off
+# its choreography seed (see BuiltScenario.perception_seed).
+KEY_PERCEPTION = register_stream("perception")

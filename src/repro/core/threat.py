@@ -406,6 +406,11 @@ class ThreatAssessor:
         t = 0.0
         while t <= horizon + 1e-9:
             gate_times.append(t0 + t)
+            # reprolint: disable=DET003 -- the accumulated gate grid IS
+            # the pinned scalar-reference contract: the batched kernels
+            # reproduce these exact instants bit-for-bit (corridor-mask
+            # quantization tests); a closed-form grid would shift the
+            # last bits and break every curved golden.
             t += self.gate_step
         xs, ys, _ = actor_trajectory.sample_extrapolated(np.array(gate_times))
         stations, laterals = self._path_coordinates_batch(xs, ys, ego_state)
@@ -600,6 +605,10 @@ class ThreatAssessor:
         t = 0.0
         while t <= float(horizons.max()) + 1e-9:
             gate_rel.append(t)
+            # reprolint: disable=DET003 -- shared accumulated gate grid,
+            # deliberately identical to could_collide's scalar loop
+            # above (same values, same stop condition); see that
+            # pragma's justification.
             t += self.gate_step
         gate_rel = np.array(gate_rel)
         in_horizon = gate_rel[None, :] <= horizons[:, None] + 1e-9

@@ -1,0 +1,91 @@
+"""Shared staged-fsync / atomic-rename write helpers.
+
+Durability-critical modules (``repro.store``, ``repro.batch``) never
+open their targets with a bare ``open(..., "w")`` — that is the IO005
+lint contract (see ``repro.lint``). A kill between ``open`` and the
+first flush would otherwise publish a torn or empty file under the
+final name, which resume/reload logic then has to distinguish from a
+legitimate partial. Every write instead goes through one of these
+helpers, which share a single discipline:
+
+* data reaches the device (``flush`` + ``fsync``) *before* the file
+  appears under its final name (``os.replace``), and
+* the directory entry itself is synced afterwards, so the rename
+  survives power loss — with ``OSError`` tolerance for filesystems
+  that cannot fsync a directory.
+
+The helpers are deliberately tiny: they are the vocabulary the IO005
+rule checks against, not a framework.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort fsync of a directory entry.
+
+    Makes a just-committed rename durable. Filesystems (or platforms)
+    that cannot open/fsync a directory keep the rename's normal
+    crash-consistency semantics — hence the ``OSError`` tolerance.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def fsynced_file(path: str | Path, mode: str = "w") -> Iterator[IO]:
+    """Open ``path`` for writing; flush + fsync before a clean close.
+
+    The staged-write primitive: callers point it at a staging path (a
+    temp file or a not-yet-renamed bundle directory entry) and commit
+    with ``os.replace``/``os.rename`` afterwards, knowing the bytes
+    are already on the device. An exception inside the block closes
+    the handle without fsync — the staging path is garbage either way.
+    """
+    with Path(path).open(mode) as handle:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` (tmp + fsync + rename).
+
+    Readers observe either the previous complete content or the new
+    complete content, never a prefix — the contract heartbeat sidecars
+    and index rewrites rely on.
+    """
+    final = Path(path)
+    tmp = final.with_name(f"{final.name}.tmp-{os.getpid()}")
+    with fsynced_file(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, final)
+    fsync_dir(final.parent)
+
+
+def atomic_create_stream(path: str | Path, first_line: str) -> IO[str]:
+    """Atomically create ``path`` containing ``first_line``, open for append.
+
+    The streaming-file creation primitive: the header line is staged,
+    fsynced and renamed into place before the returned append handle
+    exists, so a file visible under ``path`` always carries a complete
+    header — kill-during-create leaves either no file or a valid
+    zero-record stream, never a torn header. ``first_line`` should
+    include its trailing newline.
+    """
+    final = Path(path)
+    atomic_write_text(final, first_line)
+    return final.open("a")

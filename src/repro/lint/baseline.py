@@ -1,0 +1,58 @@
+"""The committed findings baseline.
+
+The repo ships a **zero-findings** baseline
+(``tools/reprolint_baseline.json``): every invariant violation is
+either fixed or carries a justified pragma, and CI fails on any *new*
+finding. The baseline format still records full findings so that, if a
+future rule lands with violations that cannot be fixed in the same PR,
+the debt is explicit, diffable and burns down visibly — never a
+silently growing ignore list.
+
+Baseline comparison is line-insensitive (:meth:`Finding.key`):
+unrelated edits shift line numbers without un-baselining anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA = 1
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable JSON)."""
+    payload = {
+        "kind": "reprolint-baseline",
+        "schema": BASELINE_SCHEMA,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    """Load a baseline file (raises ``ConfigurationError`` on damage)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable baseline {path}: {exc}")
+    if payload.get("kind") != "reprolint-baseline":
+        raise ConfigurationError(f"{path} is not a reprolint baseline")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"baseline schema {payload.get('schema')!r} unsupported "
+            f"(expected {BASELINE_SCHEMA})"
+        )
+    return [Finding.from_dict(entry) for entry in payload["findings"]]
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> list[Finding]:
+    """Findings not covered by the baseline (line-insensitive)."""
+    known = {f.key() for f in baseline}
+    return [f for f in findings if f.key() not in known]

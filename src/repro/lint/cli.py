@@ -1,0 +1,143 @@
+"""The ``repro lint`` command (also ``tools/reprolint.py``).
+
+Exit codes (CI contract)::
+
+    0   no findings (or none beyond the baseline)
+    1   findings — the determinism/contract invariants are violated
+    2   usage or configuration error (bad path, damaged baseline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import load_baseline, new_findings, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.findings import render_findings
+from repro.lint.rules import default_rules
+
+
+def default_scan_root() -> Path:
+    """The shipped ``repro`` package source tree."""
+    return Path(__file__).resolve().parents[1]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options (shared by ``repro lint`` and the tool)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or trees to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on ANY finding, ignoring the baseline (CI mode)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON; only findings beyond it fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the findings as JSON to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            layers = ",".join(rule.layers) if rule.layers else "all"
+            print(f"{rule.id}  [{layers}]  {rule.title}")
+        return 0
+    paths = args.paths or [default_scan_root()]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"reprolint: no such path: {path}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths, rules)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"baseline written: {args.write_baseline} "
+            f"({len(findings)} finding(s))"
+        )
+        return 0
+
+    failing = findings
+    if args.baseline is not None and not args.strict:
+        try:
+            failing = new_findings(findings, load_baseline(args.baseline))
+        except ConfigurationError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+
+    payload = {
+        "kind": "reprolint-report",
+        "strict": bool(args.strict),
+        "findings": [f.to_dict() for f in findings],
+        "new_findings": [f.to_dict() for f in failing],
+    }
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        if findings:
+            print(render_findings(findings))
+        suffix = ""
+        if args.baseline is not None and not args.strict:
+            suffix = f" ({len(failing)} beyond baseline)"
+        print(f"reprolint: {len(findings)} finding(s){suffix}")
+    return 1 if failing else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based determinism & contract linter for the Zhuyi "
+            "reproduction (rules DET001-PAR006; see docs/TESTING.md)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/
+    sys.exit(main())

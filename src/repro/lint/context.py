@@ -1,0 +1,65 @@
+"""Per-module lint context: source, AST and package location.
+
+Rules never touch the filesystem; they see one :class:`ModuleContext`
+holding the parsed tree plus the module's *package-relative* path
+(``repro/core/threat.py``), from which the layer (``core``, ``store``,
+…) derives. Fixture tests exercise rules by constructing contexts with
+synthetic relpaths, so a corpus file on disk can stand in for any
+layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source module, as the rules see it.
+
+    Attributes:
+        relpath: package-relative posix path (``repro/batch/results.py``);
+            the layer and per-rule module allowlists key off this.
+        display: the path findings report (defaults to ``relpath``).
+        source: full module source text.
+        tree: the parsed ``ast`` module node.
+    """
+
+    relpath: str
+    source: str
+    display: str = ""
+    tree: ast.Module = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.relpath = Path(self.relpath).as_posix()
+        if not self.display:
+            self.display = self.relpath
+        if self.tree is None:
+            self.tree = ast.parse(self.source, filename=self.display)
+
+    @property
+    def layer(self) -> str:
+        """The architecture layer: first package segment under ``repro``.
+
+        ``repro/core/rng.py`` → ``"core"``; top-level modules
+        (``repro/units.py``) → ``""``. Paths outside a ``repro``
+        package root fall back to their first directory segment.
+        """
+        parts = Path(self.relpath).parts
+        if "repro" in parts:
+            parts = parts[parts.index("repro") + 1 :]
+        return parts[0] if len(parts) > 1 else ""
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, relpath: str, display: str | None = None
+    ) -> "ModuleContext":
+        """Parse a real file (raises ``SyntaxError`` on bad source)."""
+        source = Path(path).read_text()
+        return cls(
+            relpath=relpath,
+            source=source,
+            display=display or relpath,
+        )

@@ -1,0 +1,129 @@
+"""The lint engine: discover, parse, check, suppress.
+
+Deterministic end to end — files are visited in sorted order and
+findings are reported sorted — so two runs over the same tree emit
+byte-identical reports (the property that makes the committed baseline
+and the CI diff meaningful).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.pragmas import UNPARSEABLE, parse_pragmas
+from repro.lint.rules import Rule, default_rules
+
+
+def iter_source_files(root: Path) -> Iterator[Path]:
+    """Python files under ``root`` (or ``root`` itself), sorted."""
+    root = Path(root)
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def package_relpath(path: Path) -> str:
+    """``repro/…`` package-relative path for a real source file.
+
+    Walks up to the outermost directory that still looks like package
+    territory (contains ``__init__.py``), so ``src/repro/core/rng.py``
+    maps to ``repro/core/rng.py`` wherever the tree is checked out.
+    Files outside any package keep their name.
+    """
+    path = Path(path).resolve()
+    parts = [path.name]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    return "/".join(reversed(parts))
+
+
+def display_path(path: Path) -> str:
+    """The path findings report: cwd-relative when possible."""
+    path = Path(path).resolve()
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_module(
+    module: ModuleContext, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Run ``rules`` over one parsed module, applying its pragmas.
+
+    Pragma-hygiene findings (LNT001/LNT002) are always included and
+    never suppressible; rule findings are dropped where a justified
+    pragma covers them.
+    """
+    known = [rule.id for rule in rules]
+    suppressions = parse_pragmas(module.source, module.display, known)
+    findings = list(suppressions.problems)
+    for rule in rules:
+        if not rule.applies(module):
+            continue
+        for finding in rule.check(module):
+            if not suppressions.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule] | None = None,
+    display: str | None = None,
+) -> list[Finding]:
+    """Lint source text as if it lived at ``relpath`` (fixture entry)."""
+    if rules is None:
+        rules = default_rules()
+    try:
+        module = ModuleContext(
+            relpath=relpath, source=source, display=display or relpath
+        )
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display or relpath,
+                line=exc.lineno or 1,
+                rule=UNPARSEABLE,
+                message=f"unparseable module: {exc.msg}",
+            )
+        ]
+    return lint_module(module, rules)
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule] | None = None,
+    relpath: str | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(
+        path.read_text(),
+        relpath or package_relpath(path),
+        rules,
+        display=display_path(path),
+    )
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint files/trees; the findings of the whole run, sorted."""
+    if rules is None:
+        rules = default_rules()
+    findings: list[Finding] = []
+    for root in paths:
+        for path in iter_source_files(Path(root)):
+            findings.extend(lint_file(path, rules))
+    return sorted(findings)

@@ -1,0 +1,66 @@
+"""Findings: what a lint rule reports, and how it renders.
+
+A finding is a plain value — ``(path, line, rule, message)`` — ordered
+so reports and baselines are deterministic regardless of rule
+execution order (the same order-independence discipline the rest of
+the codebase applies to its numerics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: display path of the offending file (repo-relative where
+            possible, so CI logs and editors agree).
+        line: 1-based source line.
+        rule: the rule id (``DET001`` … ``PAR006``, or ``LNT00x`` for
+            lint-hygiene problems such as unjustified pragmas).
+        message: human-readable statement of the violated contract.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report form."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity, used for baseline comparison.
+
+        Unrelated edits shift line numbers; a baseline entry keeps
+        matching the finding it recorded as long as the file, rule and
+        message are unchanged.
+        """
+        return (self.path, self.rule, self.message)
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    """All findings, one canonical line each, sorted."""
+    return "\n".join(f.render() for f in sorted(findings))

@@ -1,0 +1,263 @@
+"""DET001–DET003: the determinism rules.
+
+These enforce the invariants PRs 3–9 pinned by parity testing: results
+are pure functions of their inputs (no generator state, no wall
+clock), and evaluation grids are closed-form (no accumulated floats).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, dotted_name
+
+
+class StatefulRandomRule(Rule):
+    """DET001 — no stateful RNG anywhere in ``src/``.
+
+    Flags imports of the stdlib ``random`` module and any use of
+    ``numpy.random`` (``default_rng``, ``Generator``, legacy global
+    functions — all of them carry hidden state). Every draw must route
+    through the counter functions of ``repro.core.rng``, whose values
+    are pure functions of their keys; that is what makes draws
+    independent of execution order, shard layout and worker count.
+
+    The scenario-choreography legacy (seeded once per build, draws
+    consumed in a fixed documented order) is pragma-allowlisted
+    file-by-file with justification.
+    """
+
+    id = "DET001"
+    title = (
+        "no stateful RNG; draws route through repro.core.rng counters"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        numpy_aliases = {"numpy"}
+        numpy_random_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of the stateful stdlib `random` "
+                            "module; use repro.core.rng counter draws",
+                        )
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    if alias.name == "numpy.random":
+                        if alias.asname:
+                            numpy_random_aliases.add(alias.asname)
+                        # bare `import numpy.random` binds `numpy`,
+                        # which the numpy_aliases chain check covers
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from the stateful stdlib `random` "
+                        "module; use repro.core.rng counter draws",
+                    )
+                elif node.module == "numpy.random" or (
+                    node.module == "numpy"
+                    and any(a.name == "random" for a in node.names)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from numpy.random (stateful generator "
+                        "API); use repro.core.rng counter draws",
+                    )
+        for node in ast.walk(module.tree):
+            name = dotted_name(node) if isinstance(node, ast.Attribute) else None
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] in numpy_aliases
+                and parts[1] == "random"
+            ) or (
+                len(parts) >= 2 and parts[0] in numpy_random_aliases
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stateful RNG use `{name}`; draws must be pure "
+                    "functions of (seed, stream, keys) via "
+                    "repro.core.rng",
+                )
+
+
+#: Wall-clock callables per module root.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(Rule):
+    """DET002 — no wall-clock reads in deterministic layers.
+
+    A result that folds in ``time.time()`` (or ``datetime.now()``)
+    differs run to run by construction. Reporting-only timing —
+    runner elapsed metadata, heartbeat sidecars — is allowlisted per
+    module via ``disable-file`` pragmas whose justification states
+    that no deterministic value derives from the clock.
+    """
+
+    id = "DET002"
+    title = "no wall-clock reads; timing is reporting-only metadata"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        time_aliases: set[str] = set()
+        datetime_mod_aliases: set[str] = set()
+        datetime_cls_aliases: set[str] = set()
+        from_imported: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    if alias.name == "datetime":
+                        datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            from_imported.add(alias.asname or alias.name)
+                if node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_cls_aliases.add(
+                                alias.asname or alias.name
+                            )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            clock = None
+            if (
+                len(parts) == 2
+                and parts[0] in time_aliases
+                and parts[1] in _TIME_FUNCS
+            ):
+                clock = name
+            elif (
+                len(parts) == 3
+                and parts[0] in datetime_mod_aliases
+                and parts[1] in ("datetime", "date")
+                and parts[2] in _DATETIME_FUNCS
+            ):
+                clock = name
+            elif (
+                len(parts) == 2
+                and parts[0] in datetime_cls_aliases
+                and parts[1] in _DATETIME_FUNCS
+            ):
+                clock = name
+            elif len(parts) == 1 and parts[0] in from_imported:
+                clock = name
+            if clock is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read `{clock}()`; deterministic layers "
+                    "may not observe real time (allowlist reporting-"
+                    "only modules with a justified disable-file pragma)",
+                )
+
+
+#: Loop variables that smell like simulation time / station.
+_TIME_TARGETS = {"t", "time", "t0", "tick_time", "station"}
+#: Increment operands that smell like grid steps.
+_STEP_VALUES = {
+    "dt",
+    "dl",
+    "ds",
+    "step",
+    "stride",
+    "period",
+    "sample_period",
+    "sample_step",
+    "gate_step",
+    "time_step",
+    "tick_period",
+}
+
+
+class FloatAccumulationRule(Rule):
+    """DET003 — no float-accumulation time/station loops.
+
+    ``t += dt`` inside a loop drifts: repeated float addition walks
+    away from the closed-form grid ``start + i * dt``, so two engines
+    walking "the same" instants disagree in the last bits — the exact
+    bug PR 5 dug out of the predictors. Grids must be closed-form
+    (``units.time_grid_count`` / ``start + arange(n) * step``).
+
+    Heuristic: inside a ``for``/``while`` body, an augmented ``+=`` or
+    ``-=`` whose target is a time/station-like name or whose increment
+    mentions a step-like name. The two survivors in ``src/`` (the
+    scalar-reference gate grids in ``core/threat.py``, the rounded
+    latency ladder in ``core/parameters.py``) carry justified pragmas
+    — they *are* the pinned reference semantics.
+    """
+
+    id = "DET003"
+    title = "no accumulated float time/station grids; use closed form"
+    layers = ("sim", "prediction", "core")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, in_loop: bool) -> None:
+            if (
+                in_loop
+                and isinstance(node, ast.AugAssign)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+            ):
+                target = _terminal(node.target)
+                step_like = any(
+                    _terminal(sub) in _STEP_VALUES
+                    for sub in ast.walk(node.value)
+                )
+                if target in _TIME_TARGETS or step_like:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"float accumulation `{target} += …` in a "
+                            "loop drifts off the closed-form grid; "
+                            "build grids as start + arange(n) * step "
+                            "(units.time_grid_count)",
+                        )
+                    )
+            inside = in_loop or isinstance(node, (ast.For, ast.While))
+            for child in ast.iter_child_nodes(node):
+                visit(child, inside)
+
+        visit(module.tree, False)
+        yield from findings
+
+
+def _terminal(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,89 @@
+"""IO005 — durability-critical modules write through ``repro.ioutil``.
+
+``repro.store`` and ``repro.batch`` own the files whose torn or
+half-published states the kill/resume and crash-durability test layers
+exist to rule out. A bare ``open(path, "w")`` (or ``Path.write_text``)
+can publish an empty or truncated file under its final name the moment
+it is opened; the staged-fsync/atomic-rename helpers in
+:mod:`repro.ioutil` cannot. This rule flags every truncating write in
+those layers that does not go through the helpers.
+
+Append mode (``"a"``) is allowed: appending to an existing stream is
+the resume path's contract (header already durable, lines self-
+delimiting, a torn tail is detected and dropped on load). Reads are
+obviously fine. Staging writes whose target is only ever published by
+a later rename may carry a justified line pragma — the rename *is*
+the atomic pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    Rule,
+    dotted_name,
+    string_literal,
+    terminal_name,
+)
+
+
+def _write_mode(mode: str) -> bool:
+    """Truncating/creating modes; ``a``/``r``/``r+`` are not flagged."""
+    return any(flag in mode for flag in ("w", "x"))
+
+
+class DurableWriteRule(Rule):
+    """IO005 — see module docstring."""
+
+    id = "IO005"
+    title = "store/batch writes go through repro.ioutil staged helpers"
+    layers = ("store", "batch")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = terminal_name(func)
+            if name in ("write_text", "write_bytes") and isinstance(
+                func, ast.Attribute
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"bare `{name}` publishes a possibly-torn file "
+                    "under its final name; use repro.ioutil."
+                    "atomic_write_text (or stage + rename)",
+                )
+                continue
+            if name != "open":
+                continue
+            if dotted_name(func) == "os.open":
+                # fd-level open takes flag constants, not mode strings
+                # (used by the fsync helpers themselves).
+                continue
+            # builtin open(path, mode): mode is the 2nd positional;
+            # Path.open(mode): the 1st.
+            mode_index = 1 if isinstance(func, ast.Name) else 0
+            mode = None
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = string_literal(keyword.value)
+            if mode is None and len(node.args) > mode_index:
+                mode = string_literal(node.args[mode_index])
+            if mode is None and len(node.args) > mode_index:
+                # Non-literal mode: cannot prove it safe.
+                mode = "w"
+            if mode is not None and _write_mode(mode):
+                yield self.finding(
+                    module,
+                    node,
+                    f"bare open(mode={mode!r}) in a durability-"
+                    "critical module; route the write through "
+                    "repro.ioutil (fsynced_file / atomic_write_text / "
+                    "atomic_create_stream)",
+                )

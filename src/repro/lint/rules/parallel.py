@@ -1,0 +1,117 @@
+"""PAR006 — backend selectors come from one canonical table.
+
+``BACKENDS = ("scalar", "batched", "crosstrace")`` in
+``repro.core.latency`` is the single declaration of the execution-
+backend set. Everything that *accepts* a backend — argparse
+``choices=``, constructor validation — must reference it, so that
+adding a fourth backend is one edit, not a hunt for every hard-coded
+tuple (and so no public selector quietly accepts only a subset).
+
+What the rule flags:
+
+* an argparse ``choices=`` keyword whose literal elements are backend
+  names — even the full set: the table must be *referenced*, not
+  copied;
+* a ``not in`` validation of a backend-named value against a literal
+  collection — validation against a subset silently rejects real
+  backends, validation against a copied full set rots when the table
+  grows;
+* any literal collection equal to the full backend set outside the
+  canonical module — a duplicate table.
+
+What it deliberately allows: *positive* ``in`` dispatch over proper
+subsets (``self.backend in ("batched", "crosstrace")`` routes the
+array-program family and is not a claim about the full set), and
+``==`` against a single name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    Rule,
+    dotted_name,
+    literal_string_collection,
+)
+
+#: The backend vocabulary (mirrors repro.core.latency.BACKENDS).
+# reprolint: disable=PAR006 -- the rule's own vocabulary mirror: the
+# linter stays static and never imports the code it judges; the
+# test suite pins this frozenset equal to the real BACKENDS.
+BACKEND_VOCAB = frozenset({"scalar", "batched", "crosstrace"})
+
+#: Where the canonical table lives; the one module allowed to spell
+#: the full set out literally.
+CANONICAL_MODULE = "repro/core/latency.py"
+CANONICAL_NAME = "BACKENDS"
+
+
+class BackendSelectorRule(Rule):
+    """PAR006 — see module docstring."""
+
+    id = "PAR006"
+    title = "backend selectors reference the canonical BACKENDS table"
+
+    def __init__(self, canonical_module: str = CANONICAL_MODULE):
+        self.canonical_module = canonical_module
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.relpath == self.canonical_module:
+            return
+        flagged: set[tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg != "choices":
+                        continue
+                    elements = literal_string_collection(keyword.value)
+                    if (
+                        elements
+                        and len(elements & BACKEND_VOCAB) >= 2
+                    ):
+                        flagged.add(_pos(keyword.value))
+                        yield self.finding(
+                            module,
+                            keyword.value,
+                            "hard-coded backend choices "
+                            f"{sorted(elements)}; use list(BACKENDS) "
+                            "from repro.core.latency",
+                        )
+            elif isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if not isinstance(op, ast.NotIn):
+                        continue
+                    elements = literal_string_collection(comparator)
+                    if not elements or not elements <= BACKEND_VOCAB:
+                        continue
+                    left = (dotted_name(node.left) or "").lower()
+                    if "backend" in left or len(elements) >= 2:
+                        flagged.add(_pos(comparator))
+                        yield self.finding(
+                            module,
+                            node,
+                            "backend validation against a literal "
+                            f"{sorted(elements)}; validate with "
+                            "`not in BACKENDS` "
+                            "(repro.core.latency)",
+                        )
+        for node in ast.walk(module.tree):
+            elements = literal_string_collection(node)
+            if (
+                elements == BACKEND_VOCAB
+                and _pos(node) not in flagged
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "literal copy of the full backend table; import "
+                    "BACKENDS from repro.core.latency instead",
+                )
+
+
+def _pos(node: ast.AST) -> tuple[int, int]:
+    return (node.lineno, node.col_offset)

@@ -1,0 +1,186 @@
+"""RNG004 — stream-tag literals live in the central registry.
+
+PR 9's ``seed + 7919`` collision showed how quietly two draw channels
+can alias: nothing crashes, the draws are just correlated, and only a
+statistical audit would notice. The registry in ``repro.core.rng``
+(:func:`~repro.core.rng.register_stream`) makes channel identity a
+reviewed, single-sourced fact; this rule makes sure nobody routes
+around it:
+
+* every string literal used as a stream/derivation tag — in
+  ``counter_hash``/``counter_uniform``/``counter_normal`` stream
+  position, in ``derive_seed`` key positions, or handed straight to
+  ``stable_key`` — must be a registered tag;
+* ``register_stream`` may only be called (with a literal) from
+  ``repro/core/rng.py`` itself — a registration elsewhere would be a
+  second source of truth;
+* registered tags must map to pairwise-distinct key words (checked
+  here statically with a pure-python FNV-1a mirror, and again at
+  import time by ``register_stream`` itself).
+
+The registry is read *statically* — the rule parses ``rng.py`` for
+``register_stream("…")`` literals rather than importing it, so the
+linter never executes the code it judges.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, string_literal, terminal_name
+
+#: Package-relative location of the canonical registry.
+REGISTRY_MODULE = "repro/core/rng.py"
+
+#: Call sites whose *stream argument* (index 1) must be registered
+#: when it is a string literal.
+_STREAM_ARG_FUNCS = {"counter_hash", "counter_uniform", "counter_normal"}
+
+
+def _fnv1a64(data: bytes) -> int:
+    """Pure-python FNV-1a/64 — must match ``rng.stable_key`` on strings.
+
+    Reimplemented (4 lines) instead of imported so the linter stays
+    static; ``tests/lint`` pins bit-parity against the real
+    ``stable_key``.
+    """
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h = ((h ^ byte) * 0x00000100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def tag_word(tag: str) -> int:
+    """The key word a string tag hashes to (mirrors ``stable_key``)."""
+    return _fnv1a64(tag.encode("utf-8"))
+
+
+def registered_tags_from_source(source: str) -> dict[str, int]:
+    """Tag → source line of every ``register_stream("…")`` literal."""
+    tags: dict[str, int] = {}
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if terminal_name(node.func) != "register_stream":
+            continue
+        if node.args:
+            literal = string_literal(node.args[0])
+            if literal is not None and literal not in tags:
+                tags[literal] = node.lineno
+    return tags
+
+
+def default_registry_path() -> Path:
+    """``repro/core/rng.py`` as shipped next to this package."""
+    return Path(__file__).resolve().parents[2] / "core" / "rng.py"
+
+
+def collect_stream_literals(
+    module: ModuleContext,
+) -> list[tuple[int, str, str]]:
+    """Every (line, literal, call) stream/derivation tag use in a module.
+
+    Shared with the registry unit tests, which assert the set of tags
+    used anywhere in ``src/`` is a subset of the registered set.
+    """
+    uses: list[tuple[int, str, str]] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = terminal_name(node.func)
+        if func in _STREAM_ARG_FUNCS and len(node.args) >= 2:
+            literal = string_literal(node.args[1])
+            if literal is not None:
+                uses.append((node.lineno, literal, func))
+        elif func == "derive_seed":
+            for arg in node.args[1:]:
+                literal = string_literal(arg)
+                if literal is not None:
+                    uses.append((node.lineno, literal, func))
+        elif func == "stable_key" and node.args:
+            literal = string_literal(node.args[0])
+            if literal is not None:
+                uses.append((node.lineno, literal, func))
+    return uses
+
+
+class StreamRegistryRule(Rule):
+    """RNG004 — see module docstring."""
+
+    id = "RNG004"
+    title = "stream tags are registered centrally and collision-free"
+
+    def __init__(
+        self,
+        registry: dict[str, int] | None = None,
+        registry_module: str = REGISTRY_MODULE,
+    ):
+        """
+        Args:
+            registry: tag → key word override for fixture tests;
+                default parses the shipped ``repro/core/rng.py``.
+            registry_module: relpath treated as the canonical registry
+                location.
+        """
+        self._registry = registry
+        self.registry_module = registry_module
+
+    def registry(self) -> dict[str, int]:
+        if self._registry is None:
+            source = default_registry_path().read_text()
+            self._registry = {
+                tag: tag_word(tag)
+                for tag in registered_tags_from_source(source)
+            }
+        return self._registry
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        registry = self.registry()
+        if module.relpath == self.registry_module:
+            yield from self._check_registry_module(module)
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) == "register_stream"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "register_stream called outside the central "
+                    f"registry ({self.registry_module}); stream tags "
+                    "have exactly one source of truth",
+                )
+        for line, literal, func in collect_stream_literals(module):
+            if literal not in registry:
+                yield self.finding(
+                    module,
+                    line,
+                    f"stream/derivation tag {literal!r} (via {func}) "
+                    "is not registered; add register_stream("
+                    f"{literal!r}) to repro.core.rng",
+                )
+
+    def _check_registry_module(
+        self, module: ModuleContext
+    ) -> Iterator[Finding]:
+        """Inside rng.py: literals registered there must not collide."""
+        tags = registered_tags_from_source(module.source)
+        by_word: dict[int, str] = {}
+        for tag, line in sorted(tags.items(), key=lambda kv: kv[1]):
+            word = tag_word(tag)
+            if word in by_word and by_word[word] != tag:
+                yield self.finding(
+                    module,
+                    line,
+                    f"stream tag {tag!r} collides with "
+                    f"{by_word[word]!r}: both hash to key word "
+                    f"{word:#018x}",
+                )
+            else:
+                by_word[word] = tag

@@ -10,6 +10,13 @@ paper's "simulations can be non-deterministic ... run ten times and
 average" protocol.
 """
 
+# reprolint: disable-file=DET001 -- scenario-choreography legacy: the
+# jitter generator is seeded once per BuiltScenario and its draws are
+# consumed in a fixed, documented builder order, which the recorded
+# goldens pin; migrating choreography to counter draws is a deliberate
+# one-time stream break, not a drive-by. New draw sites must use
+# repro.core.rng.
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

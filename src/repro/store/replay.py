@@ -18,6 +18,10 @@ recorded campaign's grid over a warm store emits the same summary
 values the campaign wrote — from the store alone, simulator untouched.
 """
 
+# reprolint: disable-file=DET002 -- wall-clock here feeds only the
+# heartbeat sidecar and the completed-footer elapsed metadata; no
+# estimation value, run line or aggregate ever derives from it.
+
 from __future__ import annotations
 
 import json
@@ -27,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence, TYPE_CHECKING
 
+from repro import ioutil
 from repro.batch.campaign import Campaign
 from repro.batch.results import CampaignWriter, RunSummary
 from repro.core.aggregation import (
@@ -486,20 +491,22 @@ def _write_heartbeat(
     without touching — or racing — the JSONL stream itself. Atomic
     replace means the sidecar is always one complete JSON object.
     """
+    # One instant for both fields: computing them from separate
+    # time.time() calls let `updated - elapsed` drift from the true
+    # start, confusing staleness monitors that subtract them.
+    now = time.time()
     payload = {
         "kind": "heartbeat",
         "rows_done": done,
         "rows_total": total,
         "last_index": last_index,
-        "elapsed": time.time() - started,
-        "updated": time.time(),
+        "elapsed": now - started,
+        "updated": now,
         "shard": (
             None if shard is None else {"index": shard[0], "count": shard[1]}
         ),
     }
-    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(payload) + "\n")
-    os.replace(tmp, path)
+    ioutil.atomic_write_text(path, json.dumps(payload) + "\n")
 
 
 def load_replay_rows(path: str | Path) -> tuple[ReplayPlan, list[dict], bool]:

@@ -39,6 +39,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import ioutil
 from repro.dynamics.state import VehicleSpec
 from repro.sim.collision import CollisionEvent
 from repro.sim.trace import ScenarioTrace
@@ -106,20 +107,6 @@ class StoreKey:
         """The bundle directory name — a pure function of the key."""
         canonical = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:32]
-
-
-def _fsync_path(path: Path) -> None:
-    """Best-effort fsync of a file or directory."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 def _spec_dict(spec: VehicleSpec) -> dict:
@@ -305,7 +292,7 @@ class TraceStore:
         finally:
             if staging.exists():
                 shutil.rmtree(staging, ignore_errors=True)
-        _fsync_path(final.parent)
+        ioutil.fsync_dir(final.parent)
         self._append_index(key)
         return final
 
@@ -326,10 +313,8 @@ class TraceStore:
         }
         for name, column in columns.items():
             path = staging / f"{name}.npy"
-            with path.open("wb") as handle:
+            with ioutil.fsynced_file(path, "wb") as handle:
                 np.save(handle, np.ascontiguousarray(column))
-                handle.flush()
-                os.fsync(handle.fileno())
             raw = path.read_bytes()
             files_meta[name] = {
                 "file": path.name,
@@ -367,11 +352,9 @@ class TraceStore:
             "arrays": files_meta,
         }
         meta_path = staging / "meta.json"
-        with meta_path.open("w") as handle:
+        with ioutil.fsynced_file(meta_path, "w") as handle:
             json.dump(meta, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        _fsync_path(staging)
+        ioutil.fsync_dir(staging)
 
     def _commit(self, staging: Path, final: Path) -> None:
         try:
@@ -470,15 +453,10 @@ class TraceStore:
                 entries.append(
                     json.dumps({"key": key.to_dict(), "bundle": bundle.name})
                 )
-        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
         self.root.mkdir(parents=True, exist_ok=True)
-        with tmp.open("w") as handle:
-            for line in entries:
-                handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.index_path)
-        _fsync_path(self.root)
+        ioutil.atomic_write_text(
+            self.index_path, "".join(line + "\n" for line in entries)
+        )
         return len(entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

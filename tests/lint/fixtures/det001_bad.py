@@ -1,0 +1,23 @@
+"""DET001 true-positive corpus: stateful RNG constructs.
+
+Never imported — read as text by the fixture tests. Each line that must
+fire carries an ``# expect: RULE`` marker.
+"""
+
+import random  # expect: DET001
+
+import numpy as np
+from numpy.random import default_rng  # expect: DET001
+
+
+def draws():
+    rng = np.random.default_rng(7)  # expect: DET001
+    return rng.uniform() + random.random()
+
+
+def fresh():
+    return default_rng(11)
+
+
+def annotated(rng: np.random.Generator) -> float:  # expect: DET001
+    return rng.normal()

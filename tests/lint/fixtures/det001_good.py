@@ -1,0 +1,24 @@
+"""DET001 false-positive corpus: counter-based draws stay silent."""
+
+from repro.core.rng import (
+    counter_uniform,
+    derive_seed,
+    stable_key,
+    time_key,
+)
+
+STREAM = "fixture.good"
+
+
+def draw(seed: int, camera: str, t: float) -> float:
+    return counter_uniform(seed, STREAM, stable_key(camera), time_key(t))
+
+
+def child_seed(seed: int) -> int:
+    return derive_seed(seed, "fixture.child")
+
+
+def randomish_names_are_fine(random_walk_length: int) -> int:
+    # A *variable* named random is data, not the stdlib module.
+    random = random_walk_length
+    return random + 1

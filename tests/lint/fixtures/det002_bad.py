@@ -1,0 +1,18 @@
+"""DET002 true-positive corpus: wall-clock reads."""
+
+import datetime as dt
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()  # expect: DET002
+    tick = time.perf_counter_ns()  # expect: DET002
+    when = datetime.now()  # expect: DET002
+    day = dt.datetime.today()  # expect: DET002
+    return started, tick, when, day
+
+
+def elapsed():
+    return perf_counter()  # expect: DET002

@@ -1,0 +1,21 @@
+"""DET002 false-positive corpus: simulated time is not a clock."""
+
+
+def elapsed(ticks):
+    # Simulation time is a quantity computed from the trace, never read
+    # from the host clock.
+    time = ticks[-1] - ticks[0]
+    return time
+
+
+def sample(trace):
+    return trace.times.max()
+
+
+def series_method(series):
+    # An attribute called .time() on a non-clock object stays silent.
+    return series.time()
+
+
+def span(config):
+    return config.duration / config.dt

@@ -1,0 +1,32 @@
+"""DET003 true-positive corpus: accumulated float grids in loops."""
+
+
+def time_grid(t0, dt, n):
+    times = []
+    t = t0
+    for _ in range(n):
+        times.append(t)
+        t += dt  # expect: DET003
+    return times
+
+
+def station_ladder(ds, count):
+    out = []
+    s = 0.0
+    while len(out) < count:
+        out.append(s)
+        s += ds  # expect: DET003
+    return out
+
+
+def horizon(step):
+    total = 0.0
+    for _ in range(3):
+        total += step  # expect: DET003
+    return total
+
+
+class Gate:
+    def sweep(self, n):
+        for _ in range(n):
+            self.t += self.gate_step  # expect: DET003

@@ -1,0 +1,21 @@
+"""DET003 false-positive corpus: closed-form grids and honest sums."""
+
+import numpy as np
+
+
+def time_grid(t0, dt, n):
+    return t0 + np.arange(n) * dt
+
+
+def weigh(items):
+    total = 0.0
+    for item in items:
+        # Accumulating data values is fine; only time/station grids
+        # built by repeated step addition drift off the closed form.
+        total += item.weight
+    return total
+
+
+def single_advance(t, dt):
+    t += dt  # not in a loop: one advance, no compounding drift
+    return t

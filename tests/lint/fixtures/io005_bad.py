@@ -1,0 +1,25 @@
+"""IO005 true-positive corpus: bare truncating writes in store/batch."""
+
+import json
+from pathlib import Path
+
+
+def publish(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))  # expect: IO005
+
+
+def publish_bytes(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)  # expect: IO005
+
+
+def create(path: Path):
+    return open(path, "w")  # expect: IO005
+
+
+def create_binary(path: Path) -> None:
+    with path.open("wb") as handle:  # expect: IO005
+        handle.write(b"")
+
+
+def exclusive(path: Path):
+    return path.open(mode="x")  # expect: IO005

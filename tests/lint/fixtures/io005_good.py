@@ -1,0 +1,34 @@
+"""IO005 false-positive corpus: durable helpers, reads, and appends."""
+
+import os
+from pathlib import Path
+
+from repro import ioutil
+
+
+def publish(path: Path, text: str) -> None:
+    ioutil.atomic_write_text(path, text)
+
+
+def publish_column(path: Path, blob: bytes) -> None:
+    with ioutil.fsynced_file(path, "wb") as handle:
+        handle.write(blob)
+
+
+def append(path: Path):
+    # Appends are the resume contract — never truncating, allowed bare.
+    return path.open("a")
+
+
+def read(path: Path) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_mode(path: Path):
+    return path.open("r")
+
+
+def fd_probe(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    os.close(fd)

@@ -1,0 +1,16 @@
+"""PAR006 true-positive corpus: hard-coded backend selectors."""
+
+
+def add_arguments(parser):
+    parser.add_argument(
+        "--backend",
+        choices=["batched", "scalar", "crosstrace"],  # expect: PAR006
+    )
+
+
+def validate(backend):
+    if backend not in ("scalar", "batched"):  # expect: PAR006
+        raise ValueError(backend)
+
+
+LOCAL_TABLE = ("scalar", "batched", "crosstrace")  # expect: PAR006

@@ -1,0 +1,24 @@
+"""PAR006 false-positive corpus: canonical-table references and dispatch."""
+
+from repro.core.latency import BACKENDS
+
+
+def add_arguments(parser):
+    parser.add_argument("--backend", choices=list(BACKENDS))
+
+
+def validate(backend):
+    if backend not in BACKENDS:
+        raise ValueError(backend)
+
+
+def dispatch(backend):
+    # Positive dispatch over a proper subset routes the array-program
+    # family; it is not a claim about the full backend set.
+    if backend in ("batched", "crosstrace"):
+        return "array"
+    return "loop"
+
+
+def single(backend):
+    return backend == "scalar"

@@ -1,0 +1,24 @@
+"""RNG004 true-positive corpus: unregistered stream tags.
+
+The fixture test injects a registry containing only ``"good.tag"``.
+"""
+
+from repro.core.rng import (
+    counter_uniform,
+    derive_seed,
+    register_stream,
+    stable_key,
+)
+
+ROGUE = register_stream("rogue.stream")  # expect: RNG004
+
+
+def draw(seed, t):
+    return counter_uniform(seed, "unregistered.tag", t)  # expect: RNG004
+
+
+def child(seed):
+    return derive_seed(seed, "unregistered.child")  # expect: RNG004
+
+
+ADHOC = stable_key("adhoc.tag")  # expect: RNG004

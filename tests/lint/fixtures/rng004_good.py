@@ -1,0 +1,16 @@
+"""RNG004 false-positive corpus: registered tags and symbolic streams.
+
+The fixture test injects a registry containing only ``"good.tag"``.
+"""
+
+from repro.core.rng import KEY_MISS, counter_uniform, stable_key, time_key
+
+
+def registered(seed, t):
+    return counter_uniform(seed, "good.tag", time_key(t))
+
+
+def symbolic(seed, camera, t):
+    # Streams passed as named registry constants are resolved at the
+    # registration site, not at the call.
+    return counter_uniform(seed, KEY_MISS, stable_key(camera), time_key(t))

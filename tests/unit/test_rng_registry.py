@@ -1,0 +1,109 @@
+"""The central stream-tag registry (PR 10 satellite).
+
+Pins the three facts RNG004 leans on: every stream/derivation literal
+used anywhere in ``src/`` is registered, registered tags map to
+pairwise-distinct key words, and the linter's pure-python FNV-1a
+mirror is bit-identical to the runtime ``stable_key``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import rng
+from repro.errors import ConfigurationError
+from repro.lint.context import ModuleContext
+from repro.lint.engine import iter_source_files, package_relpath
+from repro.lint.rules.rng import (
+    _fnv1a64,
+    collect_stream_literals,
+    default_registry_path,
+    registered_tags_from_source,
+    tag_word,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _all_stream_literals_in_src() -> set[str]:
+    used: set[str] = set()
+    for path in iter_source_files(SRC):
+        module = ModuleContext.from_file(path, package_relpath(path))
+        for _, literal, _ in collect_stream_literals(module):
+            used.add(literal)
+    return used
+
+
+def test_every_stream_literal_in_src_is_registered():
+    used = _all_stream_literals_in_src()
+    assert used, "expected stream-tag literals somewhere in src/"
+    registered = set(rng.registered_streams())
+    assert used <= registered, (
+        f"unregistered stream tags in src/: {sorted(used - registered)}"
+    )
+
+
+def test_registered_tags_have_pairwise_distinct_key_words():
+    streams = rng.registered_streams()
+    assert len(streams) >= 8  # the shipped channels
+    words = list(streams.values())
+    assert len(set(words)) == len(words)
+
+
+def test_registry_words_match_stable_key():
+    for tag, word in rng.registered_streams().items():
+        assert word == int(rng.stable_key(tag))
+
+
+def test_register_stream_is_idempotent():
+    before = dict(rng.registered_streams())
+    word = rng.register_stream("perception.miss")
+    assert word == rng.STREAM_MISS
+    assert rng.registered_streams() == before
+
+
+@pytest.mark.parametrize("bad", ["", 7, None, b"bytes.tag"])
+def test_register_stream_rejects_non_string_tags(bad):
+    with pytest.raises(ConfigurationError, match="non-empty strings"):
+        rng.register_stream(bad)
+
+
+def test_register_stream_rejects_key_word_collisions(monkeypatch):
+    # Real FNV-1a collisions are astronomically unlikely to construct,
+    # so simulate one: an imposter entry already holding the word the
+    # new tag hashes to.
+    fake = dict(rng.STREAM_REGISTRY)
+    fake["imposter.tag"] = rng.stable_key("brand.new.tag")
+    monkeypatch.setattr(rng, "STREAM_REGISTRY", fake)
+    with pytest.raises(ConfigurationError, match="collides"):
+        rng.register_stream("brand.new.tag")
+
+
+def test_registered_streams_is_a_snapshot():
+    snapshot = rng.registered_streams()
+    snapshot["mutated.tag"] = 1
+    assert "mutated.tag" not in rng.registered_streams()
+
+
+def test_lint_fnv_mirror_matches_stable_key():
+    tags = [
+        "perception.miss",
+        "a",
+        "zhuyi.replay",
+        "tag with spaces",
+        "ünïcode.tag",
+        "",
+    ]
+    for tag in tags:
+        assert _fnv1a64(tag.encode("utf-8")) == int(rng.stable_key(tag))
+        assert tag_word(tag) == int(rng.stable_key(tag))
+
+
+def test_static_registry_parse_matches_runtime_registry():
+    # RNG004 reads rng.py statically; the tags it parses must be the
+    # tags the interpreter registers.
+    source = default_registry_path().read_text()
+    static = registered_tags_from_source(source)
+    assert set(static) == set(rng.registered_streams())

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Standalone entry point for the determinism & contract linter.
+
+Equivalent to ``repro lint``; exists so CI and pre-commit hooks can
+run the linter without installing the package (it bootstraps
+``src/`` onto ``sys.path`` when needed)::
+
+    python tools/reprolint.py --strict --out lint_findings.json
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.lint.cli import main
+except ImportError:  # run from a bare checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())
